@@ -1,0 +1,54 @@
+// E1 — Theorem 3.7 size bound: |H| ≤ ⌈log Λ⌉·n^{1+1/κ}.
+//
+// Sweeps n and κ over Gnm and grid workloads, printing measured |H| against
+// the bound and the log-log growth slope (expected ≈ 1 + 1/κ or below; the
+// bound must never be exceeded).
+#include "common.hpp"
+
+using namespace parhop;
+
+int main() {
+  bench::print_header("E1", "hopset size |H| vs ⌈log Λ⌉·n^{1+1/κ} (Thm 3.7)");
+
+  for (const std::string family : {"gnm", "grid"}) {
+    for (int kappa : {2, 3, 4}) {
+      util::Table t({"family", "kappa", "n", "m", "|H|", "bound",
+                     "|H|/bound", "build_s"});
+      std::vector<double> ns, sizes;
+      for (graph::Vertex n : {128u, 256u, 512u, 1024u, 2048u}) {
+        graph::Graph g = bench::workload(family, n);
+        hopset::Params p;
+        p.kappa = kappa;
+        p.rho = std::min(0.45, 1.5 / kappa);
+        bench::Timer timer;
+        pram::Ctx cx;
+        hopset::Hopset H = hopset::build_hopset(cx, g, p);
+        double secs = timer.seconds();
+        auto ar = graph::aspect_ratio(g);
+        double bound = hopset::size_bound(p, g.num_vertices(), ar.log_lambda);
+        if (!H.edges.empty()) {
+          ns.push_back(g.num_vertices());
+          // Divide out the ⌈log Λ⌉ factor so the fitted exponent compares
+          // directly against 1 + 1/κ.
+          sizes.push_back(static_cast<double>(H.edges.size()) /
+                          ar.log_lambda);
+        }
+        t.add_row({family, std::to_string(kappa),
+                   std::to_string(g.num_vertices()),
+                   std::to_string(g.num_edges()),
+                   std::to_string(H.edges.size()), util::human(bound),
+                   util::format("%.3f", H.edges.size() / bound),
+                   util::format("%.2f", secs)});
+      }
+      t.print(std::cout);
+      if (ns.size() >= 2) {
+        std::cout << "log-log slope(|H|/logLambda vs n) = "
+                  << util::format("%.3f", util::loglog_slope(ns, sizes))
+                  << "  (bound exponent 1+1/kappa = "
+                  << util::format("%.3f", 1.0 + 1.0 / kappa) << ")\n";
+      }
+      std::cout << '\n';
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// E2 — Theorem 3.7 stretch: d_G ≤ d^{(β)}_{G∪H} ≤ (1+ε)·d_G for all pairs.
+//
+// Sweeps ε and graph families; the deterministic guarantee means ZERO
+// violations in every row (the "violations" column must read 0).
+#include "common.hpp"
+
+using namespace parhop;
+
+int main() {
+  bench::print_header(
+      "E2", "two-sided stretch of β-hop distances over G ∪ H (Thm 3.7)");
+
+  util::Table t({"family", "n", "eps", "|H|", "beta", "max_stretch",
+                 "target", "covered", "violations"});
+  for (const std::string family : {"gnm", "grid", "ba", "path", "geometric"}) {
+    for (double eps : {0.1, 0.25, 0.5}) {
+      graph::Vertex n = 512;
+      graph::Graph g = bench::workload(family, n);
+      hopset::Params p;
+      p.epsilon = eps;
+      p.kappa = 3;
+      p.rho = 0.45;
+      pram::Ctx cx;
+      hopset::Hopset H = hopset::build_hopset(cx, g, p);
+      auto sources = bench::probe_sources(g.num_vertices());
+      auto probe = bench::probe_stretch(g, H.edges, eps, H.schedule.beta,
+                                        sources);
+      int violations =
+          (probe.covered && probe.max_stretch <= (1 + eps) * (1 + 1e-12)) ? 0
+                                                                          : 1;
+      t.add_row({family, std::to_string(g.num_vertices()),
+                 util::format("%.2f", eps), std::to_string(H.edges.size()),
+                 std::to_string(H.schedule.beta),
+                 util::format("%.4f", probe.max_stretch),
+                 util::format("%.2f", 1 + eps),
+                 probe.covered ? "yes" : "NO",
+                 std::to_string(violations)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E3 — Hopbound: empirical β̂ (minimum BF rounds on G ∪ H reaching (1+ε))
+// versus the paper's formulas — eq. (2)'s β and eq. (18)'s per-scale
+// h_ℓ = (1/ε̂+5)^ℓ. The theorems promise sufficiency of the formula values;
+// the measured β̂ is expected to be far smaller (the formulas are worst-case
+// over all n-vertex graphs).
+#include "common.hpp"
+
+using namespace parhop;
+
+int main() {
+  bench::print_header("E3",
+                      "empirical hopbound vs eq.(2) and eq.(18) formulas");
+
+  util::Table t({"family", "n", "eps", "kappa", "rho", "h_ell", "beta_eq2",
+                 "empirical", "raw_hops"});
+  for (const std::string family : {"gnm", "grid", "path"}) {
+    for (double eps : {0.25, 0.5}) {
+      for (int kappa : {3, 4}) {
+        graph::Vertex n = 512;
+        double rho = kappa == 3 ? 0.45 : 0.3;
+        graph::Graph g = bench::workload(family, n);
+        hopset::Params p;
+        p.epsilon = eps;
+        p.kappa = kappa;
+        p.rho = rho;
+        pram::Ctx cx;
+        hopset::Hopset H = hopset::build_hopset(cx, g, p);
+        auto sources = bench::probe_sources(g.num_vertices());
+        // Generous budget so the empirical minimum is always found.
+        auto probe = bench::probe_stretch(g, H.edges, eps,
+                                          4 * static_cast<int>(n), sources);
+        // Raw hop radius without the hopset, for contrast.
+        pram::Ctx c2;
+        auto raw = sssp::bellman_ford(c2, g, graph::Vertex(0),
+                                      4 * static_cast<int>(n));
+        t.add_row({family, std::to_string(g.num_vertices()),
+                   util::format("%.2f", eps), std::to_string(kappa),
+                   util::format("%.2f", rho),
+                   util::human(H.schedule.hopbound_formula),
+                   util::human(H.schedule.beta_theory),
+                   std::to_string(probe.hops_needed),
+                   std::to_string(raw.rounds_run)});
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: empirical ≤ h_ell ≤ beta_eq2 in every row; "
+               "raw hop radius shows what BF needs without the hopset.\n";
+  return 0;
+}

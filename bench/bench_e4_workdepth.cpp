@@ -1,0 +1,52 @@
+// E4 — Theorem 3.7 complexity: work O~((|E|+n^{1+1/κ})·n^ρ), depth polylog.
+//
+// Sweeps n at fixed (κ, ρ) on Gnm (m ∝ n), fitting the log-log slope of
+// metered PRAM work (expected ≈ 1+ρ plus polylog drift) and showing that
+// metered depth grows polylogarithmically (slope of depth vs log n reported).
+// Wall-clock is included as a sanity column only.
+#include "common.hpp"
+
+using namespace parhop;
+
+int main() {
+  bench::print_header(
+      "E4", "metered PRAM work/depth of the build vs n (Thm 3.7)");
+
+  for (double rho : {0.3, 0.45}) {
+    util::Table t({"n", "m", "rho", "work", "depth", "work/(m*n^rho)",
+                   "depth/log3n", "wall_s"});
+    std::vector<double> ns, works, depths;
+    for (graph::Vertex n : {128u, 256u, 512u, 1024u, 2048u}) {
+      graph::Graph g = bench::workload("gnm", n);
+      hopset::Params p;
+      p.kappa = 3;
+      p.rho = rho;
+      bench::Timer timer;
+      pram::Ctx cx;
+      hopset::Hopset H = hopset::build_hopset(cx, g, p);
+      double secs = timer.seconds();
+      double w = static_cast<double>(H.build_cost.work);
+      double d = static_cast<double>(H.build_cost.depth);
+      double norm = w / (static_cast<double>(g.num_edges()) *
+                         std::pow(double(n), rho));
+      ns.push_back(n);
+      works.push_back(w);
+      depths.push_back(d);
+      double lg = std::log2(double(n));
+      t.add_row({std::to_string(g.num_vertices()),
+                 std::to_string(g.num_edges()), util::format("%.2f", rho),
+                 util::human(w), util::human(d), util::format("%.1f", norm),
+                 util::format("%.2f", d / (lg * lg * lg)),
+                 util::format("%.2f", secs)});
+    }
+    t.print(std::cout);
+    std::cout << "log-log slope(work vs n) = "
+              << util::format("%.3f", util::loglog_slope(ns, works))
+              << "  (target ≈ 1+rho = " << util::format("%.2f", 1 + rho)
+              << " up to polylog)\n";
+    std::cout << "depth is polylog: the depth/log3n column should stay "
+                 "roughly flat while n grows 16x (a power law would grow "
+                 "it by 16^c).\n\n";
+  }
+  return 0;
+}

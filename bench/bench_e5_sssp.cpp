@@ -1,0 +1,53 @@
+// E5 — Theorem 3.8: (1+ε)-approximate single/multi-source distances via a
+// β-hop Bellman–Ford over G ∪ H. Reports per-query depth/work and stretch,
+// sweeping the number of sources |S| (the aMSSD tradeoff).
+#include "common.hpp"
+
+using namespace parhop;
+
+int main() {
+  bench::print_header(
+      "E5", "aSSSD/aMSSD through the hopset (Thm 3.8): stretch & query cost");
+
+  graph::Vertex n = 1024;
+  graph::Graph g = bench::workload("grid", n);
+  hopset::Params p;
+  p.epsilon = 0.25;
+  p.kappa = 3;
+  p.rho = 0.45;
+  pram::Ctx build_cx;
+  hopset::Hopset H = hopset::build_hopset(build_cx, g, p);
+  std::cout << "workload: grid n=" << g.num_vertices()
+            << " m=" << g.num_edges() << "  |H|=" << H.edges.size()
+            << "  build work=" << util::human(double(H.build_cost.work))
+            << " depth=" << util::human(double(H.build_cost.depth)) << "\n\n";
+
+  util::Table t({"|S|", "query_work", "query_depth", "max_stretch",
+                 "target", "wall_s"});
+  for (std::size_t num_sources : {1u, 2u, 4u, 8u, 16u}) {
+    std::vector<graph::Vertex> S;
+    for (std::size_t i = 0; i < num_sources; ++i)
+      S.push_back(static_cast<graph::Vertex>(
+          (i * 2654435761u) % g.num_vertices()));
+    bench::Timer timer;
+    pram::Ctx cx;
+    auto rows = sssp::approx_multi_source(cx, g, H.edges, S,
+                                          H.schedule.beta);
+    double secs = timer.seconds();
+    double worst = 1.0;
+    for (std::size_t i = 0; i < S.size(); ++i) {
+      auto exact = sssp::dijkstra_distances(g, S[i]);
+      worst = std::max(worst, sssp::max_stretch(rows[i], exact));
+    }
+    t.add_row({std::to_string(num_sources),
+               util::human(double(cx.meter.work())),
+               util::human(double(cx.meter.depth())),
+               util::format("%.4f", worst),
+               util::format("%.2f", 1 + p.epsilon),
+               util::format("%.2f", secs)});
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: query depth flat in |S| (parallel "
+               "explorations), work linear in |S|, stretch ≤ target.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E7 — crossover vs plain Bellman–Ford: the hopset pays off exactly when
+// the hop diameter is large (grid Θ(√n), path Θ(n)) and is overhead on
+// low-hop-diameter graphs (Gnm). Reports total work and depth to reach
+// (1+ε)-approximate distances with and without the hopset.
+#include "baselines/plain_bf.hpp"
+#include "common.hpp"
+
+using namespace parhop;
+
+int main() {
+  bench::print_header(
+      "E7", "hopset+BF vs plain BF: depth crossover by hop diameter");
+
+  util::Table t({"family", "n", "plain_depth", "plain_work", "build_depth",
+                 "query_depth", "query_work", "q_depth_ratio", "winner"});
+  for (const std::string family : {"gnm", "ba", "grid", "path"}) {
+    for (graph::Vertex n : {512u, 2048u}) {
+      graph::Graph g = bench::workload(family, n);
+      // Plain BF to exact fixpoint (its depth = hop radius) — this cost
+      // recurs on EVERY query.
+      pram::Ctx cp;
+      auto plain = baselines::plain_bellman_ford(cp, g, 0);
+      double plain_depth = static_cast<double>(cp.meter.depth());
+      double plain_work = static_cast<double>(cp.meter.work());
+
+      hopset::Params p;
+      p.epsilon = 0.25;
+      p.kappa = 3;
+      p.rho = 0.45;
+      pram::Ctx cb;
+      hopset::Hopset H = hopset::build_hopset(cb, g, p);
+      pram::Ctx cq;  // per-query cost, after the one-time build
+      auto r = sssp::approx_sssp(cq, g, H.edges, 0, H.schedule.beta);
+      double query_depth = static_cast<double>(cq.meter.depth());
+      double query_work = static_cast<double>(cq.meter.work());
+
+      double ratio = plain_depth / query_depth;
+      t.add_row({family, std::to_string(g.num_vertices()),
+                 util::human(plain_depth), util::human(plain_work),
+                 util::human(double(H.build_cost.depth)),
+                 util::human(query_depth), util::human(query_work),
+                 util::format("%.2f", ratio),
+                 ratio > 1 ? "hopset" : "plain"});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: per-query depth through the hopset beats "
+               "plain BF wherever the hop diameter is large (grid Θ(√n), "
+               "path Θ(n)), by a factor growing with n; on low-diameter "
+               "gnm/ba plain BF is already polylog and wins. The build cost "
+               "is one-time and amortizes across queries (Thm 3.8's regime "
+               "is many sources on one preprocessed graph).\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Microbenchmarks of the PRAM substrate primitives (google-benchmark).
+// These are the building blocks every metered bound rests on; wall-clock
+// throughput here is the constant factor in front of the work terms.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "pram/primitives.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "util/rng.hpp"
+
+using namespace parhop;
+
+namespace {
+
+void BM_ParallelFor(benchmark::State& state) {
+  pram::Ctx cx;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    pram::parallel_for(cx, n, [&](std::size_t i) { out[i] = i * 2654435761u; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelFor)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ScanExclusive(benchmark::State& state) {
+  pram::Ctx cx;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(1);
+  std::vector<std::uint64_t> xs(n), out(n);
+  for (auto& x : xs) x = rng.next_below(16);
+  for (auto _ : state) {
+    pram::scan_exclusive<std::uint64_t>(
+        cx, xs, out, 0, [](auto a, auto b) { return a + b; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScanExclusive)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PackIndices(benchmark::State& state) {
+  pram::Ctx cx;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto out = pram::pack_indices(cx, n, [](std::size_t i) { return i % 3 == 0; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PackIndices)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PointerJump(benchmark::State& state) {
+  pram::Ctx cx;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> parent(n);
+  std::vector<double> dist(n, 1.0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t v = 0; v < n; ++v)
+      parent[v] = v == 0 ? 0 : static_cast<std::uint32_t>(v - 1);
+    dist.assign(n, 1.0);
+    dist[0] = 0;
+    state.ResumeTiming();
+    pram::pointer_jump(cx, parent, dist);
+    benchmark::DoNotOptimize(parent.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PointerJump)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_BellmanFordRound(benchmark::State& state) {
+  pram::Ctx cx;
+  const graph::Vertex n = static_cast<graph::Vertex>(state.range(0));
+  graph::GenOptions o;
+  o.seed = 2;
+  graph::Graph g = graph::gnm(n, 4 * static_cast<std::size_t>(n), o);
+  for (auto _ : state) {
+    auto r = sssp::bellman_ford(cx, g, graph::Vertex(0), 8);
+    benchmark::DoNotOptimize(r.dist.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 2 * g.num_edges());
+}
+BENCHMARK(BM_BellmanFordRound)->Arg(1 << 10)->Arg(1 << 13);
+
+}  // namespace
+
+BENCHMARK_MAIN();

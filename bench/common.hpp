@@ -1,0 +1,115 @@
+// Shared experiment-harness utilities for the bench binaries (experiments
+// E1–E10 of DESIGN.md §3). Every binary prints fixed-width tables via
+// util::Table so EXPERIMENTS.md can record paper-bound vs measured rows.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/aspect_ratio.hpp"
+#include "graph/generators.hpp"
+#include "hopset/hopset.hpp"
+#include "pram/primitives.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/sssp.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace parhop::bench {
+
+/// Wall-clock helper (sanity series only; the headline metrics are the
+/// metered PRAM work/depth — see DESIGN.md §1).
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Default deterministic workload for experiments.
+inline graph::Graph workload(const std::string& family, graph::Vertex n,
+                             std::uint64_t seed = 7,
+                             graph::WeightMode mode =
+                                 graph::WeightMode::kUniform,
+                             double max_weight = 16.0) {
+  graph::GenOptions o;
+  o.seed = seed;
+  o.weights = mode;
+  o.max_weight = max_weight;
+  return graph::by_name(family, n, o);
+}
+
+/// Max stretch of hop-limited BF on G ∪ H over `sources`, against Dijkstra.
+/// Returns {max_stretch, min_hops_needed_for_target} where the second field
+/// is the smallest round count whose distances meet (1+eps) for all sources
+/// (-1 if the budget never reaches it).
+struct StretchProbe {
+  double max_stretch = 1.0;
+  int hops_needed = -1;
+  bool covered = true;  ///< all reachable pairs reached within the budget
+};
+
+inline StretchProbe probe_stretch(const graph::Graph& g,
+                                  std::span<const graph::Edge> hopset,
+                                  double eps, int budget,
+                                  std::span<const graph::Vertex> sources) {
+  pram::Ctx cx;
+  graph::Graph gu = sssp::union_graph(g, hopset);
+  StretchProbe out;
+  int worst_needed = 0;
+  for (graph::Vertex s : sources) {
+    auto exact = sssp::dijkstra_distances(g, s);
+    int needed = -1;
+    auto on_round = [&](int h, std::span<const graph::Weight> d) {
+      if (needed >= 0) return;
+      double w = 1.0;
+      for (std::size_t v = 0; v < exact.size(); ++v) {
+        if (exact[v] == graph::kInfWeight || exact[v] == 0) continue;
+        if (d[v] == graph::kInfWeight) {
+          w = graph::kInfWeight;
+          break;
+        }
+        w = std::max(w, d[v] / exact[v]);
+      }
+      if (w <= (1 + eps) * (1 + 1e-12)) needed = h;
+    };
+    graph::Vertex srcs[1] = {s};
+    auto bf = sssp::bellman_ford(cx, gu, srcs, budget, on_round);
+    double st = sssp::max_stretch(bf.dist, exact);
+    for (std::size_t v = 0; v < exact.size(); ++v)
+      if (exact[v] != graph::kInfWeight && bf.dist[v] == graph::kInfWeight)
+        out.covered = false;
+    out.max_stretch = std::max(out.max_stretch, st);
+    if (needed < 0) {
+      worst_needed = -1;
+    } else if (worst_needed >= 0) {
+      worst_needed = std::max(worst_needed, needed);
+    }
+  }
+  out.hops_needed = worst_needed;
+  return out;
+}
+
+/// A few well-spread probe sources.
+inline std::vector<graph::Vertex> probe_sources(graph::Vertex n) {
+  std::vector<graph::Vertex> s = {0};
+  if (n > 3) s.push_back(n / 3);
+  if (n > 1) s.push_back(n - 1);
+  return s;
+}
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " — " << claim << " ===\n";
+}
+
+}  // namespace parhop::bench

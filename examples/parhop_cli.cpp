@@ -1,0 +1,142 @@
+// parhop command-line driver: build / query / inspect hopsets on DIMACS
+// graphs. This is the adoption-shaped entry point: preprocess once, persist
+// the hopset, answer distance queries from services or scripts.
+//
+//   example_parhop_cli build --graph=g.gr --out=g.hopset [--eps --kappa --rho]
+//   example_parhop_cli query --graph=g.gr --hopset=g.hopset --source=0 [--target=17]
+//   example_parhop_cli spt   --graph=g.gr --source=0 [--eps ...]
+//   example_parhop_cli info  --graph=g.gr
+#include <iostream>
+
+#include "graph/aspect_ratio.hpp"
+#include "graph/io.hpp"
+#include "hopset/hopset.hpp"
+#include "hopset/path_reporting.hpp"
+#include "hopset/serialize.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/oracle.hpp"
+#include "sssp/spt.hpp"
+#include "util/flags.hpp"
+
+using namespace parhop;
+
+namespace {
+
+hopset::Params params_from(const util::Flags& flags) {
+  hopset::Params p;
+  p.epsilon = flags.get_double("eps", 0.25);
+  p.kappa = static_cast<int>(flags.get_int("kappa", 3));
+  p.rho = flags.get_double("rho", 0.45);
+  p.beta_hint = static_cast<int>(flags.get_int("beta", 0));
+  return p;
+}
+
+int cmd_info(const util::Flags& flags) {
+  graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
+  auto ar = graph::aspect_ratio(g);
+  std::cout << "n=" << g.num_vertices() << " m=" << g.num_edges()
+            << " w_min=" << ar.min_weight << " w_max=" << ar.max_weight
+            << " logLambda=" << ar.log_lambda << "\n";
+  hopset::Params p = params_from(flags);
+  auto s = hopset::make_schedule(p, g.num_vertices(), ar.log_lambda);
+  std::cout << "schedule: ell=" << s.ell << " beta=" << s.beta
+            << " k0=" << s.k0 << " lambda=" << s.lambda
+            << " size_bound=" << hopset::size_bound(p, g.num_vertices(),
+                                                    ar.log_lambda)
+            << "\n";
+  return 0;
+}
+
+int cmd_build(const util::Flags& flags) {
+  graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
+  pram::Ctx ctx;
+  hopset::Hopset H = hopset::build_hopset(
+      ctx, g, params_from(flags), flags.get_bool("paths", false));
+  std::cout << "built |H|=" << H.edges.size() << " beta=" << H.schedule.beta
+            << " work=" << H.build_cost.work
+            << " depth=" << H.build_cost.depth << "\n";
+  std::string out = flags.get("out", "");
+  if (!out.empty()) {
+    hopset::write_hopset_file(out, H);
+    std::cout << "wrote " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_query(const util::Flags& flags) {
+  graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
+  hopset::Hopset H;
+  pram::Ctx ctx;
+  std::string hopset_path = flags.get("hopset", "");
+  if (!hopset_path.empty()) {
+    H = hopset::read_hopset_file(hopset_path);
+  } else {
+    H = hopset::build_hopset(ctx, g, params_from(flags));
+  }
+  sssp::Oracle oracle(g, H.edges, H.schedule.beta);
+  auto source = static_cast<graph::Vertex>(flags.get_int("source", 0));
+  auto dist = oracle.distances(ctx, source);
+  if (flags.has("target")) {
+    auto target = static_cast<graph::Vertex>(flags.get_int("target", 0));
+    std::cout << "d(" << source << "," << target << ") ~ " << dist[target]
+              << "\n";
+  } else {
+    std::size_t reachable = 0;
+    for (auto d : dist)
+      if (d != graph::kInfWeight) ++reachable;
+    std::cout << "source " << source << ": " << reachable
+              << " reachable vertices\n";
+  }
+  if (flags.get_bool("verify", false)) {
+    auto exact = sssp::dijkstra_distances(g, source);
+    double worst = 1.0;
+    for (std::size_t v = 0; v < exact.size(); ++v)
+      if (exact[v] > 0 && exact[v] != graph::kInfWeight)
+        worst = std::max(worst, dist[v] / exact[v]);
+    std::cout << "verified max stretch: " << worst << "\n";
+  }
+  return 0;
+}
+
+int cmd_spt(const util::Flags& flags) {
+  graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
+  pram::Ctx ctx;
+  hopset::Params p = params_from(flags);
+  hopset::Hopset H = hopset::build_hopset(ctx, g, p, /*track_paths=*/true);
+  auto source = static_cast<graph::Vertex>(flags.get_int("source", 0));
+  auto spt = hopset::build_spt(ctx, g, H, source);
+  auto check = sssp::validate_spt_stretch(ctx, spt.tree, g, p.epsilon);
+  std::cout << "SPT from " << source << ": replaced " << spt.replaced_edges
+            << " hopset edges; validation "
+            << (check.ok ? "OK" : check.error) << "\n";
+  // Parent list on stdout for downstream tools.
+  if (flags.get_bool("print", false)) {
+    for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+      std::cout << v << ' ' << spt.tree.parent[v] << ' ' << spt.dist[v]
+                << '\n';
+  }
+  return check.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::cerr << "usage: parhop_cli <info|build|query|spt> --graph=FILE "
+                 "[options]\n";
+    return 2;
+  }
+  const std::string& cmd = flags.positional()[0];
+  try {
+    if (cmd == "info") return cmd_info(flags);
+    if (cmd == "build") return cmd_build(flags);
+    if (cmd == "query") return cmd_query(flags);
+    if (cmd == "spt") return cmd_spt(flags);
+    std::cerr << "unknown command: " << cmd << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

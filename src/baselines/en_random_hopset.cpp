@@ -1,0 +1,34 @@
+#include "baselines/en_random_hopset.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace parhop::baselines {
+
+hopset::Hopset build_random_hopset(pram::Ctx& ctx, const graph::Graph& g,
+                                   const hopset::Params& params,
+                                   std::uint64_t seed) {
+  auto rng = std::make_shared<util::Xoshiro256>(seed);
+
+  hopset::SeedSelector sampler =
+      [rng](pram::Ctx&, const graph::Graph&, const hopset::Clustering&,
+            std::span<const std::uint32_t> popular,
+            const hopset::RulingSetOptions&, std::uint64_t deg_i) {
+        // [EN19] samples each cluster with probability deg_i^{-1}
+        // (= n^{-2^i/κ} resp. n^{-ρ}): a popular cluster, having ≥ deg_i
+        // neighbors, sees a sampled neighbor with constant probability, and
+        // the expected seed count |P_i|/deg_i matches the ruling set's
+        // telescoping, keeping |P_ℓ| ≤ deg_ℓ in expectation.
+        const double p = std::min(1.0, 1.0 / static_cast<double>(deg_i));
+        std::vector<std::uint32_t> seeds;
+        for (std::uint32_t c : popular)
+          if (rng->next_double() < p) seeds.push_back(c);
+        return seeds;
+      };
+
+  return hopset::build_hopset(ctx, g, params, /*track_paths=*/false, sampler);
+}
+
+}  // namespace parhop::baselines

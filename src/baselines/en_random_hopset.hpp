@@ -1,0 +1,27 @@
+// Randomized superclustering baseline in the style of [EN19] — the algorithm
+// this paper derandomizes. The structure (scales, phases, detection,
+// superclustering, interconnection) is identical to the deterministic
+// pipeline; the single difference is the selection of supercluster seeds:
+// instead of a (3, 2log n)-ruling set over the popular clusters, each popular
+// cluster is sampled independently with probability deg_i^{-1}·ln n (the
+// sampling rate that makes unsampled dense clusters unlikely), and unsampled
+// popular clusters that see no nearby seed fall back to interconnection.
+//
+// Experiment E6 compares the two on size/work/stretch to quantify the cost
+// of determinism.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "hopset/hopset.hpp"
+#include "pram/primitives.hpp"
+
+namespace parhop::baselines {
+
+/// Builds a randomized hopset; identical guarantees in expectation.
+hopset::Hopset build_random_hopset(pram::Ctx& ctx, const graph::Graph& g,
+                                   const hopset::Params& params,
+                                   std::uint64_t seed);
+
+}  // namespace parhop::baselines

@@ -1,0 +1,12 @@
+#include "baselines/plain_bf.hpp"
+
+namespace parhop::baselines {
+
+PlainBfResult plain_bellman_ford(pram::Ctx& ctx, const graph::Graph& g,
+                                 graph::Vertex source, int max_rounds) {
+  if (max_rounds <= 0) max_rounds = static_cast<int>(g.num_vertices());
+  auto r = sssp::bellman_ford(ctx, g, source, max_rounds);
+  return {std::move(r.dist), r.rounds_run};
+}
+
+}  // namespace parhop::baselines

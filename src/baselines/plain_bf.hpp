@@ -1,0 +1,23 @@
+// Hopset-free baseline: run Bellman–Ford on G alone until the distances are
+// exact (fixpoint) or a round budget is hit. Its PRAM depth is Θ(hop
+// diameter), which is what the hopset removes — experiment E7 locates the
+// crossover.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "pram/primitives.hpp"
+#include "sssp/bellman_ford.hpp"
+
+namespace parhop::baselines {
+
+struct PlainBfResult {
+  std::vector<graph::Weight> dist;
+  int rounds = 0;  ///< rounds to fixpoint (the hop radius from the source)
+};
+
+/// Exact SSSP on G by iterating to fixpoint (round cap `max_rounds`,
+/// default n).
+PlainBfResult plain_bellman_ford(pram::Ctx& ctx, const graph::Graph& g,
+                                 graph::Vertex source, int max_rounds = 0);
+
+}  // namespace parhop::baselines

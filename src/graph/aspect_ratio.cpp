@@ -1,0 +1,35 @@
+#include "graph/aspect_ratio.hpp"
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+
+namespace parhop::graph {
+
+AspectRatio aspect_ratio(const Graph& g) {
+  AspectRatio ar;
+  auto [lo, hi] = g.weight_range();
+  ar.min_weight = lo;
+  ar.max_weight = hi;
+  if (g.num_edges() == 0 || !(lo < kInfWeight)) {
+    ar.lambda_upper = 1;
+    ar.log_lambda = 0;
+    return ar;
+  }
+  double n = std::max<double>(2, g.num_vertices());
+  ar.lambda_upper = (n - 1) * hi / lo;
+  ar.log_lambda = static_cast<int>(std::ceil(std::log2(ar.lambda_upper)));
+  if (ar.log_lambda < 1) ar.log_lambda = 1;
+  return ar;
+}
+
+Graph normalize_min_weight(const Graph& g) {
+  auto [lo, hi] = g.weight_range();
+  (void)hi;
+  if (!(lo < kInfWeight) || lo == 1.0) return g;
+  Builder b(g.num_vertices());
+  for (const Edge& e : g.edge_list()) b.add_edge(e.u, e.v, e.w / lo);
+  return b.build();
+}
+
+}  // namespace parhop::graph

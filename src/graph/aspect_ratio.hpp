@@ -1,0 +1,31 @@
+// Aspect-ratio (Λ) estimation and weight statistics.
+//
+// The paper's main-body bounds depend on Λ, the ratio of the largest to the
+// smallest pairwise distance in G (§1.5). Computing Λ exactly needs APSP, so
+// the library reports the standard upper bound Λ ≤ (n−1)·w_max / w_min, which
+// is what the construction actually needs: it only ever uses ⌈log Λ⌉ as the
+// number of distance scales.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace parhop::graph {
+
+/// Weight statistics and the derived scale count.
+struct AspectRatio {
+  Weight min_weight = kInfWeight;
+  Weight max_weight = 0;
+  /// Upper bound (n−1)·w_max / w_min on the true aspect ratio.
+  double lambda_upper = 1;
+  /// ⌈log2 lambda_upper⌉ — number of distance scales the hopset needs.
+  int log_lambda = 0;
+};
+
+AspectRatio aspect_ratio(const Graph& g);
+
+/// Returns a copy of g with all weights divided by the minimum weight, so the
+/// minimum becomes 1 as the paper assumes (§1.5). Distances scale uniformly,
+/// so (1+ε)-approximations are preserved.
+Graph normalize_min_weight(const Graph& g);
+
+}  // namespace parhop::graph

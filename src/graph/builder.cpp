@@ -1,0 +1,19 @@
+#include "graph/builder.hpp"
+
+namespace parhop::graph {
+
+void Builder::add_edge(Vertex u, Vertex v, Weight w) {
+  edges_.push_back({u, v, w});
+}
+
+void Builder::add_edges(std::span<const Edge> edges) {
+  edges_.insert(edges_.end(), edges.begin(), edges.end());
+}
+
+void Builder::ensure_vertex(Vertex v) {
+  if (v >= n_) n_ = v + 1;
+}
+
+Graph Builder::build() const { return Graph::from_edges(n_, edges_); }
+
+}  // namespace parhop::graph

@@ -1,0 +1,33 @@
+// Incremental edge-list builder for Graph.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parhop::graph {
+
+/// Accumulates edges and finalizes into a CSR Graph.
+class Builder {
+ public:
+  explicit Builder(Vertex n) : n_(n) {}
+
+  void add_edge(Vertex u, Vertex v, Weight w);
+  void add_edges(std::span<const Edge> edges);
+
+  /// Grows the vertex count if needed.
+  void ensure_vertex(Vertex v);
+
+  Vertex num_vertices() const { return n_; }
+  std::size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Finalizes (dedups, sorts) into an immutable Graph.
+  Graph build() const;
+
+ private:
+  Vertex n_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace parhop::graph

@@ -1,0 +1,149 @@
+#include "graph/connectivity.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <limits>
+
+namespace parhop::graph {
+
+namespace {
+
+constexpr std::uint64_t kNoCandidate = std::numeric_limits<std::uint64_t>::max();
+
+// Packs (neighbor root label, arc index) so that an atomic min selects the
+// smallest neighbor label and, among ties, the smallest arc index — a total
+// order independent of update arrival order, hence deterministic.
+inline std::uint64_t pack_candidate(Vertex label, std::uint32_t arc) {
+  return (static_cast<std::uint64_t>(label) << 32) | arc;
+}
+
+inline void atomic_min(std::atomic<std::uint64_t>& cell, std::uint64_t value) {
+  std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !cell.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Components connected_components(
+    pram::Ctx& ctx, const Graph& g,
+    const std::function<bool(Vertex, const Arc&)>& keep) {
+  const Vertex n = g.num_vertices();
+  Components out;
+  out.label.resize(n);
+  for (Vertex v = 0; v < n; ++v) out.label[v] = v;
+  if (n == 0) {
+    out.count = 0;
+    return out;
+  }
+
+  // Arc sources, once (edge-parallel loops need them).
+  const auto arcs = g.all_arcs();
+  std::vector<Vertex> src(arcs.size());
+  {
+    auto offsets = g.offsets();
+    pram::parallel_for(ctx, n, [&](std::size_t v) {
+      for (std::size_t i = offsets[v]; i < offsets[v + 1]; ++i)
+        src[i] = static_cast<Vertex>(v);
+    });
+  }
+
+  std::vector<Vertex>& label = out.label;
+  std::vector<std::atomic<std::uint64_t>> best(n);
+  std::vector<Vertex> hook(n);
+
+  // Hook-and-jump rounds. Each round the maximum root of any unfinished
+  // component hooks, so the loop terminates; on non-adversarial labelings the
+  // root count decays geometrically (see header).
+  for (;;) {
+    pram::parallel_for(ctx, n, [&](std::size_t r) {
+      best[r].store(kNoCandidate, std::memory_order_relaxed);
+    });
+    // Minimum external neighbor root per root.
+    ctx.charge_depth(1);
+    ctx.charge_work(arcs.size());
+    ctx.pool->run_chunks(arcs.size(), pram::kGrain,
+                         [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        if (keep && !keep(src[i], arcs[i])) continue;
+        Vertex lu = label[src[i]];
+        Vertex lv = label[arcs[i].to];
+        if (lu == lv) continue;
+        atomic_min(best[lu],
+                   pack_candidate(lv, static_cast<std::uint32_t>(i)));
+      }
+    });
+
+    // Hook root r onto its min neighbor root s when s < r (acyclic).
+    std::atomic<bool> changed{false};
+    pram::parallel_for(ctx, n, [&](std::size_t r) {
+      hook[r] = static_cast<Vertex>(r);
+      if (label[r] != r) return;  // not a root
+      std::uint64_t cand = best[r].load(std::memory_order_relaxed);
+      if (cand == kNoCandidate) return;
+      Vertex s = static_cast<Vertex>(cand >> 32);
+      if (s < r) {
+        hook[r] = s;
+        changed.store(true, std::memory_order_relaxed);
+      }
+    });
+    if (!changed.load()) break;
+
+    // Record the forest edge realizing each hook (one per hooked root).
+    for (Vertex r = 0; r < n; ++r) {
+      if (label[r] == r && hook[r] != r) {
+        std::uint32_t arc =
+            static_cast<std::uint32_t>(best[r].load() & 0xFFFFFFFFu);
+        out.forest.push_back({src[arc], arcs[arc].to, arcs[arc].w});
+      }
+    }
+
+    // Collapse hook chains, then relabel every vertex.
+    pram::pointer_jump(ctx, hook);
+    pram::parallel_for(ctx, n,
+                       [&](std::size_t v) { label[v] = hook[label[v]]; });
+  }
+
+  for (Vertex v = 0; v < n; ++v)
+    if (label[v] == v) ++out.count;
+  return out;
+}
+
+RootedForest root_forest(pram::Ctx& ctx, Vertex n, const Components& comp) {
+  (void)ctx;  // orientation below is cheap; metering handled by callers
+  RootedForest rf;
+  rf.parent.resize(n);
+  rf.parent_weight.assign(n, 0);
+  for (Vertex v = 0; v < n; ++v) rf.parent[v] = v;
+
+  // Forest adjacency.
+  std::vector<std::vector<std::pair<Vertex, Weight>>> adj(n);
+  for (const Edge& e : comp.forest) {
+    adj[e.u].push_back({e.v, e.w});
+    adj[e.v].push_back({e.u, e.w});
+  }
+
+  // Orient every tree away from its canonical (minimum-ID) root.
+  std::vector<bool> visited(n, false);
+  std::vector<Vertex> stack;
+  for (Vertex v = 0; v < n; ++v) {
+    if (comp.label[v] != v) continue;  // start only from canonical roots
+    visited[v] = true;
+    stack.push_back(v);
+    while (!stack.empty()) {
+      Vertex u = stack.back();
+      stack.pop_back();
+      for (auto [to, w] : adj[u]) {
+        if (visited[to]) continue;
+        visited[to] = true;
+        rf.parent[to] = u;
+        rf.parent_weight[to] = w;
+        stack.push_back(to);
+      }
+    }
+  }
+  return rf;
+}
+
+}  // namespace parhop::graph

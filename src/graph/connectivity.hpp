@@ -1,0 +1,51 @@
+// Parallel connected components and spanning forests.
+//
+// The paper relies on [SV82]-style parallel connectivity twice: to contract
+// zero-weight edges (§1 footnote 1) and, inside the Klein–Sairam reduction
+// (Appendix C), to contract all edges of weight ≤ (ε/n)·2^k into "nodes" and
+// obtain a spanning tree T_U of every node. We implement deterministic
+// hook-and-jump connectivity (Borůvka-style hooking with pointer jumping,
+// the standard O(log n)-round PRAM scheme of the Shiloach–Vishkin family):
+// every component root hooks along its minimum-index incident external edge,
+// ties and cycles broken by vertex ID, so the output — including the spanning
+// forest — is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pram/primitives.hpp"
+
+namespace parhop::graph {
+
+/// Result of a connectivity run.
+struct Components {
+  /// label[v] = smallest vertex ID in v's component (canonical root).
+  std::vector<Vertex> label;
+  std::size_t count = 0;
+
+  /// Edges of a spanning forest (one per non-root vertex of each tree),
+  /// each a (u, v, w) edge of the input graph.
+  std::vector<Edge> forest;
+};
+
+/// Connected components of g, considering only edges accepted by `keep`
+/// (pass nullptr to keep all edges). Deterministic.
+Components connected_components(
+    pram::Ctx& ctx, const Graph& g,
+    const std::function<bool(Vertex, const Arc&)>& keep = nullptr);
+
+/// Per-vertex parent pointers into the spanning forest of `comp`, rooted at
+/// each component's canonical root: parent[root] == root. Also returns the
+/// weight of each (v, parent[v]) edge. Used by Appendix C/D star-edge
+/// machinery (tree distances via pointer jumping).
+struct RootedForest {
+  std::vector<Vertex> parent;
+  std::vector<Weight> parent_weight;  // 0 at roots
+};
+
+RootedForest root_forest(pram::Ctx& ctx, Vertex n, const Components& comp);
+
+}  // namespace parhop::graph

@@ -1,0 +1,39 @@
+#include "graph/contraction.hpp"
+
+#include "graph/builder.hpp"
+
+namespace parhop::graph {
+
+Contraction contract_light_edges(pram::Ctx& ctx, const Graph& g,
+                                 Weight threshold) {
+  const Vertex n = g.num_vertices();
+  Components comp = connected_components(
+      ctx, g, [&](Vertex, const Arc& a) { return a.w <= threshold; });
+
+  Contraction out;
+  out.map.assign(n, 0);
+  // Compact class ids in canonical-label order (deterministic).
+  std::vector<std::uint32_t> id_of_label(n, 0xFFFFFFFFu);
+  for (Vertex v = 0; v < n; ++v) {
+    Vertex lab = comp.label[v];
+    if (id_of_label[lab] == 0xFFFFFFFFu) {
+      id_of_label[lab] = static_cast<std::uint32_t>(out.representative.size());
+      out.representative.push_back(lab);
+    }
+    out.map[v] = id_of_label[lab];
+  }
+
+  Builder b(static_cast<Vertex>(out.representative.size()));
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Arc& a : g.arcs(u)) {
+      if (u >= a.to || a.w <= threshold) continue;
+      Vertex qu = out.map[u], qv = out.map[a.to];
+      if (qu == qv) continue;  // intra-class heavy parallel of a light edge
+      b.add_edge(qu, qv, a.w);
+    }
+  }
+  out.quotient = b.build();  // from_edges keeps the lightest parallel
+  return out;
+}
+
+}  // namespace parhop::graph

@@ -1,0 +1,32 @@
+// Zero/epsilon-weight edge contraction (§1, footnote 1).
+//
+// The paper requires ω(e) > 0; graphs with zero-weight edges are handled by
+// contracting them first with a parallel connectivity pass [SV82]. The
+// contraction returns the quotient graph plus the vertex→supervertex map, so
+// distances and paths lift back: d_G(u, v) = d_Q(map(u), map(v)) when the
+// contracted edges all have weight ≤ `threshold` = 0 (and within (1+ε) for
+// small positive thresholds, which the Klein–Sairam reduction exploits).
+#pragma once
+
+#include <vector>
+
+#include "graph/connectivity.hpp"
+#include "graph/graph.hpp"
+#include "pram/primitives.hpp"
+
+namespace parhop::graph {
+
+/// Result of contracting all edges of weight ≤ threshold.
+struct Contraction {
+  Graph quotient;                      ///< lightest inter-class edges kept
+  std::vector<Vertex> map;             ///< original vertex → quotient vertex
+  std::vector<Vertex> representative;  ///< quotient vertex → an original one
+};
+
+/// Contracts every edge with w ≤ threshold (default 0: only the zero-weight
+/// edges footnote 1 refers to; any edge weight equal to the threshold is
+/// contracted). Parallel edges between classes keep the lightest weight.
+Contraction contract_light_edges(pram::Ctx& ctx, const Graph& g,
+                                 Weight threshold = 0);
+
+}  // namespace parhop::graph

@@ -1,0 +1,193 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace parhop::graph {
+
+namespace {
+
+using util::Xoshiro256;
+
+Weight draw_weight(Xoshiro256& rng, const GenOptions& opts) {
+  switch (opts.weights) {
+    case WeightMode::kUnit:
+      return 1.0;
+    case WeightMode::kUniform:
+      return 1.0 + rng.next_double() * (opts.max_weight - 1.0);
+    case WeightMode::kExponential: {
+      double top = std::log2(std::max(2.0, opts.max_weight));
+      return std::exp2(rng.next_double() * top);
+    }
+  }
+  return 1.0;
+}
+
+// Uniform random spanning tree skeleton (random attachment order), used to
+// guarantee connectivity when requested.
+void add_connecting_tree(Builder& b, Vertex n, Xoshiro256& rng,
+                         const GenOptions& opts) {
+  if (n < 2) return;
+  std::vector<Vertex> order(n);
+  for (Vertex v = 0; v < n; ++v) order[v] = v;
+  for (Vertex v = n - 1; v > 0; --v)
+    std::swap(order[v], order[rng.next_below(v + 1)]);
+  for (Vertex i = 1; i < n; ++i) {
+    Vertex parent = order[rng.next_below(i)];
+    b.add_edge(order[i], parent, draw_weight(rng, opts));
+  }
+}
+
+}  // namespace
+
+Graph gnm(Vertex n, std::size_t m, const GenOptions& opts) {
+  if (n == 0) return Graph{};
+  Xoshiro256 rng(opts.seed);
+  Builder b(n);
+  const std::size_t max_edges =
+      static_cast<std::size_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  std::set<std::pair<Vertex, Vertex>> seen;
+  while (seen.size() < m) {
+    Vertex u = static_cast<Vertex>(rng.next_below(n));
+    Vertex v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert({u, v}).second) continue;
+    b.add_edge(u, v, draw_weight(rng, opts));
+  }
+  if (opts.ensure_connected) add_connecting_tree(b, n, rng, opts);
+  return b.build();
+}
+
+Graph grid2d(Vertex rows, Vertex cols, const GenOptions& opts, bool torus) {
+  Xoshiro256 rng(opts.seed);
+  Builder b(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols)
+        b.add_edge(id(r, c), id(r, c + 1), draw_weight(rng, opts));
+      else if (torus && cols > 2)
+        b.add_edge(id(r, c), id(r, 0), draw_weight(rng, opts));
+      if (r + 1 < rows)
+        b.add_edge(id(r, c), id(r + 1, c), draw_weight(rng, opts));
+      else if (torus && rows > 2)
+        b.add_edge(id(r, c), id(0, c), draw_weight(rng, opts));
+    }
+  }
+  return b.build();
+}
+
+Graph geometric(Vertex n, double radius, const GenOptions& opts,
+                bool euclidean_weights) {
+  Xoshiro256 rng(opts.seed);
+  std::vector<double> x(n), y(n);
+  for (Vertex v = 0; v < n; ++v) {
+    x[v] = rng.next_double();
+    y[v] = rng.next_double();
+  }
+  Builder b(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      double dx = x[u] - x[v], dy = y[u] - y[v];
+      double d = std::sqrt(dx * dx + dy * dy);
+      if (d <= radius) {
+        Weight w = euclidean_weights
+                       ? 1.0 + (d / radius) * (opts.max_weight - 1.0)
+                       : draw_weight(rng, opts);
+        b.add_edge(u, v, w);
+      }
+    }
+  }
+  if (opts.ensure_connected) add_connecting_tree(b, n, rng, opts);
+  return b.build();
+}
+
+Graph barabasi_albert(Vertex n, Vertex attach, const GenOptions& opts) {
+  if (n == 0) return Graph{};
+  Xoshiro256 rng(opts.seed);
+  Builder b(n);
+  attach = std::max<Vertex>(1, std::min(attach, n > 1 ? n - 1 : 1));
+  // Repeated-endpoint list implements preferential attachment.
+  std::vector<Vertex> endpoints;
+  Vertex seed_size = std::min<Vertex>(n, attach + 1);
+  for (Vertex u = 0; u < seed_size; ++u)
+    for (Vertex v = u + 1; v < seed_size; ++v) {
+      b.add_edge(u, v, draw_weight(rng, opts));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  for (Vertex v = seed_size; v < n; ++v) {
+    std::set<Vertex> targets;
+    while (targets.size() < attach) {
+      Vertex t = endpoints[rng.next_below(endpoints.size())];
+      if (t != v) targets.insert(t);
+    }
+    for (Vertex t : targets) {
+      b.add_edge(v, t, draw_weight(rng, opts));
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+Graph path(Vertex n, const GenOptions& opts) {
+  Xoshiro256 rng(opts.seed);
+  Builder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v)
+    b.add_edge(v, v + 1, draw_weight(rng, opts));
+  return b.build();
+}
+
+Graph cycle(Vertex n, const GenOptions& opts) {
+  Xoshiro256 rng(opts.seed);
+  Builder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v)
+    b.add_edge(v, v + 1, draw_weight(rng, opts));
+  if (n > 2) b.add_edge(n - 1, 0, draw_weight(rng, opts));
+  return b.build();
+}
+
+Graph star(Vertex n, const GenOptions& opts) {
+  Xoshiro256 rng(opts.seed);
+  Builder b(n);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(0, v, draw_weight(rng, opts));
+  return b.build();
+}
+
+Graph complete(Vertex n, const GenOptions& opts) {
+  Xoshiro256 rng(opts.seed);
+  Builder b(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      b.add_edge(u, v, draw_weight(rng, opts));
+  return b.build();
+}
+
+Graph by_name(const std::string& family, Vertex n, const GenOptions& opts) {
+  if (family == "gnm") return gnm(n, 4 * static_cast<std::size_t>(n), opts);
+  if (family == "grid") {
+    Vertex side = static_cast<Vertex>(std::lround(std::sqrt(double(n))));
+    side = std::max<Vertex>(2, side);
+    return grid2d(side, side, opts);
+  }
+  if (family == "geometric") {
+    double r = std::sqrt(8.0 / std::max<Vertex>(1, n));  // avg deg ≈ 8π
+    return geometric(n, r, opts);
+  }
+  if (family == "ba") return barabasi_albert(n, 3, opts);
+  if (family == "path") return path(n, opts);
+  if (family == "cycle") return cycle(n, opts);
+  throw std::invalid_argument("unknown graph family: " + family);
+}
+
+}  // namespace parhop::graph

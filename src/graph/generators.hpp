@@ -1,0 +1,69 @@
+// Deterministic (seeded) workload generators.
+//
+// These provide the graph families used throughout the tests and the
+// experiment harness (DESIGN.md §3): Erdős–Rényi G(n,m), 2-D grids and tori
+// (road-network proxies with Θ(√n) hop diameter), random geometric graphs,
+// Barabási–Albert preferential attachment (power-law proxies), and the
+// elementary families (path, cycle, star, complete) used for edge cases.
+// All weights are strictly positive; weight modes cover unit, uniform and
+// exponentially-spread ("high aspect ratio") regimes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace parhop::graph {
+
+/// How edge weights are drawn.
+enum class WeightMode {
+  kUnit,         ///< all weights 1
+  kUniform,      ///< uniform in [1, max_weight]
+  kExponential,  ///< 2^U with U uniform in [0, log2(max_weight)] — stresses Λ
+};
+
+/// Generator configuration shared by all families.
+struct GenOptions {
+  std::uint64_t seed = 1;
+  WeightMode weights = WeightMode::kUniform;
+  double max_weight = 16.0;
+  /// If true, adds a lightest-possible spanning structure so the graph is
+  /// connected (a deterministically seeded random spanning tree).
+  bool ensure_connected = true;
+};
+
+/// G(n, m): m distinct uniform edges.
+Graph gnm(Vertex n, std::size_t m, const GenOptions& opts);
+
+/// rows×cols 2-D grid; torus wraps both dimensions.
+Graph grid2d(Vertex rows, Vertex cols, const GenOptions& opts,
+             bool torus = false);
+
+/// Random geometric graph: n points in the unit square, edges within radius;
+/// weight modes kUnit/kUniform are overridden by Euclidean length scaled to
+/// [1, max_weight] when euclidean_weights is true.
+Graph geometric(Vertex n, double radius, const GenOptions& opts,
+                bool euclidean_weights = true);
+
+/// Barabási–Albert: each new vertex attaches to `attach` existing vertices
+/// preferentially by degree.
+Graph barabasi_albert(Vertex n, Vertex attach, const GenOptions& opts);
+
+/// Path 0-1-…-(n-1).
+Graph path(Vertex n, const GenOptions& opts);
+
+/// Cycle on n vertices.
+Graph cycle(Vertex n, const GenOptions& opts);
+
+/// Star centered at 0.
+Graph star(Vertex n, const GenOptions& opts);
+
+/// Complete graph K_n.
+Graph complete(Vertex n, const GenOptions& opts);
+
+/// Named family dispatcher used by the bench harness:
+/// "gnm" (m = 4n), "grid" (√n × √n), "geometric", "ba", "path", "cycle".
+Graph by_name(const std::string& family, Vertex n, const GenOptions& opts);
+
+}  // namespace parhop::graph

@@ -1,0 +1,71 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace parhop::graph {
+
+Graph Graph::from_edges(Vertex n, std::span<const Edge> edges) {
+  // Directed copies, canonicalized; dedup keeps the lightest parallel edge.
+  std::vector<Edge> dir;
+  dir.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;  // self-loop
+    if (e.u >= n || e.v >= n) throw std::out_of_range("edge endpoint >= n");
+    if (!(e.w > 0)) throw std::invalid_argument("edge weight must be > 0");
+    dir.push_back({e.u, e.v, e.w});
+    dir.push_back({e.v, e.u, e.w});
+  }
+  std::sort(dir.begin(), dir.end(), [](const Edge& a, const Edge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.w < b.w;
+  });
+  Graph g;
+  g.n_ = n;
+  g.offsets_.assign(n + 1, 0);
+  g.arcs_.clear();
+  g.arcs_.reserve(dir.size());
+  for (std::size_t i = 0; i < dir.size(); ++i) {
+    if (i > 0 && dir[i].u == dir[i - 1].u && dir[i].v == dir[i - 1].v)
+      continue;  // heavier parallel duplicate
+    g.arcs_.push_back({dir[i].v, dir[i].w});
+    ++g.offsets_[dir[i].u + 1];
+  }
+  for (Vertex v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  return g;
+}
+
+Vertex Graph::arc_source(std::size_t arc_index) const {
+  assert(arc_index < arcs_.size());
+  // Binary search over offsets: largest v with offsets_[v] <= arc_index.
+  auto it = std::upper_bound(offsets_.begin(), offsets_.end(), arc_index);
+  return static_cast<Vertex>(std::distance(offsets_.begin(), it) - 1);
+}
+
+Weight Graph::edge_weight(Vertex u, Vertex v) const {
+  for (const Arc& a : arcs(u))
+    if (a.to == v) return a.w;
+  return kInfWeight;
+}
+
+std::vector<Edge> Graph::edge_list() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (Vertex u = 0; u < n_; ++u)
+    for (const Arc& a : arcs(u))
+      if (u < a.to) out.push_back({u, a.to, a.w});
+  return out;
+}
+
+std::pair<Weight, Weight> Graph::weight_range() const {
+  Weight lo = kInfWeight, hi = 0;
+  for (const Arc& a : arcs_) {
+    lo = std::min(lo, a.w);
+    hi = std::max(hi, a.w);
+  }
+  return {lo, hi};
+}
+
+}  // namespace parhop::graph

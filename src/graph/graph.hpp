@@ -1,0 +1,86 @@
+// Weighted undirected graph in CSR (compressed sparse row) form.
+//
+// Conventions follow the paper (§1.5): vertices have IDs 0..n-1, all edge
+// weights are strictly positive, absent edges have weight +infinity, and the
+// graph is undirected (each edge stored in both endpoint rows). Parallel
+// edges are collapsed keeping the lightest; self-loops are dropped.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace parhop::graph {
+
+using Vertex = std::uint32_t;
+using Weight = double;
+
+inline constexpr Weight kInfWeight = std::numeric_limits<Weight>::infinity();
+inline constexpr Vertex kNoVertex = std::numeric_limits<Vertex>::max();
+
+/// One undirected edge (u, v) of weight w.
+struct Edge {
+  Vertex u = 0;
+  Vertex v = 0;
+  Weight w = 1;
+
+  bool operator==(const Edge&) const = default;
+};
+
+/// Target of a CSR adjacency entry.
+struct Arc {
+  Vertex to = 0;
+  Weight w = 1;
+
+  bool operator==(const Arc&) const = default;
+};
+
+/// Immutable CSR graph. Build via from_edges or graph::Builder.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list; collapses parallel edges (keeping the minimum
+  /// weight) and drops self-loops. Edges may be listed in either orientation.
+  static Graph from_edges(Vertex n, std::span<const Edge> edges);
+
+  Vertex num_vertices() const { return n_; }
+  /// Number of undirected edges.
+  std::size_t num_edges() const { return arcs_.size() / 2; }
+
+  std::size_t degree(Vertex v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Adjacency row of v (arcs to neighbors with weights).
+  std::span<const Arc> arcs(Vertex v) const {
+    return {arcs_.data() + offsets_[v],
+            arcs_.data() + offsets_[v + 1]};
+  }
+
+  /// All arcs (2m directed copies), for edge-parallel loops.
+  std::span<const Arc> all_arcs() const { return arcs_; }
+
+  /// arc_source(i) is the source vertex of all_arcs()[i].
+  Vertex arc_source(std::size_t arc_index) const;
+
+  /// CSR offsets, length n+1.
+  std::span<const std::size_t> offsets() const { return offsets_; }
+
+  /// Weight of (u, v) or +inf if absent. O(deg(u)).
+  Weight edge_weight(Vertex u, Vertex v) const;
+
+  /// Canonical undirected edge list (u < v), sorted.
+  std::vector<Edge> edge_list() const;
+
+  /// Minimum / maximum finite edge weight; (inf, 0) on an edgeless graph.
+  std::pair<Weight, Weight> weight_range() const;
+
+  bool operator==(const Graph&) const = default;
+
+ private:
+  Vertex n_ = 0;
+  std::vector<std::size_t> offsets_{0};
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace parhop::graph

@@ -1,0 +1,30 @@
+// DIMACS shortest-path (.gr) graph I/O.
+//
+// Format: comment lines start with 'c'; one problem line "p sp <n> <m>";
+// arc lines "a <u> <v> <w>" with 1-based vertex IDs. We read undirected
+// graphs (each undirected edge may be given once or twice) and write each
+// undirected edge as two arc lines, matching the common 9th-DIMACS-challenge
+// conventions so external road-network instances load directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace parhop::graph {
+
+/// Parses a DIMACS .gr stream. Throws std::runtime_error on malformed input.
+Graph read_dimacs(std::istream& in);
+
+/// Reads from a file path.
+Graph read_dimacs_file(const std::string& path);
+
+/// Writes DIMACS .gr (weights rounded to nearest integer ≥ 1 when `integral`,
+/// otherwise printed with full precision as an extension).
+void write_dimacs(std::ostream& out, const Graph& g, bool integral = false);
+
+void write_dimacs_file(const std::string& path, const Graph& g,
+                       bool integral = false);
+
+}  // namespace parhop::graph

@@ -1,0 +1,74 @@
+#include "hopset/cluster.hpp"
+
+#include <cassert>
+
+namespace parhop::hopset {
+
+void WitnessPath::append(const WitnessPath& tail) {
+  if (tail.empty()) return;
+  if (empty()) {
+    steps = tail.steps;
+    return;
+  }
+  assert(last() == tail.first());
+  steps.insert(steps.end(), tail.steps.begin() + 1, tail.steps.end());
+}
+
+WitnessPath WitnessPath::reversed() const {
+  WitnessPath out;
+  out.steps.resize(steps.size());
+  const std::size_t n = steps.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.steps[i].v = steps[n - 1 - i].v;
+    // Weight of the step *into* a vertex shifts by one on reversal.
+    out.steps[i].w = (i == 0) ? 0 : steps[n - i].w;
+  }
+  return out;
+}
+
+Clustering Clustering::singletons(Vertex n) {
+  Clustering c;
+  c.cluster_of.resize(n);
+  c.center.resize(n);
+  c.members.resize(n);
+  c.radius.assign(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    c.cluster_of[v] = v;
+    c.center[v] = v;
+    c.members[v] = {v};
+  }
+  return c;
+}
+
+bool Clustering::valid(Vertex n) const {
+  if (cluster_of.size() != n) return false;
+  if (center.size() != members.size() || center.size() != radius.size())
+    return false;
+  std::vector<bool> seen(n, false);
+  for (std::size_t c = 0; c < size(); ++c) {
+    if (members[c].empty()) return false;
+    bool center_found = false;
+    for (Vertex v : members[c]) {
+      if (v >= n || seen[v]) return false;
+      seen[v] = true;
+      if (cluster_of[v] != c) return false;
+      if (v == center[c]) center_found = true;
+    }
+    if (!center_found) return false;
+    if (radius[c] < 0) return false;
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    if (cluster_of[v] == kNoCluster && seen[v]) return false;
+    if (cluster_of[v] != kNoCluster && !seen[v]) return false;
+  }
+  return true;
+}
+
+ClusterMemory ClusterMemory::singletons(Vertex n) {
+  ClusterMemory m;
+  m.to_center.resize(n);
+  for (Vertex v = 0; v < n; ++v) m.to_center[v].steps = {{v, 0}};
+  return m;
+}
+
+}  // namespace parhop::hopset

@@ -1,0 +1,76 @@
+// Cluster collections P_i and the per-vertex cluster memory of §4.3.
+//
+// A Clustering is the paper's collection P_i: disjoint clusters over a subset
+// of V, each centered at a vertex r_C whose ID doubles as the cluster ID.
+// radius[c] is the *measured* upper bound R̂(C) on d_{G_{k-1}}(r_C, v) over
+// members v — the implementation's tight counterpart of the closed-form R_i
+// bound of Lemma 2.2 (every update follows a real witness walk, so
+// R̂(C) ≤ R_i always; see DESIGN.md §1 on tight weights).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parhop::hopset {
+
+using graph::Vertex;
+using graph::Weight;
+
+inline constexpr std::uint32_t kNoCluster = 0xFFFFFFFFu;
+
+/// One step of a witness path: the vertex stepped to and the edge weight.
+struct PathStep {
+  Vertex v = 0;
+  Weight w = 0;
+};
+
+/// Witness path as an explicit vertex/weight sequence (first() .. last()).
+struct WitnessPath {
+  std::vector<PathStep> steps;  ///< steps[0].w == 0 by convention
+
+  bool empty() const { return steps.empty(); }
+  Vertex first() const { return steps.front().v; }
+  Vertex last() const { return steps.back().v; }
+  double length() const {
+    double total = 0;
+    for (const PathStep& s : steps) total += s.w;
+    return total;
+  }
+  /// Appends `tail` whose first vertex must equal this path's last vertex.
+  void append(const WitnessPath& tail);
+  /// Reversed copy (valid because the graph is undirected).
+  WitnessPath reversed() const;
+};
+
+/// Disjoint clusters over (a subset of) V.
+struct Clustering {
+  /// cluster_of[v] — index into the arrays below, or kNoCluster.
+  std::vector<std::uint32_t> cluster_of;
+  std::vector<Vertex> center;                 ///< r_C per cluster
+  std::vector<std::vector<Vertex>> members;   ///< includes the center
+  std::vector<Weight> radius;                 ///< measured R̂(C)
+
+  std::size_t size() const { return center.size(); }
+
+  /// P_0: every vertex a singleton cluster with radius 0.
+  static Clustering singletons(Vertex n);
+
+  /// Internal consistency (disjointness, center membership, index bounds).
+  bool valid(Vertex n) const;
+};
+
+/// Cluster memory (§4.3): for every clustered vertex v, a witness path from
+/// v to its cluster's center, contained in G_{k-1}. Only maintained in
+/// path-reporting mode.
+struct ClusterMemory {
+  /// to_center[v] — path v → r_C (empty for unclustered vertices or in
+  /// non-path-reporting runs). to_center[r_C] is the single-vertex path.
+  std::vector<WitnessPath> to_center;
+
+  static ClusterMemory singletons(Vertex n);
+};
+
+}  // namespace parhop::hopset

@@ -1,0 +1,184 @@
+#include "hopset/exploration.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace parhop::hopset {
+
+namespace {
+
+using graph::Arc;
+using graph::Graph;
+
+/// Algorithm 3: sort by source (ties by distance), drop duplicate sources
+/// keeping the closest, re-sort by (distance, source), truncate to x.
+void normalize(std::vector<Record>& recs, std::size_t x) {
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const Record& a, const Record& b) {
+                     if (a.src != b.src) return a.src < b.src;
+                     return a.dist < b.dist;
+                   });
+  recs.erase(std::unique(recs.begin(), recs.end(),
+                         [](const Record& a, const Record& b) {
+                           return a.src == b.src;
+                         }),
+             recs.end());
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const Record& a, const Record& b) {
+                     if (a.dist != b.dist) return a.dist < b.dist;
+                     return a.src < b.src;
+                   });
+  if (recs.size() > x) recs.resize(x);
+}
+
+/// (src, dist) key equality — the state that drives fixpoints.
+bool same_keys(const std::vector<Record>& a, const std::vector<Record>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].src != b[i].src || a[i].dist != b[i].dist) return false;
+  return true;
+}
+
+PathPtr extend(const PathPtr& p, Vertex v, Weight w) {
+  return std::make_shared<PathLink>(PathLink{v, w, p});
+}
+
+PathPtr from_witness(const WitnessPath& wp, PathPtr base) {
+  // Appends wp's steps (skipping its first vertex if it matches the head of
+  // base) onto base.
+  std::size_t start = 0;
+  if (base != nullptr && !wp.empty() && wp.first() == base->v) start = 1;
+  PathPtr cur = std::move(base);
+  for (std::size_t i = start; i < wp.steps.size(); ++i)
+    cur = extend(cur, wp.steps[i].v, wp.steps[i].w);
+  return cur;
+}
+
+}  // namespace
+
+WitnessPath materialize(const PathPtr& p) {
+  WitnessPath out;
+  for (const PathLink* l = p.get(); l != nullptr; l = l->prev.get())
+    out.steps.push_back({l->v, l->w});
+  std::reverse(out.steps.begin(), out.steps.end());
+  if (!out.steps.empty()) out.steps.front().w = 0;
+  return out;
+}
+
+ExploreResult explore(pram::Ctx& ctx, const Graph& gk1, const Clustering& P,
+                      std::span<const std::uint32_t> sources,
+                      const ExploreOptions& opts) {
+  const Vertex n = gk1.num_vertices();
+  const std::size_t x = std::max<std::uint32_t>(1, opts.max_records);
+  const bool center_mode = !opts.teleport_cost.empty();
+  assert(!center_mode || opts.teleport_cost.size() == P.size());
+  assert(!(opts.track_paths && center_mode) || opts.cmem != nullptr);
+
+  ExploreResult result;
+  result.cluster_records.assign(P.size(), {});
+  for (std::uint32_t c : sources) {
+    assert(c < P.size());
+    result.cluster_records[c].push_back({c, 0, 0, nullptr});
+  }
+
+  std::vector<std::vector<Record>> L(n), L_next(n);
+  std::vector<Record> scratch;
+
+  std::size_t max_deg = 0;
+  for (Vertex v = 0; v < n; ++v) max_deg = std::max(max_deg, gk1.degree(v));
+  const std::uint64_t step_depth =
+      pram::ceil_log2((max_deg + 1) * x) + 1;
+
+  auto& m = result.cluster_records;
+
+  for (int pulse = 1; pulse <= opts.pulses; ++pulse) {
+    // --- Distribution: members take the first x records of their cluster.
+    ctx.charge_work(n * x);
+    ctx.charge_depth(1);
+    for (std::size_t c = 0; c < P.size(); ++c) {
+      if (m[c].empty()) continue;
+      const std::size_t take = std::min(x, m[c].size());
+      for (Vertex v : P.members[c]) {
+        L[v].clear();
+        for (std::size_t r = 0; r < take; ++r) {
+          Record rec = m[c][r];
+          if (center_mode) rec.dist += opts.teleport_cost[c];
+          if (rec.dist > opts.dist_limit) continue;
+          rec.pulse_base = rec.dist;  // a fresh pulse budget after teleport
+          if (opts.track_paths) {
+            if (rec.path == nullptr) {
+              // Source-origin record: walk starts at the center and exits
+              // through v (center mode) or starts at v itself (boundary).
+              if (center_mode) {
+                rec.path = from_witness(
+                    opts.cmem->to_center[v].reversed(), nullptr);
+              } else {
+                rec.path = extend(nullptr, v, 0);
+              }
+            } else if (opts.cmem != nullptr) {
+              // Teleport: arrived at y = head, continue y → r_C → v.
+              Vertex y = rec.path->v;
+              rec.path = from_witness(opts.cmem->to_center[y], rec.path);
+              rec.path = from_witness(
+                  opts.cmem->to_center[v].reversed(), rec.path);
+            }
+          }
+          L[v].push_back(std::move(rec));
+        }
+        normalize(L[v], x);
+      }
+    }
+
+    // --- Propagation: synchronous relax steps until fixpoint or budget.
+    for (int step = 0; step < opts.hop_limit; ++step) {
+      std::atomic<bool> changed{false};
+      ctx.charge_work((n + 2 * gk1.num_edges()) * x);
+      ctx.charge_depth(step_depth);
+      pram::parallel_for(ctx, n, [&](std::size_t vi) {
+        const Vertex v = static_cast<Vertex>(vi);
+        thread_local std::vector<Record> cand;
+        cand.clear();
+        cand.insert(cand.end(), L[v].begin(), L[v].end());
+        for (const Arc& a : gk1.arcs(v)) {
+          for (const Record& rec : L[a.to]) {
+            Weight nd = rec.dist + a.w;
+            if (nd > opts.dist_limit) continue;
+            if (nd - rec.pulse_base > opts.per_pulse_limit) continue;
+            Record moved{rec.src, nd, rec.pulse_base, nullptr};
+            if (opts.track_paths) moved.path = extend(rec.path, v, a.w);
+            cand.push_back(std::move(moved));
+          }
+        }
+        normalize(cand, x);
+        if (!same_keys(cand, L[v]))
+          changed.store(true, std::memory_order_relaxed);
+        L_next[v] = cand;
+      });
+      ++result.total_steps;
+      L.swap(L_next);
+      if (!changed.load()) break;
+    }
+
+    // --- Aggregation: clusters merge members' lists (all records kept).
+    bool any_cluster_changed = false;
+    ctx.charge_work(n * x * (pram::ceil_log2(n * x) + 1));
+    ctx.charge_depth(pram::ceil_log2(n * x) + 1);
+    for (std::size_t c = 0; c < P.size(); ++c) {
+      scratch.clear();
+      scratch.insert(scratch.end(), m[c].begin(), m[c].end());
+      for (Vertex v : P.members[c])
+        scratch.insert(scratch.end(), L[v].begin(), L[v].end());
+      normalize(scratch, scratch.size());
+      if (!same_keys(scratch, m[c])) {
+        any_cluster_changed = true;
+        m[c] = scratch;
+      }
+    }
+    result.pulses_run = pulse;
+    if (!any_cluster_changed) break;
+  }
+  return result;
+}
+
+}  // namespace parhop::hopset

@@ -1,0 +1,94 @@
+// Algorithm 2 (+ Algorithm 3): parallel limited BFS exploration in the
+// virtual cluster graph G̃_i, simulated over G_{k-1} (Appendix A).
+//
+// Given clusters P_i, a source subset S ⊆ P_i, a distance threshold, a hop
+// budget and a record bound x, every cluster C learns (up to) the x nearest
+// source clusters within the threshold, with their (2β+1)-hop bounded
+// distances. Pulses alternate three parts exactly as in the paper:
+//   distribution — members copy their cluster's records,
+//   propagation  — ≤ 2β+1 vertex-parallel relax steps over G_{k-1}, each
+//                  keeping the x closest distinct sources per vertex
+//                  (Algorithm 3's sort/dedup, ties broken by source ID),
+//   aggregation  — clusters merge their members' records.
+//
+// Both loops exit early at their exact fixpoint, so the hop/pulse budgets are
+// caps rather than costs (the metered PRAM work reflects rounds actually
+// executed).
+//
+// Two distribution semantics, matching the two ways the paper uses the
+// algorithm:
+//   boundary mode (teleport_cost empty)   — distances are cluster-to-cluster
+//     d^{(2β+1)}(C, C′) as in the popularity detection (Lemma A.3);
+//   center mode (teleport_cost provided)  — crossing cluster C adds
+//     teleport_cost[C] (callers pass 2·R̂(C)), so a record's distance upper
+//     bounds a real r_src → ··· → y walk through cluster interiors, which is
+//     what superclustering edge weights need (Lemma 2.3 / eq. 4).
+//
+// With track_paths, every record carries the witness walk itself (the paper's
+// message lists L_P, L_dist of §4.3), spliced through cluster memory at
+// teleports; witness lengths never exceed the record's distance.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hopset/cluster.hpp"
+#include "pram/primitives.hpp"
+
+namespace parhop::hopset {
+
+/// Persistent (structurally shared) path link; head is the newest vertex.
+struct PathLink {
+  Vertex v;
+  Weight w;  ///< weight of the step into v (0 at the walk's first vertex)
+  std::shared_ptr<const PathLink> prev;
+};
+using PathPtr = std::shared_ptr<const PathLink>;
+
+/// Materializes a PathLink chain into first→last order.
+WitnessPath materialize(const PathPtr& p);
+
+/// One exploration record: source cluster and bounded distance (plus the
+/// witness walk in path-reporting mode).
+struct Record {
+  std::uint32_t src = kNoCluster;
+  Weight dist = 0;
+  /// dist at the last distribution; per_pulse_limit caps dist − pulse_base,
+  /// which is exactly the "one G̃_i edge per pulse" semantics of Appendix A.
+  Weight pulse_base = 0;
+  PathPtr path;  ///< null unless track_paths
+};
+
+struct ExploreOptions {
+  /// Cap on cumulative record distance (usually +inf for multi-pulse runs).
+  Weight dist_limit = graph::kInfWeight;
+  /// Cap on the distance covered within one pulse — the (1+ε)δ_i threshold
+  /// that defines G̃_i edges; teleports (cluster crossings) are free.
+  Weight per_pulse_limit = graph::kInfWeight;
+  int hop_limit = 1;                      ///< propagation steps per pulse
+  int pulses = 1;                         ///< BFS depth d in G̃_i
+  std::uint32_t max_records = 1;          ///< x
+  bool track_paths = false;
+  /// Cluster memory for path splicing at teleports (required when
+  /// track_paths is set and teleports occur).
+  const ClusterMemory* cmem = nullptr;
+  /// Per-cluster teleport cost (center mode); empty span = boundary mode.
+  std::span<const Weight> teleport_cost = {};
+};
+
+struct ExploreResult {
+  /// Per cluster: records sorted by (dist, src), deduplicated by source.
+  std::vector<std::vector<Record>> cluster_records;
+  int pulses_run = 0;
+  int total_steps = 0;  ///< propagation steps summed over pulses
+};
+
+/// Runs the exploration from `sources` (cluster indices into P).
+ExploreResult explore(pram::Ctx& ctx, const graph::Graph& gk1,
+                      const Clustering& P,
+                      std::span<const std::uint32_t> sources,
+                      const ExploreOptions& opts);
+
+}  // namespace parhop::hopset

@@ -1,0 +1,73 @@
+#include "hopset/hopset.hpp"
+
+#include <algorithm>
+
+#include "graph/aspect_ratio.hpp"
+#include "graph/builder.hpp"
+
+namespace parhop::hopset {
+
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+/// G ∪ accumulated hopset edges (lightest parallel edge wins, the paper's
+/// ω_k = min(ω, ω_{H}) convention).
+Graph make_gk1(const Graph& g, const std::vector<Edge>& hopset_edges) {
+  if (hopset_edges.empty()) return g;
+  std::vector<Edge> all = g.edge_list();
+  all.insert(all.end(), hopset_edges.begin(), hopset_edges.end());
+  return Graph::from_edges(g.num_vertices(), all);
+}
+
+}  // namespace
+
+Hopset build_hopset(pram::Ctx& ctx, const Graph& g, const Params& params,
+                    bool track_paths, const SeedSelector& seeds) {
+  Hopset H;
+  const graph::Vertex n = g.num_vertices();
+  if (n < 2 || g.num_edges() == 0) return H;
+
+  // §1.5 normalizes the minimum weight to 1; rescaling doubles round-trips
+  // inexactly, so the schedule shifts its scale bands by `unit` instead and
+  // all weights stay bit-exact.
+  auto [wmin, wmax] = g.weight_range();
+  (void)wmax;
+  H.weight_scale = wmin;
+
+  const graph::AspectRatio ar = graph::aspect_ratio(g);
+  H.schedule = make_schedule(params, n, ar.log_lambda);
+  H.schedule.unit = wmin;
+
+  pram::Cost start = ctx.meter.snapshot();
+
+  std::vector<Edge> cumulative;       // all scales so far
+  std::vector<Edge> previous_scale;   // H_{k-1} only
+  for (int k = H.schedule.k0; k <= H.schedule.lambda; ++k) {
+    const Graph gk1 = make_gk1(
+        g, params.cumulative_scales ? cumulative : previous_scale);
+    SingleScaleResult scale = build_single_scale(ctx, gk1, k, H.schedule,
+                                                 params, track_paths, seeds);
+
+    ScaleStats ss;
+    ss.k = k;
+    ss.edges = scale.edges.size();
+    ss.phases = std::move(scale.phases);
+    H.scales.push_back(std::move(ss));
+
+    previous_scale.clear();
+    for (HopsetEdge& e : scale.edges) {
+      Edge plain{e.u, e.v, e.w};
+      previous_scale.push_back(plain);
+      cumulative.push_back(plain);
+      H.detailed.push_back(std::move(e));
+    }
+  }
+
+  H.edges = std::move(cumulative);
+  H.build_cost = ctx.meter.snapshot() - start;
+  return H;
+}
+
+}  // namespace parhop::hopset

@@ -1,0 +1,52 @@
+// Multi-scale deterministic hopset construction (§2–3, Theorem 3.7).
+//
+// H = ∪_{k=k0}^{λ} H_k, one single-scale hopset per distance scale
+// (2^k, 2^{k+1}]. H_k is built over G_{k-1} = G ∪ H_{<k}; scales below
+// k0 = ⌊log β⌋ need no hopset because a path of weighted length ≤ 2^{k0+1}
+// has at most β edges once weights are normalized to min 1 (§2).
+//
+// The construction is fully deterministic: it consumes no randomness, and
+// every parallel primitive it uses is deterministic by construction
+// (pram/thread_pool.hpp), so repeated runs produce identical hopsets.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hopset/params.hpp"
+#include "hopset/single_scale.hpp"
+#include "pram/primitives.hpp"
+
+namespace parhop::hopset {
+
+/// Per-scale observability.
+struct ScaleStats {
+  int k = 0;
+  std::size_t edges = 0;
+  std::vector<PhaseStats> phases;
+};
+
+/// A built hopset: plain edges for consumers, detailed edges (provenance and
+/// witness paths) for path reporting and the experiment harness.
+struct Hopset {
+  std::vector<graph::Edge> edges;
+  std::vector<HopsetEdge> detailed;
+  Schedule schedule;
+  std::vector<ScaleStats> scales;
+  pram::Cost build_cost;          ///< metered PRAM work/depth of the build
+  /// The distance unit (minimum edge weight) the scale bands were shifted
+  /// by; weights themselves are never rescaled (see Schedule::unit).
+  double weight_scale = 1.0;
+
+  std::size_t size() const { return edges.size(); }
+};
+
+/// Builds the (1+ε, β)-hopset of g. With track_paths, every edge carries a
+/// witness path (the §4 path-reporting variant; Theorem 4.5). A null `seeds`
+/// selects the deterministic ruling set; baselines/ablations may substitute
+/// their own supercluster-seed policy.
+Hopset build_hopset(pram::Ctx& ctx, const graph::Graph& g,
+                    const Params& params, bool track_paths = false,
+                    const SeedSelector& seeds = nullptr);
+
+}  // namespace parhop::hopset

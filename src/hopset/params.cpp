@@ -1,0 +1,93 @@
+#include "hopset/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace parhop::hopset {
+
+namespace {
+// ⌊log₂ x⌋ for x > 0 as an int (x may be < 1, giving negative values).
+int floor_log2(double x) { return static_cast<int>(std::floor(std::log2(x))); }
+}  // namespace
+
+double Schedule::delta(int k, int i) const {
+  // α = ε̂^ℓ·2^{k+1}, so δ_i = ε̂^{ℓ−i}·2^{k+1} ≤ 2^{k+1} for every phase and
+  // δ_ℓ = 2^{k+1} covers the whole scale — the property Lemma 2.8's proof
+  // needs to invoke Lemma 2.1 (the additive term of Corollary 3.5 confirms
+  // this is the intended α).
+  double alpha = std::pow(eps_hat, ell) * unit * std::exp2(k + 1);
+  return alpha * std::pow(1.0 / eps_hat, i);
+}
+
+double Schedule::radius_bound(int k, int i, double logn_) const {
+  // R_0 = 0; R_{i+1} = (2(1+ε̂)δ_i + 4R_i)·log n + R_i  (§2.1).
+  double r = 0;
+  for (int j = 0; j < i; ++j) {
+    r = (2 * (1 + eps_hat) * delta(k, j) + 4 * r) * logn_ + r;
+  }
+  return r;
+}
+
+double beta_formula(const Params& p, std::uint64_t n, int log_lambda) {
+  double kr = p.kappa * p.rho;
+  double exponent = std::floor(std::log2(std::max(kr, 1.0))) +
+                    std::ceil((p.kappa + 1) / kr) - 1;
+  double base = log_lambda * std::log2(static_cast<double>(n)) *
+                (std::log2(std::max(kr, 2.0)) + 1.0 / p.rho) / p.epsilon;
+  return std::pow(base, exponent);
+}
+
+double size_bound(const Params& p, std::uint64_t n, int log_lambda) {
+  return log_lambda *
+         std::pow(static_cast<double>(n), 1.0 + 1.0 / p.kappa);
+}
+
+Schedule make_schedule(const Params& p, std::uint64_t n, int log_lambda) {
+  if (n < 2) throw std::invalid_argument("schedule needs n >= 2");
+  if (p.kappa < 2) throw std::invalid_argument("kappa must be >= 2");
+  if (!(p.rho > 0 && p.rho < 0.5))
+    throw std::invalid_argument("rho must be in (0, 1/2)");
+  if (!(p.epsilon > 0 && p.epsilon < 1))
+    throw std::invalid_argument("epsilon must be in (0, 1)");
+
+  Schedule s;
+  const double kr = p.kappa * p.rho;
+  s.i0 = std::max(0, floor_log2(kr));
+  s.ell = std::max(
+      s.i0 + 1,
+      floor_log2(std::max(kr, 1.0)) +
+          static_cast<int>(std::ceil((p.kappa + 1) / kr)) - 1);
+  s.logn = std::log2(static_cast<double>(n));
+  s.eps_hat = std::min(0.5, p.epsilon * p.eps_hat_factor);
+
+  // deg_i: exponential stage n^{2^i/κ}, then fixed n^ρ. Clamped to ≥ 2 so a
+  // supercluster always strictly shrinks the cluster count.
+  s.deg.resize(s.ell + 1);
+  const double dn = static_cast<double>(n);
+  for (int i = 0; i <= s.ell; ++i) {
+    double expo = (i <= s.i0) ? std::exp2(i) / p.kappa : p.rho;
+    expo = std::min(expo, p.rho);  // never exceed the work budget n^ρ
+    s.deg[i] = std::max<std::uint64_t>(
+        2, static_cast<std::uint64_t>(std::ceil(std::pow(dn, expo))));
+  }
+
+  s.beta_theory = beta_formula(p, n, log_lambda);
+  s.hopbound_formula = std::pow(1.0 / s.eps_hat + 5.0, s.ell);
+  if (p.beta_hint > 0) {
+    s.beta = p.beta_hint;
+  } else {
+    // Self-consistent default: the per-scale hopbound h_ℓ of eq. (18). A
+    // budget of n rounds makes Bellman–Ford exact, so larger values add
+    // nothing; every hop-limited loop exits early at its fixpoint, so this
+    // is a cap, not a cost (DESIGN.md §1).
+    s.beta = static_cast<int>(std::min<double>(
+        static_cast<double>(n), std::ceil(s.hopbound_formula)));
+    s.beta = std::max(s.beta, 4);
+  }
+  s.k0 = std::max(0, floor_log2(static_cast<double>(s.beta)));
+  s.lambda = std::max(s.k0 - 1, log_lambda - 1);
+  return s;
+}
+
+}  // namespace parhop::hopset

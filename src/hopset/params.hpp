@@ -1,0 +1,91 @@
+// Hopset parameters and the derived per-run schedule (§2, §3.4 of the paper).
+//
+// User-facing knobs:
+//   epsilon — final stretch target: distances come out ≤ (1+ε)·d_G
+//   kappa   — size exponent: |H| = O(log Λ · n^{1+1/κ})
+//   rho     — work exponent: work O~((|E|+n^{1+1/κ})·n^ρ), ρ ∈ (0, 1/2)
+//   beta_hint — practical exploration hop budget β̂ (0 = auto). The paper's β
+//      (eq. 2) is reported but is astronomically large for feasible n; every
+//      hop-limited loop in the library terminates early at its fixpoint, so
+//      β̂ only caps worst-case round counts. DESIGN.md §1 documents this
+//      substitution; the E3 experiment measures the empirical hopbound.
+//
+// Derived schedule (per graph):
+//   ℓ  = ⌊log₂ κρ⌋ + ⌈(κ+1)/(κρ)⌉ − 1   (number of phases − 1)
+//   i₀ = ⌊log₂ κρ⌋                        (last exponential-growth phase)
+//   deg_i = n^{2^i/κ} for i ≤ i₀, n^ρ afterwards
+//   δ_i = α·(1/ε̂)^i with α = ℓ·2^{k+1}  (per scale k)
+//   scales k ∈ [k₀ = ⌊log₂ β̂⌋, λ = ⌈log₂ Λ⌉ − 1]
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parhop::hopset {
+
+/// User-chosen parameters.
+struct Params {
+  double epsilon = 0.25;
+  int kappa = 4;
+  double rho = 0.25;
+  /// Practical exploration hop budget β̂; 0 = auto (see Schedule::beta).
+  int beta_hint = 0;
+  /// Fraction of ε consumed by each phase's distance threshold base ε̂
+  /// (practical counterpart of the §3.4 rescaling; see DESIGN.md §6).
+  double eps_hat_factor = 0.5;
+  /// true  — hopset edge weights are lengths of actual witness paths
+  ///         measured during construction ("tight"; default);
+  /// false — the paper's closed-form upper-bound weights
+  ///         2((1+ε)δ_i+2R_i)·log n etc. ("paper", for the E10 ablation).
+  bool tight_weights = true;
+  /// Use G ∪ H_{k0..k-1} (cumulative) rather than only G ∪ H_{k-1} when
+  /// constructing H_k. Cumulative is a superset, never shortens distances
+  /// below d_G, and is empirically safer with small β̂ (DESIGN.md §1).
+  bool cumulative_scales = true;
+};
+
+/// Everything derived from (Params, n, log Λ).
+struct Schedule {
+  int ell = 0;     ///< ℓ: phases are 0..ell
+  int i0 = 0;      ///< last exponential-growth phase
+  int k0 = 0;      ///< first scale with a non-empty hopset
+  int lambda = 0;  ///< last scale index (⌈log₂ Λ⌉ − 1)
+  /// Hop budget β̂ used both for construction explorations (2β̂+1 hops) and
+  /// as the guarantee offered to consumers (run BF to β̂ hops on G ∪ H).
+  /// Defaults to the self-consistent per-scale hopbound h_ℓ = (1/ε̂+5)^ℓ of
+  /// eq. (18), capped at n where BF is exact anyway.
+  int beta = 0;
+  double beta_theory = 0;  ///< eq. (2) value (may overflow to +inf)
+  double hopbound_formula = 0;  ///< h_ℓ = (1/ε̂+5)^ℓ, eq. (18), uncapped
+  double eps_hat = 0;      ///< per-phase distance epsilon ε̂
+  /// Distance unit: the minimum edge weight. The paper normalizes weights so
+  /// the minimum is 1 (§1.5); dividing and re-multiplying doubles drifts by
+  /// an ulp and breaks exact witness classification, so instead we leave the
+  /// weights alone and place scale k's band at (unit·2^k, unit·2^{k+1}].
+  double unit = 1;
+  std::vector<std::uint64_t> deg;  ///< deg_i, i ∈ [0, ell]
+
+  /// δ_i for scale k: α(1/ε̂)^i with α = ℓ·2^{k+1}.
+  double delta(int k, int i) const;
+
+  /// Paper-mode radius bound R_i for scale k (Lemma 2.2 recurrence),
+  /// computed with log₂ n from `logn`.
+  double radius_bound(int k, int i, double logn) const;
+
+  double logn = 1;  ///< log₂ n used in paper-mode weights
+};
+
+/// Derives the schedule. `log_lambda` is ⌈log₂ Λ⌉ (see graph::aspect_ratio);
+/// n must be ≥ 2.
+Schedule make_schedule(const Params& p, std::uint64_t n, int log_lambda);
+
+/// The paper's hopbound formula, eq. (2):
+/// β = O(log Λ·log n·(log κρ + 1/ρ)/ε)^{⌊log κρ⌋+⌈(κ+1)/(κρ)⌉−1}.
+double beta_formula(const Params& p, std::uint64_t n, int log_lambda);
+
+/// Size bound of Theorem 3.7: ⌈log Λ⌉·n^{1+1/κ}.
+double size_bound(const Params& p, std::uint64_t n, int log_lambda);
+
+}  // namespace parhop::hopset

@@ -1,0 +1,194 @@
+#include "hopset/path_reporting.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sssp/bellman_ford.hpp"
+
+namespace parhop::hopset {
+
+namespace {
+
+using graph::Graph;
+using graph::kInfWeight;
+using graph::kNoVertex;
+using graph::Vertex;
+using graph::Weight;
+
+constexpr std::uint32_t kGraphEdge = 0xFFFFFFFFu;
+
+inline std::uint64_t edge_key(Vertex a, Vertex b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// Provenance index: for an endpoint pair, all parallel edges (graph +
+/// hopset) with their weights, so a tree edge can be classified exactly.
+struct EdgeIndex {
+  struct Entry {
+    Weight w;
+    std::uint32_t hopset_idx;  // kGraphEdge for an original edge
+    std::int16_t scale;        // 0 for graph edges
+  };
+  std::unordered_map<std::uint64_t, std::vector<Entry>> map;
+
+  /// Best (lightest) entry for the pair with scale ≤ max_scale; graph edges
+  /// always qualify. Weight ties prefer graph, then lower scale.
+  const Entry* classify(Vertex a, Vertex b, Weight w, int max_scale) const {
+    auto it = map.find(edge_key(a, b));
+    if (it == map.end()) return nullptr;
+    const Entry* best = nullptr;
+    for (const Entry& e : it->second) {
+      if (e.w != w) continue;
+      if (e.hopset_idx != kGraphEdge && e.scale > max_scale) continue;
+      if (best == nullptr) {
+        best = &e;
+      } else if (e.hopset_idx == kGraphEdge ||
+                 (best->hopset_idx != kGraphEdge && e.scale < best->scale)) {
+        best = &e;
+      }
+    }
+    return best;
+  }
+};
+
+/// One offer in the shared array M (§4.1).
+struct Offer {
+  Vertex target;
+  Weight dist;
+  Vertex pred;
+  Weight pred_w;
+};
+
+}  // namespace
+
+SptResult build_spt(pram::Ctx& ctx, const Graph& g, const Hopset& H,
+                    Vertex source) {
+  const Vertex n = g.num_vertices();
+  for (const HopsetEdge& e : H.detailed) {
+    if (e.witness.empty())
+      throw std::invalid_argument(
+          "build_spt requires a hopset built with track_paths=true");
+  }
+
+  // --- Step 0: Bellman–Ford in G ∪ H. The theory β guarantees coverage in
+  // β rounds; a user-forced smaller budget must not yield a partial SPT
+  // (Theorem 4.6 promises a full tree), so the round cap is max(β, n) — the
+  // fixpoint early-exit keeps the actual rounds near the hopset's empirical
+  // hopbound, which the E8 experiment reports.
+  Graph gu = sssp::union_graph(g, H.edges);
+  const int bf_budget =
+      std::max(H.schedule.beta, static_cast<int>(n));
+  auto bf = sssp::bellman_ford(ctx, gu, source, bf_budget);
+
+  SptResult out;
+  out.dist = std::move(bf.dist);
+  std::vector<Vertex>& parent = bf.parent;
+  std::vector<Weight> parent_w(n, 0);
+  std::vector<std::uint32_t> parent_edge(n, kGraphEdge);
+
+  // Provenance index over all parallel edges.
+  EdgeIndex index;
+  for (Vertex u = 0; u < n; ++u)
+    for (const graph::Arc& a : g.arcs(u))
+      if (u < a.to)
+        index.map[edge_key(u, a.to)].push_back({a.w, kGraphEdge, 0});
+  for (std::uint32_t i = 0; i < H.detailed.size(); ++i) {
+    const HopsetEdge& e = H.detailed[i];
+    index.map[edge_key(e.u, e.v)].push_back({e.w, i, e.scale});
+  }
+
+  // Classify the initial tree edges: BF relaxed over min-weight parallels,
+  // so (parent(v), v) carries weight dist[v] − dist[parent(v)].
+  int max_scale = H.scales.empty() ? 0 : H.scales.back().k;
+  for (Vertex v = 0; v < n; ++v) {
+    if (parent[v] == kNoVertex || out.dist[v] == kInfWeight) continue;
+    // BF relaxed over gu's arcs, which carry the min parallel weight; look
+    // that weight up exactly (no floating subtraction).
+    Weight w = gu.edge_weight(parent[v], v);
+    const EdgeIndex::Entry* e = index.classify(parent[v], v, w, max_scale);
+    assert(e != nullptr && "tree edge missing from provenance index");
+    parent_w[v] = w;
+    parent_edge[v] = e->hopset_idx;
+  }
+
+  // --- Peeling, highest scale first (Algorithm 1 lines 4–5).
+  for (auto it = H.scales.rbegin(); it != H.scales.rend(); ++it) {
+    const int k = it->k;
+    ++out.peel_iterations;
+
+    std::vector<Offer> M;
+    for (Vertex v = 0; v < n; ++v) {
+      if (parent_edge[v] == kGraphEdge) continue;
+      const HopsetEdge& he = H.detailed[parent_edge[v]];
+      if (he.scale != k) continue;
+      ++out.replaced_edges;
+
+      // Orient the witness from p(v) to v.
+      WitnessPath wit = (he.u == parent[v] && he.v == v)
+                            ? he.witness
+                            : he.witness.reversed();
+      assert(wit.first() == parent[v] && wit.last() == v);
+
+      // Offers for every vertex along the witness, with prefix distances
+      // from p(v) (Figure 6); the final offer re-parents v itself.
+      Weight prefix = 0;
+      const Weight base = out.dist[parent[v]];
+      for (std::size_t s = 1; s < wit.steps.size(); ++s) {
+        prefix += wit.steps[s].w;
+        M.push_back({wit.steps[s].v, base + prefix, wit.steps[s - 1].v,
+                     wit.steps[s].w});
+      }
+    }
+    if (M.empty()) continue;
+
+    // Sort M by (target, dist) and let every vertex adopt its best offer
+    // (the array-M mechanics of §4.1, with the sort charged as AKS).
+    pram::sort(ctx, std::span<Offer>(M), [](const Offer& a, const Offer& b) {
+      if (a.target != b.target) return a.target < b.target;
+      if (a.dist != b.dist) return a.dist < b.dist;
+      return a.pred < b.pred;
+    });
+    ctx.charge_work(M.size());
+    ctx.charge_depth(1);
+    for (std::size_t i = 0; i < M.size(); ++i) {
+      if (i > 0 && M[i].target == M[i - 1].target) continue;  // best only
+      const Offer& o = M[i];
+      const bool forced = parent_edge[o.target] != kGraphEdge &&
+                          H.detailed[parent_edge[o.target]].scale == k;
+      if (o.dist < out.dist[o.target] || forced) {
+        // A forced replacement never raises the estimate: the witness length
+        // is at most the hopset edge weight.
+        out.dist[o.target] = std::min(out.dist[o.target], o.dist);
+        parent[o.target] = o.pred;
+        parent_w[o.target] = o.pred_w;
+        const EdgeIndex::Entry* e =
+            index.classify(o.pred, o.target, o.pred_w, k - 1);
+        assert(e != nullptr && "witness step missing from index");
+        parent_edge[o.target] = e->hopset_idx;
+      }
+    }
+  }
+
+  // --- Assemble the tree over E(g) and recompute exact distances (§4.2).
+  out.tree.root = source;
+  out.tree.parent.resize(n);
+  out.tree.parent_weight.assign(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    if (v == source || parent[v] == kNoVertex || out.dist[v] == kInfWeight) {
+      out.tree.parent[v] = v;
+    } else {
+      assert(parent_edge[v] == kGraphEdge && "hopset edge survived peeling");
+      out.tree.parent[v] = parent[v];
+      out.tree.parent_weight[v] = parent_w[v];
+    }
+  }
+  out.dist = sssp::tree_distances(ctx, out.tree);
+  for (Vertex v = 0; v < n; ++v)
+    if (v != source && out.tree.parent[v] == v) out.dist[v] = kInfWeight;
+  return out;
+}
+
+}  // namespace parhop::hopset

@@ -1,0 +1,34 @@
+// Algorithm 1: (1+ε)-approximate shortest-path tree retrieval (§4).
+//
+// A Bellman–Ford exploration to β hops in G ∪ H yields a tree whose edges may
+// be hopset edges. The peeling process removes them scale by scale, highest
+// first: a tree edge (p(v), v) that is a scale-k hopset edge is replaced by
+// its stored witness (memory) path, which lives in G ∪ H_{<k}; every vertex x
+// on the witness receives a candidate (distance estimate, parent) through the
+// shared array M, sorted so each vertex adopts its best offer (§4.1). After
+// the k0 pass no hopset edges remain, and the §4.2 pointer-jumping pass
+// recomputes exact tree distances. Lemma 4.1's invariant d(v) > d(p(v)) is
+// preserved because witness lengths never exceed hopset edge weights, so the
+// result is a tree (Lemma 4.2).
+#pragma once
+
+#include "hopset/hopset.hpp"
+#include "pram/primitives.hpp"
+#include "sssp/spt.hpp"
+
+namespace parhop::hopset {
+
+/// A retrieved approximate shortest-path tree over original graph edges.
+struct SptResult {
+  sssp::ParentTree tree;             ///< edges ⊆ E(g)
+  std::vector<graph::Weight> dist;   ///< d_T(source, v); +inf if unreachable
+  int peel_iterations = 0;           ///< scale passes executed
+  std::size_t replaced_edges = 0;    ///< hopset tree edges peeled in total
+};
+
+/// Computes a (1+ε)-SPT rooted at `source`. The hopset must have been built
+/// with track_paths = true (witness paths present); throws otherwise.
+SptResult build_spt(pram::Ctx& ctx, const graph::Graph& g, const Hopset& H,
+                    graph::Vertex source);
+
+}  // namespace parhop::hopset

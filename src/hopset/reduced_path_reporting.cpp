@@ -1,0 +1,353 @@
+#include "hopset/reduced_path_reporting.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/aspect_ratio.hpp"
+#include "sssp/bellman_ford.hpp"
+
+namespace parhop::hopset {
+
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::kInfWeight;
+using graph::kNoVertex;
+using graph::Vertex;
+using graph::Weight;
+
+inline std::uint64_t vkey(Vertex a, Vertex b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// What a tree edge currently is. Graph edges need no further work; the
+/// other kinds are eliminated by the three replacement steps.
+struct EdgeKind {
+  enum Kind : std::uint8_t { kGraph, kStar, kHop, kNodeEdge } kind = kGraph;
+  std::int32_t scale_idx = -1;   ///< index into R.scales
+  std::uint32_t a = 0, b = 0;    ///< Hop: node hopset edge index in `a`;
+                                 ///< NodeEdge: node ids (a, b)
+};
+
+/// Recursively expands a node-hopset witness into pure node-graph edges of
+/// sg.g (witness steps are either node-graph edges or lower-scale node-
+/// hopset edges of the same build; exact weights identify which).
+void expand_witness(const ScaleGraph& sg, const Hopset& H,
+                    const WitnessPath& wit, int max_scale,
+                    std::vector<PathStep>& out) {
+  for (std::size_t i = 1; i < wit.steps.size(); ++i) {
+    const Vertex a = wit.steps[i - 1].v;
+    const Vertex b = wit.steps[i].v;
+    const Weight w = wit.steps[i].w;
+    if (sg.g.edge_weight(a, b) == w) {
+      out.push_back({b, w});
+      continue;
+    }
+    // Lower-scale hopset edge: find it and recurse.
+    const HopsetEdge* found = nullptr;
+    for (const HopsetEdge& e : H.detailed) {
+      if (e.scale >= max_scale) continue;
+      if (((e.u == a && e.v == b) || (e.u == b && e.v == a)) && e.w == w) {
+        found = &e;
+        break;
+      }
+    }
+    assert(found != nullptr && "witness step is neither node edge nor "
+                               "lower-scale hopset edge");
+    WitnessPath sub =
+        (found->u == a) ? found->witness : found->witness.reversed();
+    expand_witness(sg, H, sub, found->scale, out);
+  }
+}
+
+/// One replacement offer (shared array M of §4.1 / Appendix D).
+struct Offer {
+  Vertex target;
+  Weight dist;
+  Vertex pred;
+  Weight pred_w;
+  EdgeKind pred_kind;
+};
+
+/// Applies the best offer per target; `forced` says whether the target's
+/// current parent edge is being eliminated by this pass.
+void apply_offers(pram::Ctx& ctx, std::vector<Offer>& M,
+                  std::vector<Weight>& dist, std::vector<Vertex>& parent,
+                  std::vector<Weight>& parent_w,
+                  std::vector<EdgeKind>& parent_kind,
+                  const std::function<bool(Vertex)>& forced,
+                  Vertex source) {
+  if (M.empty()) return;
+  pram::sort(ctx, std::span<Offer>(M), [](const Offer& x, const Offer& y) {
+    if (x.target != y.target) return x.target < y.target;
+    if (x.dist != y.dist) return x.dist < y.dist;
+    return x.pred < y.pred;
+  });
+  ctx.charge_work(M.size());
+  ctx.charge_depth(1);
+  for (std::size_t i = 0; i < M.size(); ++i) {
+    if (i > 0 && M[i].target == M[i - 1].target) continue;
+    const Offer& o = M[i];
+    if (o.target == source) continue;
+    if (o.dist < dist[o.target] || forced(o.target)) {
+      dist[o.target] = std::min(dist[o.target], o.dist);
+      parent[o.target] = o.pred;
+      parent_w[o.target] = o.pred_w;
+      parent_kind[o.target] = o.pred_kind;
+    }
+  }
+}
+
+/// Offers for a spanning-tree path center → z at scale `si` (steps 2 & 3):
+/// walks z's parent chain up to the center, then emits prefix offers from
+/// the center downward. All steps are original graph edges.
+void tree_path_offers(const ScaleGraph& sg, int si, Vertex center_v,
+                      Vertex z, Weight base_dist, std::vector<Offer>& M) {
+  std::vector<Vertex> chain;  // z … center
+  for (Vertex cur = z; cur != center_v; cur = sg.forest_parent[cur]) {
+    chain.push_back(cur);
+    assert(sg.forest_parent[cur] != cur && "z not under this center");
+  }
+  Weight prefix = 0;
+  Vertex prev = center_v;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    // Edge (forest_parent[*it] == prev) → *it.
+    prefix += sg.forest_parent_w[*it];
+    EdgeKind kind;  // a real graph edge
+    kind.kind = EdgeKind::kGraph;
+    (void)si;
+    M.push_back({*it, base_dist + prefix, prev, sg.forest_parent_w[*it],
+                 kind});
+    prev = *it;
+  }
+}
+
+}  // namespace
+
+ReducedPathReporting build_hopset_reduced_pr(pram::Ctx& ctx, const Graph& g,
+                                             const Params& params) {
+  ReducedPathReporting out;
+  const Vertex n = g.num_vertices();
+  if (n < 2 || g.num_edges() == 0) return out;
+
+  pram::Cost start = ctx.meter.snapshot();
+  auto [wmin, wmax] = g.weight_range();
+  (void)wmax;
+  const graph::AspectRatio ar = graph::aspect_ratio(g);
+  const int log_small = static_cast<int>(
+      std::ceil(std::log2(std::max<double>(4, n / params.epsilon))));
+  Schedule sched0 = make_schedule(params, n, log_small);
+  out.base.beta = sched0.beta;
+  out.base.scales =
+      relevant_scales(g, params.epsilon, sched0.k0, ar.log_lambda - 1, wmin);
+
+  const ScaleGraph* prev = nullptr;
+  for (int k : out.base.scales) {
+    ReducedScaleData sd;
+    sd.sg = build_scale_graph(ctx, g, k, params.epsilon, prev, &sd.stars,
+                              wmin);
+    out.base.total_nodes += sd.sg.center.size();
+    out.base.total_node_edges += sd.sg.g.num_edges();
+    if (sd.sg.g.num_edges() > 0) {
+      sd.node_hopset =
+          build_hopset(ctx, sd.sg.g, params, /*track_paths=*/true);
+      for (const Edge& e : sd.node_hopset.edges)
+        out.base.edges.push_back(
+            {sd.sg.center[e.u], sd.sg.center[e.v], e.w});
+    }
+    out.base.star_edges.insert(out.base.star_edges.end(), sd.stars.begin(),
+                               sd.stars.end());
+    out.scales.push_back(std::move(sd));
+    prev = &out.scales.back().sg;
+  }
+  out.base.edges.insert(out.base.edges.end(), out.base.star_edges.begin(),
+                        out.base.star_edges.end());
+  out.base.build_cost = ctx.meter.snapshot() - start;
+  return out;
+}
+
+SptResult build_spt_reduced(pram::Ctx& ctx, const Graph& g,
+                            const ReducedPathReporting& R, Vertex source) {
+  const Vertex n = g.num_vertices();
+
+  // --- Bellman–Ford on G ∪ H (round cap n: full coverage, early exit).
+  Graph gu = sssp::union_graph(g, R.base.edges);
+  auto bf = sssp::bellman_ford(
+      ctx, gu, source, std::max(R.base.beta, static_cast<int>(n)));
+
+  SptResult out;
+  out.dist = std::move(bf.dist);
+  std::vector<Vertex>& parent = bf.parent;
+  std::vector<Weight> parent_w(n, 0);
+  std::vector<EdgeKind> parent_kind(n);
+
+  // --- Classification maps: (endpoint pair) → candidates with exact
+  // weights. Priority graph > star > hop on weight ties.
+  struct Cand {
+    Weight w;
+    EdgeKind kind;
+  };
+  std::unordered_map<std::uint64_t, std::vector<Cand>> cand;
+  for (Vertex u = 0; u < n; ++u)
+    for (const graph::Arc& a : g.arcs(u))
+      if (u < a.to)
+        cand[vkey(u, a.to)].push_back({a.w, {EdgeKind::kGraph, -1, 0, 0}});
+  for (std::size_t si = 0; si < R.scales.size(); ++si) {
+    const ReducedScaleData& sd = R.scales[si];
+    for (const Edge& e : sd.stars)
+      cand[vkey(e.u, e.v)].push_back(
+          {e.w, {EdgeKind::kStar, static_cast<std::int32_t>(si), 0, 0}});
+    for (std::uint32_t i = 0; i < sd.node_hopset.detailed.size(); ++i) {
+      const HopsetEdge& e = sd.node_hopset.detailed[i];
+      cand[vkey(sd.sg.center[e.u], sd.sg.center[e.v])].push_back(
+          {e.w, {EdgeKind::kHop, static_cast<std::int32_t>(si), i, 0}});
+    }
+  }
+  auto classify = [&](Vertex a, Vertex b, Weight w) -> EdgeKind {
+    auto it = cand.find(vkey(a, b));
+    assert(it != cand.end());
+    const Cand* best = nullptr;
+    for (const Cand& c : it->second) {
+      if (c.w != w) continue;
+      if (best == nullptr || c.kind.kind < best->kind.kind) best = &c;
+    }
+    assert(best != nullptr && "tree edge weight matches no known edge");
+    return best->kind;
+  };
+
+  for (Vertex v = 0; v < n; ++v) {
+    if (parent[v] == kNoVertex || out.dist[v] == kInfWeight) continue;
+    parent_w[v] = gu.edge_weight(parent[v], v);
+    parent_kind[v] = classify(parent[v], v, parent_w[v]);
+  }
+
+  // --- Step 1: hop-edges → chains of node-graph edges between centers.
+  {
+    ++out.peel_iterations;
+    std::vector<Offer> M;
+    for (Vertex v = 0; v < n; ++v) {
+      if (parent_kind[v].kind != EdgeKind::kHop) continue;
+      ++out.replaced_edges;
+      const ReducedScaleData& sd = R.scales[parent_kind[v].scale_idx];
+      const HopsetEdge& he = sd.node_hopset.detailed[parent_kind[v].a];
+      // Orient the node-level witness from parent(v)'s node to v's node.
+      const bool fwd = sd.sg.center[he.u] == parent[v];
+      WitnessPath wit = fwd ? he.witness : he.witness.reversed();
+      std::vector<PathStep> steps;
+      expand_witness(sd.sg, sd.node_hopset, wit, he.scale, steps);
+      Weight prefix = 0;
+      std::uint32_t prev_node = fwd ? he.u : he.v;
+      const Weight base = out.dist[parent[v]];
+      for (const PathStep& s : steps) {
+        prefix += s.w;
+        EdgeKind kind{EdgeKind::kNodeEdge, parent_kind[v].scale_idx,
+                      prev_node, s.v};
+        M.push_back({sd.sg.center[s.v], base + prefix,
+                     sd.sg.center[prev_node], s.w, kind});
+        prev_node = s.v;
+      }
+    }
+    apply_offers(
+        ctx, M, out.dist, parent, parent_w, parent_kind,
+        [&](Vertex v) { return parent_kind[v].kind == EdgeKind::kHop; },
+        source);
+  }
+
+  // --- Step 2: center-center node edges → x* —T_X→ x —E→ y —T_Y→ y*.
+  {
+    ++out.peel_iterations;
+    std::vector<Offer> M;
+    for (Vertex v = 0; v < n; ++v) {
+      if (parent_kind[v].kind != EdgeKind::kNodeEdge) continue;
+      ++out.replaced_edges;
+      const ReducedScaleData& sd = R.scales[parent_kind[v].scale_idx];
+      std::uint32_t X = parent_kind[v].a, Y = parent_kind[v].b;
+      auto key = std::minmax(X, Y);
+      const Edge& re = sd.sg.realizer.at({key.first, key.second});
+      Vertex x = sd.sg.node_of[re.u] == X ? re.u : re.v;
+      Vertex y = x == re.u ? re.v : re.u;
+      assert(sd.sg.node_of[x] == X && sd.sg.node_of[y] == Y);
+      const Vertex cx = sd.sg.center[X], cy = sd.sg.center[Y];
+      const Weight base = out.dist[parent[v]];  // estimate at cx
+      // cx → x along T_X.
+      tree_path_offers(sd.sg, parent_kind[v].scale_idx, cx, x, base, M);
+      // x → y over the realizer edge.
+      Weight at_x = base + sd.sg.tree_dist[x];
+      EdgeKind ge{EdgeKind::kGraph, -1, 0, 0};
+      M.push_back({y, at_x + re.w, x, re.w, ge});
+      // y up to cy: offers along the reversed chain (the Figure 13/14
+      // re-orientation), accumulating from y.
+      Weight run = at_x + re.w;
+      Vertex cur = y;
+      while (cur != cy) {
+        Vertex p = sd.sg.forest_parent[cur];
+        run += sd.sg.forest_parent_w[cur];
+        M.push_back({p, run, cur, sd.sg.forest_parent_w[cur], ge});
+        cur = p;
+      }
+    }
+    apply_offers(
+        ctx, M, out.dist, parent, parent_w, parent_kind,
+        [&](Vertex v) { return parent_kind[v].kind == EdgeKind::kNodeEdge; },
+        source);
+  }
+
+  // --- Step 3: star edges → spanning-tree paths (type A: parent is the
+  // center; type B: child is the center, chain re-oriented).
+  {
+    ++out.peel_iterations;
+    std::vector<Offer> M;
+    for (Vertex v = 0; v < n; ++v) {
+      if (parent_kind[v].kind != EdgeKind::kStar) continue;
+      ++out.replaced_edges;
+      const ReducedScaleData& sd = R.scales[parent_kind[v].scale_idx];
+      const Vertex p = parent[v];
+      if (sd.sg.center[sd.sg.node_of[v]] == p) {
+        // Type A: path p(=center) → v along the tree.
+        tree_path_offers(sd.sg, parent_kind[v].scale_idx, p, v,
+                         out.dist[p], M);
+      } else {
+        // Type B: v is the center; walk p's chain toward v, re-oriented.
+        assert(sd.sg.center[sd.sg.node_of[p]] == v);
+        EdgeKind ge{EdgeKind::kGraph, -1, 0, 0};
+        Weight run = out.dist[p];
+        Vertex cur = p;
+        while (cur != v) {
+          Vertex up = sd.sg.forest_parent[cur];
+          run += sd.sg.forest_parent_w[cur];
+          M.push_back({up, run, cur, sd.sg.forest_parent_w[cur], ge});
+          cur = up;
+        }
+      }
+    }
+    apply_offers(
+        ctx, M, out.dist, parent, parent_w, parent_kind,
+        [&](Vertex v) { return parent_kind[v].kind == EdgeKind::kStar; },
+        source);
+  }
+
+  // --- Assemble and recompute exact distances (§4.2 pointer jumping).
+  out.tree.root = source;
+  out.tree.parent.resize(n);
+  out.tree.parent_weight.assign(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    if (v == source || parent[v] == kNoVertex || out.dist[v] == kInfWeight) {
+      out.tree.parent[v] = v;
+    } else {
+      assert(parent_kind[v].kind == EdgeKind::kGraph &&
+             "non-graph edge survived all replacement steps");
+      out.tree.parent[v] = parent[v];
+      out.tree.parent_weight[v] = parent_w[v];
+    }
+  }
+  out.dist = sssp::tree_distances(ctx, out.tree);
+  for (Vertex v = 0; v < n; ++v)
+    if (v != source && out.tree.parent[v] == v) out.dist[v] = kInfWeight;
+  return out;
+}
+
+}  // namespace parhop::hopset

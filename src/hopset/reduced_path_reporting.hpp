@@ -1,0 +1,57 @@
+// Appendix D: path-reporting hopsets without aspect-ratio dependence
+// (Theorems D.1 and D.2).
+//
+// The reduced hopset (Appendix C) contains two kinds of edges: *hop-edges*
+// between node centers (images of node-graph hopset edges) and *star edges*
+// from node centers to node members, weighted by spanning-tree distances.
+// After a Bellman–Ford exploration on G ∪ H, the tree is converted to a
+// (1+ε')-SPT over original edges by the three-step replacement of D.2
+// (Figure 11):
+//   1. hop-edges → chains of node-graph edges between consecutive node
+//      centers, by recursively expanding the node-level witness paths;
+//   2. each center-center node edge (X,Y) → x* —star→ x —E→ y —star→ y*,
+//      through the lightest original edge realizing (X,Y) (Figure 12);
+//   3. star edges → their spanning-tree paths, re-orienting the parent
+//      chain (Figures 13/14).
+// Every replacement follows a real walk of length at most the replaced
+// edge's weight (eq. 21 inflates node-edge weights by exactly the node
+// diameters consumed in step 2), so estimates never increase and Lemma
+// 4.1's acyclicity invariant carries over.
+#pragma once
+
+#include <map>
+
+#include "hopset/path_reporting.hpp"
+#include "hopset/scale_reduction.hpp"
+
+namespace parhop::hopset {
+
+/// Per-relevant-scale data the replacement steps need. The ScaleGraph
+/// carries the spanning forest (rooted at centers) and the realizer edges;
+/// the node hopset is built with witnesses (track_paths) so hop-edges can
+/// be expanded back to node-graph edges.
+struct ReducedScaleData {
+  ScaleGraph sg;
+  Hopset node_hopset;
+  std::vector<graph::Edge> stars;  ///< this scale's star edges
+};
+
+/// A reduced hopset retaining everything path reporting needs.
+struct ReducedPathReporting {
+  ReducedHopset base;
+  std::vector<ReducedScaleData> scales;
+};
+
+/// Theorem D.1: builds the Λ-independent path-reporting hopset.
+ReducedPathReporting build_hopset_reduced_pr(pram::Ctx& ctx,
+                                             const graph::Graph& g,
+                                             const Params& params);
+
+/// Theorem D.2: retrieves a (1+ε')-SPT over E(g) rooted at `source` using
+/// the reduced path-reporting hopset (ε' = 6ε from the reduction's
+/// compounding, Lemma 4.3 of [EN19]).
+SptResult build_spt_reduced(pram::Ctx& ctx, const graph::Graph& g,
+                            const ReducedPathReporting& R,
+                            graph::Vertex source);
+
+}  // namespace parhop::hopset

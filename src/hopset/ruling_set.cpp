@@ -1,0 +1,62 @@
+#include "hopset/ruling_set.hpp"
+
+#include <algorithm>
+
+#include "hopset/exploration.hpp"
+
+namespace parhop::hopset {
+
+std::vector<std::uint32_t> ruling_set(pram::Ctx& ctx,
+                                      const graph::Graph& gk1,
+                                      const Clustering& P,
+                                      std::span<const std::uint32_t> W,
+                                      const RulingSetOptions& opts) {
+  if (W.empty()) return {};
+  if (W.size() == 1) return {W[0]};
+
+  std::vector<bool> alive(P.size(), false);
+  for (std::uint32_t c : W) alive[c] = true;
+
+  // Cluster ID = ID of its center (§1.5); bit count covers all vertex IDs.
+  const int bits =
+      static_cast<int>(pram::ceil_log2(gk1.num_vertices())) + 1;
+
+  ExploreOptions ex;
+  ex.per_pulse_limit = opts.dist_limit;  // one G̃_i edge per pulse
+  ex.hop_limit = opts.hop_limit;
+  ex.pulses = 2;  // knock-out BFS to depth 2 in G̃_i
+  ex.max_records = 1;
+
+  for (int h = 1; h <= bits; ++h) {
+    const Vertex bit = 1u << (h - 1);
+    // Sources: surviving clusters whose (h-1)-th center-ID bit is 0.
+    std::vector<std::uint32_t> sources;
+    bool any_ones = false;
+    for (std::uint32_t c : W) {
+      if (!alive[c]) continue;
+      if ((P.center[c] & bit) == 0) {
+        sources.push_back(c);
+      } else {
+        any_ones = true;
+      }
+    }
+    if (sources.empty() || !any_ones) continue;
+
+    ExploreResult res = explore(ctx, gk1, P, sources, ex);
+
+    // Knock out detected bit-1 survivors (detections may cross recursion-tree
+    // invocations; only bit-1 clusters are ever removed).
+    for (std::uint32_t c : W) {
+      if (!alive[c] || (P.center[c] & bit) == 0) continue;
+      if (!res.cluster_records[c].empty()) alive[c] = false;
+    }
+  }
+
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t c : W)
+    if (alive[c]) out.push_back(c);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace parhop::hopset

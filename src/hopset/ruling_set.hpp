@@ -1,0 +1,39 @@
+// Algorithm 4: deterministic (3, 2·log n)-ruling sets for cluster sets with
+// respect to the virtual graph G̃_i (Appendix B), after [AGLP89, SEW13,
+// KMW18]. This is the paper's replacement for the random sampling of [EN19]
+// — the derandomization pivot of the whole construction.
+//
+// The divide-and-conquer on ID bits is executed bottom-up: at height h all
+// recursion-tree invocations at that height run one shared knock-out BFS to
+// depth 2 in G̃_i, sourced at every surviving cluster whose (h−1)-th ID bit
+// is 0; surviving clusters with bit 1 that are detected are knocked out
+// (possibly by another invocation's sources — Figure 9 of the paper).
+// After ⌈log n⌉ heights the survivors form the ruling set:
+//   separation: any two survivors are at G̃-distance ≥ 3 (Lemma B.2);
+//   covering:   every input cluster has a survivor within 2·⌈log n⌉
+//               G̃-hops (Lemma B.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hopset/cluster.hpp"
+#include "pram/primitives.hpp"
+
+namespace parhop::hopset {
+
+struct RulingSetOptions {
+  graph::Weight dist_limit = graph::kInfWeight;  ///< (1+ε)δ_i — defines G̃_i
+  int hop_limit = 1;                             ///< 2β+1
+};
+
+/// Computes a (3, 2·⌈log n⌉)-ruling set for the clusters `W` (indices into
+/// P) w.r.t. G̃_i. Returned indices are a subset of W, sorted.
+std::vector<std::uint32_t> ruling_set(pram::Ctx& ctx,
+                                      const graph::Graph& gk1,
+                                      const Clustering& P,
+                                      std::span<const std::uint32_t> W,
+                                      const RulingSetOptions& opts);
+
+}  // namespace parhop::hopset

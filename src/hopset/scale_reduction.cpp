@@ -1,0 +1,237 @@
+#include "hopset/scale_reduction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "graph/aspect_ratio.hpp"
+#include "graph/connectivity.hpp"
+
+namespace parhop::hopset {
+
+namespace {
+
+using graph::Arc;
+using graph::Components;
+using graph::Edge;
+using graph::Graph;
+using graph::Weight;
+
+/// Orients the node spanning forests away from the node centers, recording
+/// parent pointers and center distances (Appendix C computes the distances
+/// with pointer jumping; the trees are small and the orientation must also
+/// serve Appendix D's star-path replay, so a center-rooted BFS does both).
+void orient_forest_at_centers(const Graph& g, const Components& comp,
+                              ScaleGraph& sg) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::vector<std::pair<Vertex, Weight>>> adj(n);
+  for (const Edge& e : comp.forest) {
+    adj[e.u].push_back({e.v, e.w});
+    adj[e.v].push_back({e.u, e.w});
+  }
+  sg.tree_dist.assign(n, 0);
+  sg.forest_parent.resize(n);
+  sg.forest_parent_w.assign(n, 0);
+  for (Vertex v = 0; v < n; ++v) sg.forest_parent[v] = v;
+  std::vector<bool> visited(n, false);
+  std::vector<Vertex> stack;
+  for (std::size_t node = 0; node < sg.center.size(); ++node) {
+    Vertex c = sg.center[node];
+    visited[c] = true;
+    stack.push_back(c);
+    while (!stack.empty()) {
+      Vertex u = stack.back();
+      stack.pop_back();
+      for (auto [to, w] : adj[u]) {
+        if (visited[to]) continue;
+        visited[to] = true;
+        sg.tree_dist[to] = sg.tree_dist[u] + w;
+        sg.forest_parent[to] = u;
+        sg.forest_parent_w[to] = w;
+        stack.push_back(to);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int> relevant_scales(const Graph& g, double eps, int k0,
+                                 int lambda, double unit) {
+  const double n = std::max<double>(2, g.num_vertices());
+  std::vector<int> out;
+  for (int k = k0; k <= lambda; ++k) {
+    const double lo = unit * (eps / n) * std::exp2(k);
+    const double hi = unit * std::exp2(k + 1);
+    bool relevant = false;
+    for (const Arc& a : g.all_arcs()) {
+      if (a.w > lo && a.w <= hi) {
+        relevant = true;
+        break;
+      }
+    }
+    if (relevant) out.push_back(k);
+  }
+  return out;
+}
+
+ScaleGraph build_scale_graph(pram::Ctx& ctx, const Graph& g, int k,
+                             double eps, const ScaleGraph* prev,
+                             std::vector<Edge>* star_out, double unit) {
+  const Vertex n = g.num_vertices();
+  const double n_d = std::max<double>(2, n);
+  const Weight contract_below = unit * (eps / n_d) * std::exp2(k);
+  const Weight keep_below = unit * std::exp2(k + 1);
+
+  ScaleGraph sg;
+  sg.k = k;
+
+  // Nodes: components over light edges, with their spanning forest.
+  Components comp = graph::connected_components(
+      ctx, g, [&](Vertex, const Arc& a) { return a.w <= contract_below; });
+
+  // Compact node ids from canonical labels.
+  sg.node_of.assign(n, 0);
+  std::vector<Vertex> canon;  // node id → canonical label vertex
+  {
+    std::vector<std::uint32_t> id_of_label(n, kNoCluster);
+    for (Vertex v = 0; v < n; ++v) {
+      Vertex lab = comp.label[v];
+      if (id_of_label[lab] == kNoCluster) {
+        id_of_label[lab] = static_cast<std::uint32_t>(canon.size());
+        canon.push_back(lab);
+      }
+      sg.node_of[v] = id_of_label[lab];
+    }
+  }
+  const std::size_t num_nodes = canon.size();
+  sg.node_size.assign(num_nodes, 0);
+  for (Vertex v = 0; v < n; ++v) ++sg.node_size[sg.node_of[v]];
+
+  // Centers: base scale picks the canonical (smallest-ID) vertex; higher
+  // scales inherit the center of the largest previous-scale child node
+  // (Appendix C.3's laminar rule — bounds the star count, Lemma C.1).
+  sg.center.assign(num_nodes, graph::kNoVertex);
+  if (prev == nullptr) {
+    for (std::size_t u = 0; u < num_nodes; ++u) sg.center[u] = canon[u];
+  } else {
+    // Largest child per node; ties toward the smaller child center.
+    std::vector<std::uint32_t> best_child(num_nodes, kNoCluster);
+    for (std::size_t child = 0; child < prev->center.size(); ++child) {
+      // All members of a previous-scale node share the same new node.
+      Vertex rep = prev->center[child];
+      std::uint32_t u = sg.node_of[rep];
+      if (best_child[u] == kNoCluster) {
+        best_child[u] = static_cast<std::uint32_t>(child);
+        continue;
+      }
+      std::uint32_t b = best_child[u];
+      if (prev->node_size[child] > prev->node_size[b] ||
+          (prev->node_size[child] == prev->node_size[b] &&
+           prev->center[child] < prev->center[b])) {
+        best_child[u] = static_cast<std::uint32_t>(child);
+      }
+    }
+    for (std::size_t u = 0; u < num_nodes; ++u) {
+      sg.center[u] = best_child[u] == kNoCluster
+                         ? canon[u]  // vertex unseen before (cannot happen
+                                     // when prev covers V, kept for safety)
+                         : prev->center[best_child[u]];
+    }
+  }
+
+  // Orient spanning forests at centers (fills tree_dist / forest_parent).
+  orient_forest_at_centers(g, comp, sg);
+
+  // Star edges: every vertex outside the center-contributing child connects
+  // to the node center, weighted by its spanning-tree distance (Appendix
+  // C.3's careful weights, needed by Appendix D).
+  if (star_out != nullptr) {
+    for (Vertex v = 0; v < n; ++v) {
+      Vertex c = sg.center[sg.node_of[v]];
+      if (v == c) continue;
+      const bool in_center_child =
+          prev != nullptr && prev->node_of[v] == prev->node_of[c];
+      if (prev == nullptr || !in_center_child) {
+        star_out->push_back(
+            {c, v, std::max<Weight>(sg.tree_dist[v], 1e-12)});
+      }
+    }
+  }
+
+  // Node-graph edges: lightest original edge per node pair within the scale
+  // cap, inflated by the node sizes (eq. 21). The realizer edges are kept
+  // for the Figure-12 replacement step.
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Arc& a : g.arcs(u)) {
+      if (u >= a.to || a.w > keep_below) continue;
+      std::uint32_t x = sg.node_of[u], y = sg.node_of[a.to];
+      if (x == y) continue;
+      auto key = std::minmax(x, y);
+      Edge cand{u, a.to, a.w};
+      auto [it, inserted] =
+          sg.realizer.insert({{key.first, key.second}, cand});
+      if (!inserted && a.w < it->second.w) it->second = cand;
+    }
+  }
+  std::vector<Edge> node_edges;
+  node_edges.reserve(sg.realizer.size());
+  for (const auto& [key, e] : sg.realizer) {
+    Weight inflated =
+        e.w + (sg.node_size[key.first] + sg.node_size[key.second]) *
+                  contract_below;
+    node_edges.push_back({key.first, key.second, inflated});
+  }
+  sg.g = Graph::from_edges(static_cast<Vertex>(num_nodes), node_edges);
+  return sg;
+}
+
+ReducedHopset build_hopset_reduced(pram::Ctx& ctx, const Graph& g,
+                                   const Params& params) {
+  ReducedHopset out;
+  const Vertex n = g.num_vertices();
+  if (n < 2 || g.num_edges() == 0) return out;
+
+  pram::Cost start = ctx.meter.snapshot();
+
+  auto [wmin, wmax_orig] = g.weight_range();
+  const graph::AspectRatio ar = graph::aspect_ratio(g);
+
+  // β / k0 come from a fixed O(n/ε) aspect ratio — the whole point of the
+  // reduction (Theorem C.2's β has no Λ term).
+  const int log_small = static_cast<int>(std::ceil(
+      std::log2(std::max<double>(4, n / params.epsilon))));
+  Schedule sched0 = make_schedule(params, n, log_small);
+  out.beta = sched0.beta;
+
+  out.scales =
+      relevant_scales(g, params.epsilon, sched0.k0, ar.log_lambda - 1, wmin);
+
+  ScaleGraph prev;
+  bool have_prev = false;
+  for (int k : out.scales) {
+    ScaleGraph sg =
+        build_scale_graph(ctx, g, k, params.epsilon,
+                          have_prev ? &prev : nullptr, &out.star_edges, wmin);
+    out.total_nodes += sg.center.size();
+    out.total_node_edges += sg.g.num_edges();
+
+    if (sg.g.num_edges() > 0) {
+      Hopset hk = build_hopset(ctx, sg.g, params, /*track_paths=*/false);
+      for (const Edge& e : hk.edges)
+        out.edges.push_back({sg.center[e.u], sg.center[e.v], e.w});
+    }
+    prev = std::move(sg);
+    have_prev = true;
+  }
+  (void)wmax_orig;
+
+  out.edges.insert(out.edges.end(), out.star_edges.begin(),
+                   out.star_edges.end());
+
+  out.build_cost = ctx.meter.snapshot() - start;
+  return out;
+}
+
+}  // namespace parhop::hopset

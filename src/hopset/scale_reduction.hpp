@@ -1,0 +1,81 @@
+// Klein–Sairam weight reduction (Appendix C, Theorems C.2/C.3): removes the
+// aspect-ratio Λ dependence from the hopset's hopbound and depth.
+//
+// For every *relevant* scale k (some edge weight lies in ((ε/n)2^k, 2^{k+1}]),
+// a contracted node graph G_k is formed: vertices are the connected
+// components ("nodes") over edges of weight ≤ (ε/n)·2^k, and an edge (X, Y)
+// of weight min ω(x,y) + (|X|+|Y|)·(ε/n)·2^k joins nodes with an original
+// edge of weight ≤ 2^{k+1} between them (eq. 21). Each G_k has aspect ratio
+// O(n/ε), so its hopset needs only O(log(n/ε)) scales regardless of Λ.
+//
+// Node centers follow the laminar largest-child rule of Appendix C.3 (which
+// keeps the star-edge count ≤ n·log n, Lemma C.1); star edges carry their
+// spanning-tree distance to the center — the careful weight assignment that
+// Appendix D's path reporting requires. The final hopset maps every node-
+// graph hopset edge to the corresponding pair of centers and adds the stars.
+//
+// Deviation noted in DESIGN.md: we keep all scales of each G_k's hopset
+// rather than only its top scale, which is sound (no edge is ever shorter
+// than a real distance) and costs one extra log factor in size — the size
+// actually achieved is what experiment E9 measures.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hopset/hopset.hpp"
+#include "hopset/params.hpp"
+#include "pram/primitives.hpp"
+
+namespace parhop::hopset {
+
+/// A contracted per-scale node graph, retaining the structures the
+/// Appendix D replacement steps need (spanning forests, realizer edges).
+struct ScaleGraph {
+  int k = 0;
+  graph::Graph g;                       ///< node graph G_k
+  std::vector<Vertex> center;           ///< node → center vertex of G
+  std::vector<std::uint32_t> node_of;   ///< original vertex → node id
+  std::vector<std::uint32_t> node_size; ///< |U| per node
+  /// Spanning forest of the contracted light edges, rooted at node centers:
+  /// forest_parent[center] == center; edges are original graph edges.
+  std::vector<Vertex> forest_parent;
+  std::vector<Weight> forest_parent_w;
+  /// d_{T_U}(center, v) for every vertex (the star-edge weights).
+  std::vector<Weight> tree_dist;
+  /// Lightest original edge realizing each node-graph edge, keyed by the
+  /// (min,max) node-id pair (Figure 12's (x, y)).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, graph::Edge> realizer;
+};
+
+/// Scales k in [k0, lambda] with an edge weight in
+/// (unit·(ε/n)2^k, unit·2^{k+1}] — `unit` is the minimum edge weight
+/// (bands are shifted instead of rescaling weights; see Schedule::unit).
+std::vector<int> relevant_scales(const graph::Graph& g, double eps, int k0,
+                                 int lambda, double unit = 1.0);
+
+/// Builds G_k. `prev` (the previous relevant scale, or nullptr at the base)
+/// drives the laminar largest-child center selection; `star_out` receives
+/// this scale's star edges.
+ScaleGraph build_scale_graph(pram::Ctx& ctx, const graph::Graph& g, int k,
+                             double eps, const ScaleGraph* prev,
+                             std::vector<graph::Edge>* star_out,
+                             double unit = 1.0);
+
+/// The reduced (Λ-independent) hopset.
+struct ReducedHopset {
+  std::vector<graph::Edge> edges;       ///< center-mapped hopset ∪ stars
+  std::vector<graph::Edge> star_edges;  ///< the S set alone (for analysis)
+  std::vector<int> scales;              ///< relevant scale indices K
+  std::size_t total_nodes = 0;          ///< Σ_k |V_k|
+  std::size_t total_node_edges = 0;     ///< Σ_k |E(G_k)|
+  int beta = 0;                         ///< hop budget for the final BF
+  pram::Cost build_cost;
+};
+
+/// Theorem C.2: (1+O(ε), β)-hopset with no Λ dependence.
+ReducedHopset build_hopset_reduced(pram::Ctx& ctx, const graph::Graph& g,
+                                   const Params& params);
+
+}  // namespace parhop::hopset

@@ -1,0 +1,84 @@
+#include "hopset/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace parhop::hopset {
+
+void write_hopset(std::ostream& out, const Hopset& h) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "parhop-hopset 1\n";
+  out << "params " << h.schedule.eps_hat << ' ' << h.schedule.ell << ' '
+      << h.schedule.beta << ' ' << h.schedule.k0 << ' ' << h.schedule.lambda
+      << ' ' << h.schedule.unit << '\n';
+  out << "edges " << h.detailed.size() << '\n';
+  for (const HopsetEdge& e : h.detailed) {
+    out << "e " << e.u << ' ' << e.v << ' ' << e.w << ' ' << e.scale << ' '
+        << e.phase << ' ' << (e.superclustering ? 1 : 0) << ' '
+        << e.witness.steps.size() << '\n';
+    if (!e.witness.steps.empty()) {
+      out << "w";
+      for (const PathStep& s : e.witness.steps)
+        out << ' ' << s.v << ' ' << s.w;
+      out << '\n';
+    }
+  }
+}
+
+void write_hopset_file(const std::string& path, const Hopset& h) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_hopset(out, h);
+}
+
+Hopset read_hopset(std::istream& in) {
+  Hopset h;
+  std::string tag;
+  int version = 0;
+  in >> tag >> version;
+  if (!in || tag != "parhop-hopset" || version != 1)
+    throw std::runtime_error("hopset: bad magic/version");
+  in >> tag;
+  if (tag != "params") throw std::runtime_error("hopset: expected params");
+  in >> h.schedule.eps_hat >> h.schedule.ell >> h.schedule.beta >>
+      h.schedule.k0 >> h.schedule.lambda >> h.schedule.unit;
+  std::size_t count = 0;
+  in >> tag >> count;
+  if (!in || tag != "edges") throw std::runtime_error("hopset: expected edges");
+  h.detailed.reserve(count);
+  h.edges.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    in >> tag;
+    if (tag != "e") throw std::runtime_error("hopset: expected edge line");
+    HopsetEdge e;
+    int sc = 0, ph = 0, super = 0;
+    std::size_t wit = 0;
+    in >> e.u >> e.v >> e.w >> sc >> ph >> super >> wit;
+    if (!in) throw std::runtime_error("hopset: truncated edge");
+    e.scale = static_cast<std::int16_t>(sc);
+    e.phase = static_cast<std::int16_t>(ph);
+    e.superclustering = super != 0;
+    if (wit > 0) {
+      in >> tag;
+      if (tag != "w") throw std::runtime_error("hopset: expected witness");
+      e.witness.steps.resize(wit);
+      for (auto& s : e.witness.steps) in >> s.v >> s.w;
+      if (!in) throw std::runtime_error("hopset: truncated witness");
+    }
+    h.edges.push_back({e.u, e.v, e.w});
+    h.detailed.push_back(std::move(e));
+  }
+  h.weight_scale = h.schedule.unit;
+  return h;
+}
+
+Hopset read_hopset_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_hopset(in);
+}
+
+}  // namespace parhop::hopset

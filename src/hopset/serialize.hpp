@@ -1,0 +1,32 @@
+// Hopset (de)serialization: a plain text format so a built hopset (the
+// expensive one-time product) can be stored beside its graph and reloaded by
+// query services. Witness paths are included when present, so a reloaded
+// hopset still supports SPT retrieval.
+//
+// Format (line-oriented, '#' comments):
+//   parhop-hopset 1
+//   params <epsilon> <kappa> <rho> <beta> <k0> <lambda> <unit>
+//   edges <count>
+//   e <u> <v> <w> <scale> <phase> <superclustering 0/1> <witness_len>
+//   [w <v0> <w0> <v1> <w1> ...]        # one line per edge with witness_len>0
+// Weights use max_digits10 so round-trips are bit-exact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hopset/hopset.hpp"
+
+namespace parhop::hopset {
+
+/// Writes the hopset (detailed edges + schedule essentials).
+void write_hopset(std::ostream& out, const Hopset& h);
+void write_hopset_file(const std::string& path, const Hopset& h);
+
+/// Reads a hopset written by write_hopset. Throws std::runtime_error on
+/// malformed input. The schedule carries only the serialized fields (β, k0,
+/// λ, ε̂-independent parts); deg/δ schedules are not needed after building.
+Hopset read_hopset(std::istream& in);
+Hopset read_hopset_file(const std::string& path);
+
+}  // namespace parhop::hopset

@@ -1,0 +1,243 @@
+#include "hopset/single_scale.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hopset/exploration.hpp"
+#include "hopset/ruling_set.hpp"
+
+namespace parhop::hopset {
+
+namespace {
+
+using graph::Graph;
+
+/// Builds the witness for an interconnection edge: r_src → x → ⋯ → y → r_C,
+/// where rec.path is the recorded x → y walk.
+WitnessPath interconnect_witness(const Record& rec, const ClusterMemory& cmem,
+                                 const Clustering& P, std::uint32_t c) {
+  WitnessPath w;
+  WitnessPath xy = materialize(rec.path);
+  assert(!xy.empty());
+  // x ∈ C_src: prepend r_src → x.
+  w = cmem.to_center[xy.first()].reversed();
+  w.append(xy);
+  // y ∈ C: append y → r_C.
+  w.append(cmem.to_center[w.last()]);
+  (void)P;
+  (void)c;
+  return w;
+}
+
+}  // namespace
+
+SingleScaleResult build_single_scale(pram::Ctx& ctx, const Graph& gk1, int k,
+                                     const Schedule& sched,
+                                     const Params& params, bool track_paths,
+                                     const SeedSelector& seeds) {
+  const Vertex n = gk1.num_vertices();
+  SingleScaleResult out;
+
+  Clustering P = Clustering::singletons(n);
+  ClusterMemory cmem =
+      track_paths ? ClusterMemory::singletons(n) : ClusterMemory{};
+
+  const int hop_limit = 2 * sched.beta + 1;
+  // Covering radius of the ruling set is 2·(#ID bits); the supercluster BFS
+  // must reach at least that far or a popular cluster could be missed
+  // (Lemma 2.4 relies on it).
+  const int id_bits =
+      static_cast<int>(pram::ceil_log2(std::max<Vertex>(2, n))) + 1;
+  const int bfs_depth = 2 * id_bits;
+
+  for (int i = 0; i <= sched.ell; ++i) {
+    PhaseStats ps;
+    ps.phase = i;
+    ps.clusters_in = P.size();
+    if (P.size() <= 1) {
+      out.phases.push_back(ps);
+      break;
+    }
+
+    const std::uint64_t deg_i = sched.deg[i];
+    const double delta_i = sched.delta(k, i);
+    const graph::Weight limit = (1 + params.epsilon) * delta_i;
+    const double paper_radius = sched.radius_bound(k, i, sched.logn);
+
+    const bool last_phase = (i == sched.ell);
+
+    // --- Detection: x = deg_i + 1 nearest clusters per cluster. In the last
+    // phase every cluster must learn all of its neighbors (the paper runs
+    // |P_ℓ| explorations; eq. 5 guarantees |P_ℓ| ≤ deg_ℓ). A seed policy
+    // that under-shrinks (e.g. a badly tuned sampling baseline) could leave
+    // |P_ℓ| ≫ deg_ℓ and make the all-pairs step quadratic, so the widening
+    // is capped at 8·deg_ℓ records — a no-op whenever the theory holds.
+    ExploreOptions det;
+    det.dist_limit = limit;
+    det.per_pulse_limit = limit;
+    det.hop_limit = hop_limit;
+    det.pulses = 1;
+    det.max_records = static_cast<std::uint32_t>(
+        last_phase ? std::clamp<std::uint64_t>(P.size(), deg_i + 1,
+                                               8 * deg_i + 1)
+                   : deg_i + 1);
+    det.track_paths = track_paths;
+    det.cmem = track_paths ? &cmem : nullptr;
+
+    std::vector<std::uint32_t> all_ids(P.size());
+    for (std::size_t c = 0; c < P.size(); ++c)
+      all_ids[c] = static_cast<std::uint32_t>(c);
+    ExploreResult det_res = explore(ctx, gk1, P, all_ids, det);
+    ps.detect_steps = det_res.total_steps;
+
+    // Popular: at least deg_i neighbors besides itself.
+    std::vector<bool> superclustered(P.size(), false);
+    std::vector<std::uint32_t> supercluster_of(P.size(), kNoCluster);
+    std::vector<std::uint32_t> popular;
+    if (!last_phase) {
+      for (std::size_t c = 0; c < P.size(); ++c)
+        if (det_res.cluster_records[c].size() >= deg_i + 1)
+          popular.push_back(static_cast<std::uint32_t>(c));
+      ps.popular = popular.size();
+    }
+
+    std::vector<std::uint32_t> ruling;
+    ExploreResult sc_res;
+    if (!last_phase && !popular.empty()) {
+      // --- Ruling set over the popular clusters.
+      RulingSetOptions rs;
+      rs.dist_limit = limit;
+      rs.hop_limit = hop_limit;
+      ruling = seeds ? seeds(ctx, gk1, P, popular, rs, deg_i)
+                     : ruling_set(ctx, gk1, P, popular, rs);
+      ps.ruling = ruling.size();
+
+      // --- Supercluster-growing BFS to depth 2·log n in G̃_i, center mode:
+      // crossing cluster C costs 2·R̂(C), so record distances bound real
+      // center-to-boundary walks (Lemma 2.3 / eq. 4).
+      std::vector<graph::Weight> teleport(P.size());
+      for (std::size_t c = 0; c < P.size(); ++c) teleport[c] = 2 * P.radius[c];
+      ExploreOptions sc;
+      sc.per_pulse_limit = limit;  // one G̃_i edge per pulse; teleports free
+      sc.hop_limit = hop_limit;
+      sc.pulses = bfs_depth;
+      sc.max_records = 1;
+      sc.track_paths = track_paths;
+      sc.cmem = track_paths ? &cmem : nullptr;
+      sc.teleport_cost = teleport;
+      sc_res = explore(ctx, gk1, P, ruling, sc);
+      ps.bfs_pulses = sc_res.pulses_run;
+
+      for (std::size_t c = 0; c < P.size(); ++c) {
+        if (sc_res.cluster_records[c].empty()) continue;
+        superclustered[c] = true;
+        supercluster_of[c] = sc_res.cluster_records[c][0].src;
+      }
+      for (std::uint32_t q : ruling) {
+        superclustered[q] = true;  // rulers absorb themselves
+        supercluster_of[q] = q;
+      }
+    }
+
+    // --- Interconnection: U_i clusters connect to their U_i neighbors.
+    for (std::size_t c = 0; c < P.size(); ++c) {
+      if (superclustered[c]) continue;
+      for (const Record& rec : det_res.cluster_records[c]) {
+        if (rec.src == c || superclustered[rec.src]) continue;
+        HopsetEdge e;
+        e.u = P.center[rec.src];
+        e.v = P.center[c];
+        e.scale = static_cast<std::int16_t>(k);
+        e.phase = static_cast<std::int16_t>(i);
+        e.superclustering = false;
+        e.w = params.tight_weights
+                  ? rec.dist + P.radius[c] + P.radius[rec.src]
+                  : rec.dist + 2 * paper_radius;
+        if (track_paths) {
+          e.witness = interconnect_witness(rec, cmem, P,
+                                           static_cast<std::uint32_t>(c));
+          assert(e.witness.first() == e.u && e.witness.last() == e.v);
+        }
+        out.edges.push_back(std::move(e));
+        ++ps.interconnect_edges;
+      }
+    }
+
+    if (last_phase || popular.empty()) {
+      out.phases.push_back(ps);
+      if (last_phase) break;
+      // No popular clusters: every cluster was interconnected; later phases
+      // would see the same collection, so stop early.
+      break;
+    }
+
+    // --- Form the next collection P_{i+1} from the superclusters, emitting
+    // superclustering edges and updating radii / cluster memory.
+    Clustering next;
+    next.cluster_of.assign(n, kNoCluster);
+    std::vector<std::uint32_t> new_id(P.size(), kNoCluster);
+    for (std::uint32_t q : ruling) {
+      new_id[q] = static_cast<std::uint32_t>(next.center.size());
+      next.center.push_back(P.center[q]);
+      next.members.emplace_back();
+      next.radius.push_back(P.radius[q]);
+    }
+    ClusterMemory next_cmem = cmem;  // unchanged entries keep old paths
+
+    for (std::size_t c = 0; c < P.size(); ++c) {
+      if (!superclustered[c]) continue;
+      const std::uint32_t q = supercluster_of[c];
+      const std::uint32_t nc = new_id[q];
+      assert(nc != kNoCluster);
+      for (Vertex v : P.members[c]) {
+        next.members[nc].push_back(v);
+        next.cluster_of[v] = nc;
+      }
+      if (c == q) continue;  // the ruler itself: radius/memory already set
+
+      const Record& rec = sc_res.cluster_records[c][0];
+      // rec.dist bounds a real r_q → y walk (y ∈ C); r_q → any member u of C
+      // is then ≤ rec.dist + 2·R̂(C).
+      next.radius[nc] =
+          std::max(next.radius[nc], rec.dist + 2 * P.radius[c]);
+
+      HopsetEdge e;
+      e.u = P.center[q];
+      e.v = P.center[c];
+      e.scale = static_cast<std::int16_t>(k);
+      e.phase = static_cast<std::int16_t>(i);
+      e.superclustering = true;
+      e.w = params.tight_weights
+                ? rec.dist + P.radius[c]
+                : 2 * ((1 + sched.eps_hat) * delta_i + 2 * paper_radius) *
+                      sched.logn;
+      if (track_paths) {
+        // Witness r_q → y → r_C; rec.path ends at some y ∈ C.
+        WitnessPath wit = materialize(rec.path);
+        assert(!wit.empty());
+        wit.append(cmem.to_center[wit.last()]);
+        assert(wit.first() == e.u && wit.last() == e.v);
+        // New cluster memory for C's members: v → r_C → r_q.
+        WitnessPath back = wit.reversed();  // r_C → r_q
+        for (Vertex v : P.members[c]) {
+          WitnessPath p = cmem.to_center[v];  // v → r_C
+          p.append(back);
+          next_cmem.to_center[v] = std::move(p);
+        }
+        e.witness = std::move(wit);
+      }
+      out.edges.push_back(std::move(e));
+      ++ps.supercluster_edges;
+    }
+    ps.superclustered =
+        static_cast<std::size_t>(
+            std::count(superclustered.begin(), superclustered.end(), true));
+
+    out.phases.push_back(ps);
+    P = std::move(next);
+    if (track_paths) cmem = std::move(next_cmem);
+  }
+  return out;
+}
+
+}  // namespace parhop::hopset

@@ -1,0 +1,86 @@
+// Single-scale hopset H_k via superclustering-and-interconnection (§2.1).
+//
+// Phases i = 0..ℓ over a shrinking cluster collection P_i:
+//   detection        — Algorithm 2 with x = deg_i + 1 finds, per cluster,
+//                      its nearest neighboring clusters within (1+ε)δ_i;
+//                      clusters with ≥ deg_i neighbors are "popular";
+//   superclustering  — a (3, 2log n)-ruling set Q_i of the popular clusters
+//                      (Algorithm 4) grows superclusters by a depth-2log n
+//                      BFS in G̃_i; absorbed clusters add a superclustering
+//                      edge to their new center (i < ℓ only);
+//   interconnection  — clusters left out (U_i) add edges to every U_i
+//                      neighbor found by the detection.
+//
+// Edge weights come in two modes (Params::tight_weights):
+//   tight — the length bound of an actual witness walk assembled during the
+//           exploration (record distance + measured cluster radii R̂); always
+//           ≤ the paper's closed-form weight and ≥ d_G, so both directions of
+//           the hopset inequality (1) are preserved (DESIGN.md §1);
+//   paper — the closed forms 2((1+ε)δ_i + 2R_i)·log n (superclustering) and
+//           d^{(2β+1)}(C,C′) + 2R_i (interconnection) of §2.1.1–2.1.2.
+//
+// In path-reporting mode every emitted edge carries its witness path in
+// G_{k-1} = G ∪ H_{<k} (§4.3's memory property), and the per-vertex cluster
+// memory (paths to centers) is maintained across phases.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hopset/cluster.hpp"
+#include "hopset/params.hpp"
+#include "hopset/ruling_set.hpp"
+#include "pram/primitives.hpp"
+
+namespace parhop::hopset {
+
+/// Hook that chooses the supercluster seeds Q_i from the popular clusters
+/// W_i. The default is the deterministic ruling set (Algorithm 4); the
+/// randomized [EN19]-style baseline and the E10a ablation plug in sampling.
+/// deg_i is the phase's popularity threshold.
+using SeedSelector = std::function<std::vector<std::uint32_t>(
+    pram::Ctx&, const graph::Graph&, const Clustering&,
+    std::span<const std::uint32_t> popular, const RulingSetOptions&,
+    std::uint64_t deg_i)>;
+
+/// One hopset edge with provenance (scale, phase, kind) and optional witness.
+struct HopsetEdge {
+  Vertex u = 0;
+  Vertex v = 0;
+  Weight w = 0;
+  std::int16_t scale = 0;         ///< k
+  std::int16_t phase = 0;         ///< i
+  bool superclustering = false;   ///< else interconnection
+  WitnessPath witness;            ///< path-reporting mode only; lives in G_{k-1}
+};
+
+/// Per-phase observability for the experiment harness.
+struct PhaseStats {
+  int phase = 0;
+  std::size_t clusters_in = 0;
+  std::size_t popular = 0;
+  std::size_t ruling = 0;
+  std::size_t superclustered = 0;
+  std::size_t supercluster_edges = 0;
+  std::size_t interconnect_edges = 0;
+  int detect_steps = 0;
+  int bfs_pulses = 0;
+};
+
+struct SingleScaleResult {
+  std::vector<HopsetEdge> edges;
+  std::vector<PhaseStats> phases;
+};
+
+/// Builds H_k for scale k over gk1 = G ∪ H_{<k}. `track_paths` enables the
+/// §4 path-reporting variant (witness paths + cluster memory). A null
+/// `seeds` selects the deterministic ruling set.
+SingleScaleResult build_single_scale(pram::Ctx& ctx, const graph::Graph& gk1,
+                                     int k, const Schedule& sched,
+                                     const Params& params, bool track_paths,
+                                     const SeedSelector& seeds = nullptr);
+
+}  // namespace parhop::hopset

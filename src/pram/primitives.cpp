@@ -1,0 +1,32 @@
+#include "pram/primitives.hpp"
+
+namespace parhop::pram {
+
+void pointer_jump(Ctx& ctx, std::span<std::uint32_t> parent,
+                  std::span<double> dist_to_parent) {
+  const std::size_t n = parent.size();
+  if (n == 0) return;
+  const bool with_dist = !dist_to_parent.empty();
+  assert(!with_dist || dist_to_parent.size() == n);
+
+  std::vector<std::uint32_t> next_parent(n);
+  std::vector<double> next_dist(with_dist ? n : 0);
+  const std::uint64_t rounds = ceil_log2(n) + 1;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    parallel_for(ctx, n, [&](std::size_t v) {
+      std::uint32_t p = parent[v];
+      next_parent[v] = parent[p];
+      if (with_dist) next_dist[v] = dist_to_parent[v] + dist_to_parent[p];
+    });
+    parallel_for(ctx, n, [&](std::size_t v) {
+      parent[v] = next_parent[v];
+      if (with_dist) dist_to_parent[v] = next_dist[v];
+    });
+  }
+}
+
+void pointer_jump(Ctx& ctx, std::span<std::uint32_t> parent) {
+  pointer_jump(ctx, parent, {});
+}
+
+}  // namespace parhop::pram

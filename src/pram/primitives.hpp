@@ -1,0 +1,243 @@
+// Deterministic data-parallel primitives with PRAM cost metering.
+//
+// Every primitive takes a Ctx (thread pool + meter). Charging rules:
+//   parallel_for(n)        work n,            depth 1   (one CREW round)
+//   reduce / scan (m)      work 2m,           depth 2·ceil(log2 m)
+//   pack (m)               work 3m,           depth 2·ceil(log2 m) + 1
+//   sort (m)               work m·ceil(log2 m), depth ceil(log2 m)  [AKS charge]
+//   pointer_jump (n)       work n per round,  depth 1 per round, log n rounds
+//
+// Bodies passed to parallel_for must be O(1) elementary operations (or charge
+// additional work explicitly via Ctx::charge_work from the call site). Depth
+// must only ever be charged from the orchestrating thread.
+//
+// Determinism: chunking uses a fixed grain independent of thread count, and
+// per-chunk partials are combined sequentially in chunk order; results are
+// bit-identical regardless of pool size.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/thread_pool.hpp"
+#include "pram/work_depth.hpp"
+
+namespace parhop::pram {
+
+/// Execution context: which pool runs primitives and which meter is charged.
+struct Ctx {
+  ThreadPool* pool;
+  Meter meter;
+
+  explicit Ctx(ThreadPool* p = &ThreadPool::global()) : pool(p) {}
+
+  void charge_work(std::uint64_t w) { meter.add_work(w); }
+  void charge_depth(std::uint64_t d) { meter.add_depth(d); }
+};
+
+/// Fixed chunk grain (thread-count independent; see determinism contract).
+inline constexpr std::size_t kGrain = 1024;
+
+/// ceil(log2 x) with ceil_log2(0) == ceil_log2(1) == 0.
+inline std::uint64_t ceil_log2(std::uint64_t x) {
+  if (x <= 1) return 0;
+  return std::bit_width(x - 1);
+}
+
+/// One CREW round: applies f(i) for i in [0, n). work n, depth 1.
+template <typename F>
+void parallel_for(Ctx& ctx, std::size_t n, F&& f) {
+  if (n == 0) return;
+  ctx.meter.add_depth(1);
+  ctx.meter.add_work(n);
+  ctx.pool->run_chunks(n, kGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) f(i);
+  });
+}
+
+/// Deterministic reduction with identity `init` and associative op.
+/// work 2m, depth 2·ceil(log2 m).
+template <typename T, typename Op>
+T reduce(Ctx& ctx, std::span<const T> xs, T init, Op op) {
+  const std::size_t n = xs.size();
+  if (n == 0) return init;
+  ctx.meter.add_work(2 * n);
+  ctx.meter.add_depth(2 * ceil_log2(n));
+  const std::size_t chunks = (n + kGrain - 1) / kGrain;
+  std::vector<T> partial(chunks, init);
+  ctx.pool->run_chunks(n, kGrain, [&](std::size_t b, std::size_t e) {
+    T acc = init;
+    for (std::size_t i = b; i < e; ++i) acc = op(acc, xs[i]);
+    partial[b / kGrain] = acc;
+  });
+  T out = init;
+  for (const T& p : partial) out = op(out, p);  // fixed chunk order
+  return out;
+}
+
+/// Index of the minimum element under `less`; ties broken toward the lower
+/// index (deterministic). Returns n for empty input.
+template <typename T, typename Less>
+std::size_t min_index(Ctx& ctx, std::span<const T> xs, Less less) {
+  const std::size_t n = xs.size();
+  if (n == 0) return 0;
+  ctx.meter.add_work(2 * n);
+  ctx.meter.add_depth(2 * ceil_log2(n));
+  const std::size_t chunks = (n + kGrain - 1) / kGrain;
+  std::vector<std::size_t> partial(chunks);
+  ctx.pool->run_chunks(n, kGrain, [&](std::size_t b, std::size_t e) {
+    std::size_t best = b;
+    for (std::size_t i = b + 1; i < e; ++i)
+      if (less(xs[i], xs[best])) best = i;
+    partial[b / kGrain] = best;
+  });
+  std::size_t best = partial[0];
+  for (std::size_t c = 1; c < chunks; ++c)
+    if (less(xs[partial[c]], xs[best])) best = partial[c];
+  return best;
+}
+
+/// Exclusive prefix sum: out[i] = init ⊕ xs[0] ⊕ … ⊕ xs[i-1]; returns the
+/// total. out may alias xs. work 2m, depth 2·ceil(log2 m).
+template <typename T, typename Op>
+T scan_exclusive(Ctx& ctx, std::span<const T> xs, std::span<T> out, T init,
+                 Op op) {
+  const std::size_t n = xs.size();
+  assert(out.size() == n);
+  if (n == 0) return init;
+  ctx.meter.add_work(2 * n);
+  ctx.meter.add_depth(2 * ceil_log2(n));
+  const std::size_t chunks = (n + kGrain - 1) / kGrain;
+  std::vector<T> chunk_total(chunks, init);
+  ctx.pool->run_chunks(n, kGrain, [&](std::size_t b, std::size_t e) {
+    T acc = init;
+    for (std::size_t i = b; i < e; ++i) acc = op(acc, xs[i]);
+    chunk_total[b / kGrain] = acc;
+  });
+  std::vector<T> chunk_prefix(chunks, init);
+  T run = init;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    chunk_prefix[c] = run;
+    run = op(run, chunk_total[c]);
+  }
+  ctx.pool->run_chunks(n, kGrain, [&](std::size_t b, std::size_t e) {
+    T acc = chunk_prefix[b / kGrain];
+    for (std::size_t i = b; i < e; ++i) {
+      T x = xs[i];  // read before write: out may alias xs
+      out[i] = acc;
+      acc = op(acc, x);
+    }
+  });
+  return run;
+}
+
+/// Stable parallel filter: returns indices i in [0, n) with pred(i), in
+/// increasing order. work 3m, depth 2·ceil(log2 m) + 1.
+template <typename Pred>
+std::vector<std::uint32_t> pack_indices(Ctx& ctx, std::size_t n, Pred pred) {
+  std::vector<std::uint32_t> flag(n);
+  ctx.meter.add_work(n);
+  ctx.meter.add_depth(1);
+  ctx.pool->run_chunks(n, kGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) flag[i] = pred(i) ? 1u : 0u;
+  });
+  std::vector<std::uint32_t> pos(n);
+  std::uint32_t total = scan_exclusive<std::uint32_t>(
+      ctx, flag, pos, 0u, [](std::uint32_t a, std::uint32_t b) { return a + b; });
+  std::vector<std::uint32_t> out(total);
+  ctx.meter.add_work(n);
+  ctx.meter.add_depth(1);
+  ctx.pool->run_chunks(n, kGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      if (flag[i]) out[pos[i]] = static_cast<std::uint32_t>(i);
+  });
+  return out;
+}
+
+/// Deterministic parallel sort. The paper invokes the AKS sorting network
+/// [AKS83] for O(log m)-depth, O(m log m)-work sorts; AKS is galactic, so we
+/// run a deterministic parallel merge sort (fixed chunk boundaries, stable
+/// merges — bit-identical output for any pool size) and charge the AKS cost
+/// (see DESIGN.md §1).
+template <typename T, typename Less>
+void sort(Ctx& ctx, std::span<T> xs, Less less) {
+  const std::size_t n = xs.size();
+  if (n <= 1) return;
+  ctx.meter.add_work(n * ceil_log2(n));
+  ctx.meter.add_depth(ceil_log2(n));
+
+  constexpr std::size_t kSortGrain = 1 << 13;
+  if (n <= 2 * kSortGrain) {
+    std::stable_sort(xs.begin(), xs.end(), less);
+    return;
+  }
+
+  // Sorted runs at fixed boundaries, in parallel.
+  const std::size_t runs = (n + kSortGrain - 1) / kSortGrain;
+  ctx.pool->run_chunks(runs, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t r = b; r < e; ++r) {
+      std::size_t lo = r * kSortGrain;
+      std::size_t hi = std::min(lo + kSortGrain, n);
+      std::stable_sort(xs.begin() + lo, xs.begin() + hi, less);
+    }
+  });
+
+  // Pairwise stable merge rounds; distinct merges run concurrently. The
+  // run width doubles each round, so boundaries are thread-count
+  // independent and the result is deterministic.
+  std::vector<T> buf(n);
+  std::span<T> src = xs;
+  std::span<T> dst(buf);
+  bool in_src = true;
+  for (std::size_t width = kSortGrain; width < n; width *= 2) {
+    const std::size_t pairs = (n + 2 * width - 1) / (2 * width);
+    ctx.pool->run_chunks(pairs, 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t p = b; p < e; ++p) {
+        std::size_t lo = p * 2 * width;
+        std::size_t mid = std::min(lo + width, n);
+        std::size_t hi = std::min(lo + 2 * width, n);
+        std::merge(src.begin() + lo, src.begin() + mid, src.begin() + mid,
+                   src.begin() + hi, dst.begin() + lo, less);
+      }
+    });
+    std::swap(src, dst);
+    in_src = !in_src;
+  }
+  if (!in_src) std::copy(src.begin(), src.end(), xs.begin());
+}
+
+/// Sorts and additionally returns the permutation applied (for rank lookups).
+template <typename T, typename Less>
+std::vector<std::uint32_t> sort_with_ranks(Ctx& ctx, std::span<T> xs,
+                                           Less less) {
+  const std::size_t n = xs.size();
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  ctx.meter.add_work(n * ceil_log2(n));
+  ctx.meter.add_depth(ceil_log2(n));
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return less(xs[a], xs[b]);
+                   });
+  std::vector<T> tmp(n);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = xs[order[i]];
+  std::copy(tmp.begin(), tmp.end(), xs.begin());
+  return order;
+}
+
+/// Pointer jumping over a parent forest (§4.2 of the paper, after [SV82]).
+/// On return parent[v] is the root of v's tree and dist_to_parent[v] (if
+/// non-null) the total weight of the v→root path. Roots must satisfy
+/// parent[r] == r. Deterministic double-buffered rounds; ceil(log2 n)+1
+/// rounds of work n, depth 1 each.
+void pointer_jump(Ctx& ctx, std::span<std::uint32_t> parent,
+                  std::span<double> dist_to_parent);
+
+/// Overload without distances.
+void pointer_jump(Ctx& ctx, std::span<std::uint32_t> parent);
+
+}  // namespace parhop::pram

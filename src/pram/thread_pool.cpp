@@ -1,0 +1,102 @@
+#include "pram/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace parhop::pram {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The caller thread always participates, so spawn threads-1 workers.
+  for (std::size_t i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain(Job& job, std::condition_variable* done_cv) {
+  for (;;) {
+    std::size_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.total_chunks) break;
+    std::size_t begin = c * job.grain;
+    std::size_t end = std::min(begin + job.grain, job.n);
+    (*job.fn)(begin, end);
+    if (job.done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            job.total_chunks &&
+        done_cv != nullptr) {
+      done_cv->notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t chunks = (n + grain - 1) / grain;
+
+  if (workers_.empty() || chunks == 1) {
+    Job job;
+    job.fn = &fn;
+    job.n = n;
+    job.grain = grain;
+    job.total_chunks = chunks;
+    drain(job, nullptr);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job->grain = grain;
+  job->total_chunks = chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = job;
+    ++epoch_;
+  }
+  cv_.notify_all();
+  drain(*job, &done_cv_);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job->done_chunks.load(std::memory_order_acquire) ==
+             job->total_chunks;
+    });
+    current_.reset();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      job = current_;
+      seen_epoch = epoch_;
+    }
+    drain(*job, &done_cv_);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace parhop::pram

@@ -1,0 +1,72 @@
+// Fork-join thread pool backing the PRAM primitives.
+//
+// Determinism contract: primitives split index ranges into chunks of a fixed
+// grain that does NOT depend on the number of worker threads, workers claim
+// chunks from an atomic counter, and every chunk writes only to locations
+// derived from its own indices. Per-chunk partial results are combined
+// sequentially in chunk order. Consequently all primitive results (including
+// floating-point reductions) are bit-identical for any pool size, which is
+// what lets the deterministic hopset construction claim determinism while
+// still exercising real concurrency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parhop::pram {
+
+/// Persistent worker pool executing [0, n) index ranges chunk-by-chunk.
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }  // + caller thread
+
+  /// Runs fn(begin, end) over disjoint chunks covering [0, n); blocks until
+  /// every chunk completes. The caller thread participates. fn must be safe
+  /// to invoke concurrently on disjoint ranges.
+  void run_chunks(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  // Shared so a slow-to-wake worker can never touch a destroyed job; the
+  // job's fn pointer is only dereferenced for chunks, and the caller does not
+  // return until every chunk has completed.
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> done_chunks{0};
+    std::size_t total_chunks = 0;
+  };
+
+  static void drain(Job& job, std::condition_variable* done_cv);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> current_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace parhop::pram

@@ -1,0 +1,55 @@
+#include "pram/work_depth.hpp"
+
+#include <thread>
+
+namespace parhop::pram {
+
+namespace {
+// Distributes worker threads across counter cells to avoid contention.
+std::size_t cell_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t mine = next.fetch_add(1, std::memory_order_relaxed);
+  return mine % 64;
+}
+}  // namespace
+
+Meter::Meter() : work_cells_(kCells) {}
+
+void Meter::add_work(std::uint64_t w) {
+  work_cells_[cell_index()].value.fetch_add(w, std::memory_order_relaxed);
+}
+
+void Meter::add_depth(std::uint64_t d) { depth_ += d; }
+
+void Meter::charge(std::uint64_t w, std::uint64_t d) {
+  add_work(w);
+  depth_ += d;
+}
+
+void Meter::note_processors(std::uint64_t p) {
+  if (p > max_processors_) max_processors_ = p;
+}
+
+std::uint64_t Meter::work() const {
+  std::uint64_t total = 0;
+  for (const auto& c : work_cells_)
+    total += c.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+Cost Meter::snapshot() const { return {work(), depth_}; }
+
+void Meter::reset() {
+  for (auto& c : work_cells_) c.value.store(0, std::memory_order_relaxed);
+  depth_ = 0;
+  max_processors_ = 0;
+}
+
+ScopedPhase::ScopedPhase(Meter& meter, std::string name)
+    : meter_(meter), name_(std::move(name)), start_(meter.snapshot()) {}
+
+ScopedPhase::~ScopedPhase() = default;
+
+Cost ScopedPhase::so_far() const { return meter_.snapshot() - start_; }
+
+}  // namespace parhop::pram

@@ -1,0 +1,100 @@
+// PRAM work-depth cost model.
+//
+// The paper states its guarantees in the CREW PRAM model: an algorithm has
+// *depth* (number of synchronous rounds) and *work* (total operations across
+// processors). A host machine cannot reproduce synchronous PRAM rounds, but by
+// Brent's theorem the (work, depth) pair is the machine-independent content of
+// the claims: a work-W depth-D computation runs in W/p + D time on any p
+// processors. Every parallel primitive in this library therefore *meters* the
+// work and depth it would cost on a CREW PRAM, and the experiment harness
+// reports those counters (wall-clock is also recorded as a sanity series).
+//
+// Charging rules (documented per primitive in primitives.hpp):
+//   - one CREW round of n concurrent O(1) operations: work += n, depth += 1
+//   - sort of m records: work += m·ceil(log2 m), depth += ceil(log2 m)
+//     (the paper invokes the AKS sorting network [AKS83] for exactly this
+//     bound; AKS is galactic, so we run a deterministic comparison sort and
+//     charge the AKS cost)
+//   - scan / reduce of m: work += 2m, depth += 2·ceil(log2 m)
+//   - pointer jumping: metered by its own loop (log n rounds)
+//
+// Meters are thread-safe: worker threads accumulate work into per-thread
+// cells that are summed on read, so metering does not serialize execution.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parhop::pram {
+
+/// Snapshot of accumulated PRAM cost.
+struct Cost {
+  std::uint64_t work = 0;
+  std::uint64_t depth = 0;
+
+  Cost operator-(const Cost& o) const { return {work - o.work, depth - o.depth}; }
+  Cost operator+(const Cost& o) const { return {work + o.work, depth + o.depth}; }
+  bool operator==(const Cost& o) const = default;
+};
+
+/// Accumulates PRAM work and depth. Work additions may come from any thread;
+/// depth additions must come from the orchestrating (calling) thread only —
+/// depth models sequential composition of rounds, which only the caller sees.
+class Meter {
+ public:
+  Meter();
+
+  /// Adds PRAM work; callable from worker threads.
+  void add_work(std::uint64_t w);
+
+  /// Adds PRAM depth (rounds); caller thread only.
+  void add_depth(std::uint64_t d);
+
+  /// Adds both; caller thread only.
+  void charge(std::uint64_t w, std::uint64_t d);
+
+  /// Also track an upper bound on concurrently live "processors" the paper's
+  /// allocation scheme would use; algorithms update this explicitly.
+  void note_processors(std::uint64_t p);
+
+  Cost snapshot() const;
+  std::uint64_t work() const;
+  std::uint64_t depth() const { return depth_; }
+  std::uint64_t max_processors() const { return max_processors_; }
+
+  void reset();
+
+ private:
+  static constexpr int kCells = 64;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::vector<Cell> work_cells_;
+  std::uint64_t depth_ = 0;
+  std::uint64_t max_processors_ = 0;
+};
+
+/// RAII scope that records the cost delta of a region, for phase attribution
+/// in the experiment harness ("superclustering cost vs interconnection cost").
+class ScopedPhase {
+ public:
+  ScopedPhase(Meter& meter, std::string name);
+  ~ScopedPhase();
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  /// Cost accumulated since construction.
+  Cost so_far() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  Meter& meter_;
+  std::string name_;
+  Cost start_;
+};
+
+}  // namespace parhop::pram

@@ -1,0 +1,92 @@
+#include "sssp/bellman_ford.hpp"
+
+#include <atomic>
+
+namespace parhop::sssp {
+
+using graph::Arc;
+using graph::Edge;
+using graph::Graph;
+using graph::kInfWeight;
+using graph::kNoVertex;
+using graph::Vertex;
+using graph::Weight;
+
+BellmanFordResult bellman_ford(
+    pram::Ctx& ctx, const Graph& g, std::span<const Vertex> sources, int hops,
+    const std::function<void(int, std::span<const Weight>)>& on_round) {
+  const Vertex n = g.num_vertices();
+  BellmanFordResult r;
+  r.dist.assign(n, kInfWeight);
+  r.parent.assign(n, kNoVertex);
+  for (Vertex s : sources) r.dist[s] = 0;
+
+  std::vector<Weight> next_dist(n);
+  std::vector<Vertex> next_parent(n);
+  std::size_t max_deg = 0;
+  for (Vertex v = 0; v < n; ++v) max_deg = std::max(max_deg, g.degree(v));
+  const std::uint64_t round_depth = pram::ceil_log2(max_deg) + 1;
+
+  for (int h = 1; h <= hops; ++h) {
+    std::atomic<bool> changed{false};
+    // Vertex-parallel gather; reads only the previous round's arrays, so the
+    // result is the exact h-hop-bounded distance and fully deterministic.
+    ctx.charge_work(2 * g.num_edges());
+    ctx.charge_depth(round_depth);
+    pram::parallel_for(ctx, n, [&](std::size_t v) {
+      Weight best = r.dist[v];
+      Vertex arg = r.parent[v];
+      for (const Arc& a : g.arcs(static_cast<Vertex>(v))) {
+        Weight cand = r.dist[a.to] + a.w;
+        if (cand < best || (cand == best && arg != kNoVertex && a.to < arg)) {
+          best = cand;
+          arg = a.to;
+        }
+      }
+      next_dist[v] = best;
+      next_parent[v] = arg;
+      if (best < r.dist[v]) changed.store(true, std::memory_order_relaxed);
+    });
+    r.dist.swap(next_dist);
+    r.parent.swap(next_parent);
+    r.rounds_run = h;
+    if (on_round) on_round(h, r.dist);
+    if (!changed.load()) break;
+  }
+  return r;
+}
+
+BellmanFordResult bellman_ford(pram::Ctx& ctx, const Graph& g, Vertex source,
+                               int hops) {
+  Vertex srcs[1] = {source};
+  return bellman_ford(ctx, g, srcs, hops);
+}
+
+std::vector<std::vector<Weight>> multi_source_bellman_ford(
+    pram::Ctx& ctx, const Graph& g, std::span<const Vertex> sources,
+    int hops) {
+  // The paper runs |S| explorations in parallel with O(|S|) processors per
+  // edge; host-side we run them in sequence. Work adds up across runs, but
+  // the depth of a parallel composition is the maximum of the branches, so
+  // each run is metered separately and only the max depth is charged.
+  std::vector<std::vector<Weight>> rows;
+  rows.reserve(sources.size());
+  std::uint64_t max_depth = 0;
+  for (Vertex s : sources) {
+    pram::Ctx sub(ctx.pool);
+    rows.push_back(bellman_ford(sub, g, s, hops).dist);
+    pram::Cost c = sub.meter.snapshot();
+    ctx.charge_work(c.work);
+    max_depth = std::max(max_depth, c.depth);
+  }
+  ctx.charge_depth(max_depth);
+  return rows;
+}
+
+Graph union_graph(const Graph& g, std::span<const Edge> hopset_edges) {
+  std::vector<Edge> all = g.edge_list();
+  all.insert(all.end(), hopset_edges.begin(), hopset_edges.end());
+  return Graph::from_edges(g.num_vertices(), all);
+}
+
+}  // namespace parhop::sssp

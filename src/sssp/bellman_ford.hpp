@@ -1,0 +1,55 @@
+// Hop-limited parallel Bellman–Ford.
+//
+// This is the exploration the paper runs on G ∪ H after the hopset is built
+// (Theorem 3.8): β synchronous rounds, each a vertex-parallel gather
+//   dist_r(v) = min( dist_{r-1}(v), min_{(u,v)∈E} dist_{r-1}(u) + ω(u,v) )
+// which computes the exact h-hop-bounded distance d^{(h)}(s, ·). The gather
+// formulation is CREW-friendly (no concurrent writes), deterministic (ties
+// broken by smallest neighbor ID), and is also how we *measure* empirical
+// hopbounds: d^{(h)} for every h is available round by round.
+//
+// PRAM charges per round: work O(n + m), depth O(log Δ) (balanced min tree
+// over each vertex's ≤ Δ incident arcs).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pram/primitives.hpp"
+
+namespace parhop::sssp {
+
+/// Result of a hop-limited run from one source set.
+struct BellmanFordResult {
+  std::vector<graph::Weight> dist;    ///< d^{(h)}(S, v); +inf if unreached
+  std::vector<graph::Vertex> parent;  ///< predecessor on a best ≤h-hop path
+  int rounds_run = 0;                 ///< may stop early on fixpoint
+};
+
+/// Runs `hops` rounds from the (multi-)source set. Stops early when a round
+/// changes nothing. `on_round(h, dist)` is invoked after each round when
+/// provided (used by the hopbound experiment).
+BellmanFordResult bellman_ford(
+    pram::Ctx& ctx, const graph::Graph& g,
+    std::span<const graph::Vertex> sources, int hops,
+    const std::function<void(int, std::span<const graph::Weight>)>& on_round =
+        nullptr);
+
+/// Single-source convenience.
+BellmanFordResult bellman_ford(pram::Ctx& ctx, const graph::Graph& g,
+                               graph::Vertex source, int hops);
+
+/// S × V distances via |S| independent hop-limited explorations, as in
+/// Theorem 3.8's aMSSD. Row i is the distance vector of sources[i].
+std::vector<std::vector<graph::Weight>> multi_source_bellman_ford(
+    pram::Ctx& ctx, const graph::Graph& g,
+    std::span<const graph::Vertex> sources, int hops);
+
+/// Builds the union graph G ∪ H with ω = min(ω_G, ω_H) (the paper's G_k
+/// convention): both edge sets, lightest parallel edge kept.
+graph::Graph union_graph(const graph::Graph& g,
+                         std::span<const graph::Edge> hopset_edges);
+
+}  // namespace parhop::sssp

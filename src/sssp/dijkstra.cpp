@@ -1,0 +1,43 @@
+#include "sssp/dijkstra.hpp"
+
+#include <queue>
+
+namespace parhop::sssp {
+
+using graph::Graph;
+using graph::kInfWeight;
+using graph::kNoVertex;
+using graph::Vertex;
+using graph::Weight;
+
+DijkstraResult dijkstra(const Graph& g, Vertex source) {
+  const Vertex n = g.num_vertices();
+  DijkstraResult r;
+  r.dist.assign(n, kInfWeight);
+  r.parent.assign(n, kNoVertex);
+  if (source >= n) return r;
+  using Item = std::pair<Weight, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  r.dist[source] = 0;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > r.dist[u]) continue;
+    for (const graph::Arc& a : g.arcs(u)) {
+      Weight nd = d + a.w;
+      if (nd < r.dist[a.to]) {
+        r.dist[a.to] = nd;
+        r.parent[a.to] = u;
+        pq.push({nd, a.to});
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<Weight> dijkstra_distances(const Graph& g, Vertex source) {
+  return dijkstra(g, source).dist;
+}
+
+}  // namespace parhop::sssp

@@ -1,0 +1,23 @@
+// Exact sequential Dijkstra — the verification oracle for every approximate
+// result in the library (tests compare hopset-based distances against it).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parhop::sssp {
+
+/// Exact shortest-path tree from `source`.
+struct DijkstraResult {
+  std::vector<graph::Weight> dist;    ///< +inf where unreachable
+  std::vector<graph::Vertex> parent;  ///< kNoVertex at source/unreachable
+};
+
+DijkstraResult dijkstra(const graph::Graph& g, graph::Vertex source);
+
+/// Exact distances only (convenience).
+std::vector<graph::Weight> dijkstra_distances(const graph::Graph& g,
+                                              graph::Vertex source);
+
+}  // namespace parhop::sssp

@@ -1,0 +1,32 @@
+#include "sssp/oracle.hpp"
+
+#include "sssp/bellman_ford.hpp"
+
+namespace parhop::sssp {
+
+Oracle::Oracle(const graph::Graph& g,
+               std::span<const graph::Edge> hopset_edges, int beta)
+    : gu_(sssp::union_graph(g, hopset_edges)), beta_(beta) {}
+
+std::vector<graph::Weight> Oracle::distances(pram::Ctx& ctx,
+                                             graph::Vertex source) const {
+  return bellman_ford(ctx, gu_, source, beta_).dist;
+}
+
+Oracle::TreeResult Oracle::distances_with_parents(
+    pram::Ctx& ctx, graph::Vertex source) const {
+  auto r = bellman_ford(ctx, gu_, source, beta_);
+  return {std::move(r.dist), std::move(r.parent)};
+}
+
+std::vector<std::vector<graph::Weight>> Oracle::multi_source(
+    pram::Ctx& ctx, std::span<const graph::Vertex> sources) const {
+  return multi_source_bellman_ford(ctx, gu_, sources, beta_);
+}
+
+graph::Weight Oracle::pair(pram::Ctx& ctx, graph::Vertex s,
+                           graph::Vertex t) const {
+  return distances(ctx, s)[t];
+}
+
+}  // namespace parhop::sssp

@@ -1,0 +1,55 @@
+// Distance oracle: a prepared (G ∪ H, β) pair answering repeated
+// (1+ε)-approximate queries without rebuilding the union graph.
+//
+// This is the deployment shape of Theorem 3.8: the hopset is built once
+// (O~((|E|+n^{1+1/κ})n^ρ) work), then every query is a β-round hop-limited
+// Bellman–Ford — polylog depth, O~(β·|E ∪ H|) work, amortized across as many
+// sources as desired.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pram/primitives.hpp"
+
+namespace parhop::sssp {
+
+/// Prepared approximate-distance oracle over G ∪ H.
+class Oracle {
+ public:
+  /// Prepares the oracle; `beta` is the hop budget per query (the hopset's
+  /// schedule β). The union graph is materialized once here.
+  Oracle(const graph::Graph& g, std::span<const graph::Edge> hopset_edges,
+         int beta);
+
+  /// (1+ε)-approximate distances from one source; +inf where unreachable.
+  std::vector<graph::Weight> distances(pram::Ctx& ctx,
+                                       graph::Vertex source) const;
+
+  /// Distances and predecessors (in G ∪ H) from one source.
+  struct TreeResult {
+    std::vector<graph::Weight> dist;
+    std::vector<graph::Vertex> parent;
+  };
+  TreeResult distances_with_parents(pram::Ctx& ctx,
+                                    graph::Vertex source) const;
+
+  /// S × V approximate distances (aMSSD); row i belongs to sources[i].
+  std::vector<std::vector<graph::Weight>> multi_source(
+      pram::Ctx& ctx, std::span<const graph::Vertex> sources) const;
+
+  /// Approximate s–t distance (runs one source query; for many pairs from
+  /// the same source prefer distances()).
+  graph::Weight pair(pram::Ctx& ctx, graph::Vertex s, graph::Vertex t) const;
+
+  int beta() const { return beta_; }
+  const graph::Graph& union_graph() const { return gu_; }
+
+ private:
+  graph::Graph gu_;
+  int beta_;
+};
+
+}  // namespace parhop::sssp

@@ -1,0 +1,83 @@
+#include "sssp/spt.hpp"
+
+#include <string>
+
+#include "sssp/dijkstra.hpp"
+
+namespace parhop::sssp {
+
+using graph::Graph;
+using graph::kInfWeight;
+using graph::Vertex;
+using graph::Weight;
+
+std::vector<Weight> tree_distances(pram::Ctx& ctx, const ParentTree& tree) {
+  std::vector<std::uint32_t> q(tree.parent.begin(), tree.parent.end());
+  std::vector<double> d(tree.parent_weight.begin(), tree.parent_weight.end());
+  pram::pointer_jump(ctx, q, d);
+  return d;
+}
+
+TreeCheck validate_tree(const ParentTree& tree) {
+  const std::size_t n = tree.parent.size();
+  if (tree.parent_weight.size() != n)
+    return {false, "parent_weight size mismatch"};
+  if (tree.root >= n) return {false, "root out of range"};
+  if (tree.parent[tree.root] != tree.root)
+    return {false, "root is not its own parent"};
+  if (tree.parent_weight[tree.root] != 0)
+    return {false, "root parent_weight must be 0"};
+  // Cycle check: follow parents at most n steps from every vertex.
+  for (std::size_t v = 0; v < n; ++v) {
+    Vertex cur = static_cast<Vertex>(v);
+    for (std::size_t steps = 0; steps <= n; ++steps) {
+      if (tree.parent[cur] == cur) break;
+      cur = tree.parent[cur];
+      if (steps == n)
+        return {false, "cycle reachable from vertex " + std::to_string(v)};
+    }
+  }
+  return {};
+}
+
+TreeCheck validate_tree_edges_in_graph(const ParentTree& tree,
+                                       const Graph& g) {
+  for (std::size_t v = 0; v < tree.parent.size(); ++v) {
+    Vertex p = tree.parent[v];
+    if (p == v) continue;
+    Weight w = g.edge_weight(p, static_cast<Vertex>(v));
+    if (w == kInfWeight)
+      return {false, "tree edge (" + std::to_string(p) + "," +
+                         std::to_string(v) + ") not in graph"};
+    if (w != tree.parent_weight[v])
+      return {false, "tree edge (" + std::to_string(p) + "," +
+                         std::to_string(v) + ") weight mismatch"};
+  }
+  return {};
+}
+
+TreeCheck validate_spt_stretch(pram::Ctx& ctx, const ParentTree& tree,
+                               const Graph& g, double eps) {
+  auto structural = validate_tree(tree);
+  if (!structural.ok) return structural;
+  auto in_graph = validate_tree_edges_in_graph(tree, g);
+  if (!in_graph.ok) return in_graph;
+
+  std::vector<Weight> dT = tree_distances(ctx, tree);
+  std::vector<Weight> dG = dijkstra_distances(g, tree.root);
+  for (std::size_t v = 0; v < dG.size(); ++v) {
+    if (dG[v] == kInfWeight) continue;  // other component
+    // Spanning: v must hang under the root (its tree distance must be the
+    // finite sum of real edges; an unreached vertex is its own root).
+    if (v != tree.root && tree.parent[v] == v)
+      return {false, "vertex " + std::to_string(v) +
+                         " reachable in G but not in T"};
+    if (dT[v] > (1 + eps) * dG[v] * (1 + 1e-9))
+      return {false, "stretch violated at vertex " + std::to_string(v) +
+                         ": dT=" + std::to_string(dT[v]) +
+                         " dG=" + std::to_string(dG[v])};
+  }
+  return {};
+}
+
+}  // namespace parhop::sssp

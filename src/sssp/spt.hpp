@@ -1,0 +1,45 @@
+// Shortest-path-tree utilities: validation and the §4.2 pointer-jumping
+// distance computation. The hopset-edge *peeling* that produces a tree over
+// original graph edges (Algorithm 1) lives in hopset/path_reporting.hpp; the
+// helpers here are generic over any parent forest.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pram/primitives.hpp"
+
+namespace parhop::sssp {
+
+/// A rooted tree given by parent pointers; parent[root] == root.
+struct ParentTree {
+  graph::Vertex root = 0;
+  std::vector<graph::Vertex> parent;
+  std::vector<graph::Weight> parent_weight;  ///< 0 at the root
+};
+
+/// Computes d_T(root, v) for all v by pointer jumping (§4.2): log n rounds of
+/// q(v) ← q(q(v)), d'(v) ← d'(v) + d'(q(v)).
+std::vector<graph::Weight> tree_distances(pram::Ctx& ctx,
+                                          const ParentTree& tree);
+
+/// Structural validation: every non-root has a parent, following parents
+/// reaches the root (no cycles), and — when g is given — every (parent(v), v)
+/// is an edge of g with exactly the recorded weight.
+struct TreeCheck {
+  bool ok = true;
+  std::string error;  ///< first violation found, empty when ok
+};
+
+TreeCheck validate_tree(const ParentTree& tree);
+TreeCheck validate_tree_edges_in_graph(const ParentTree& tree,
+                                       const graph::Graph& g);
+
+/// Checks the (1+ε)-SPT property: for every v reachable in g from root,
+/// d_T(root, v) ≤ (1+eps)·d_G(root, v), and T spans the root's component.
+TreeCheck validate_spt_stretch(pram::Ctx& ctx, const ParentTree& tree,
+                               const graph::Graph& g, double eps);
+
+}  // namespace parhop::sssp

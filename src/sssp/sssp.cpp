@@ -1,0 +1,39 @@
+#include "sssp/sssp.hpp"
+
+#include "sssp/bellman_ford.hpp"
+
+namespace parhop::sssp {
+
+using graph::Edge;
+using graph::Graph;
+using graph::kInfWeight;
+using graph::Vertex;
+using graph::Weight;
+
+ApproxResult approx_sssp(pram::Ctx& ctx, const Graph& g,
+                         std::span<const Edge> hopset, Vertex source,
+                         int beta) {
+  Graph gu = union_graph(g, hopset);
+  auto bf = bellman_ford(ctx, gu, source, beta);
+  return {std::move(bf.dist), std::move(bf.parent), bf.rounds_run};
+}
+
+std::vector<std::vector<Weight>> approx_multi_source(
+    pram::Ctx& ctx, const Graph& g, std::span<const Edge> hopset,
+    std::span<const Vertex> sources, int beta) {
+  Graph gu = union_graph(g, hopset);
+  return multi_source_bellman_ford(ctx, gu, sources, beta);
+}
+
+double max_stretch(std::span<const Weight> approx,
+                   std::span<const Weight> exact) {
+  double worst = 1.0;
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    if (exact[v] == 0 || exact[v] == kInfWeight) continue;
+    double s = approx[v] / exact[v];
+    if (s > worst) worst = s;
+  }
+  return worst;
+}
+
+}  // namespace parhop::sssp

@@ -1,0 +1,41 @@
+// Approximate SSSP / multi-source distance drivers (Theorem 3.8, C.3).
+//
+// Given a (1+ε, β)-hopset H (as a plain edge list) the driver executes a
+// β-hop-limited Bellman–Ford in G ∪ H. Distances returned satisfy
+//   d_G(s,v) ≤ dist[v] ≤ (1+ε)·d_G(s,v)
+// whenever H has the hopset property for the pairs involved.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pram/primitives.hpp"
+
+namespace parhop::sssp {
+
+/// Output of the approximate driver.
+struct ApproxResult {
+  std::vector<graph::Weight> dist;
+  std::vector<graph::Vertex> parent;  ///< parents in G ∪ H (may use H edges)
+  int hops_used = 0;
+};
+
+/// (1+ε)-approximate single-source distances: β-limited BF on G ∪ H.
+ApproxResult approx_sssp(pram::Ctx& ctx, const graph::Graph& g,
+                         std::span<const graph::Edge> hopset,
+                         graph::Vertex source, int beta);
+
+/// S × V approximate distances (aMSSD).
+std::vector<std::vector<graph::Weight>> approx_multi_source(
+    pram::Ctx& ctx, const graph::Graph& g,
+    std::span<const graph::Edge> hopset,
+    std::span<const graph::Vertex> sources, int beta);
+
+/// max over v of approx[v] / exact[v]; pairs where exact is 0 or +inf are
+/// skipped; an approx of +inf where exact is finite returns +inf (coverage
+/// failure, which tests treat as an error).
+double max_stretch(std::span<const graph::Weight> approx,
+                   std::span<const graph::Weight> exact);
+
+}  // namespace parhop::sssp

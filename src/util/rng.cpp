@@ -1,0 +1,51 @@
+#include "util/rng.hpp"
+
+namespace parhop::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // 128-bit multiply-shift: maps uniform 64-bit to [0, bound).
+  unsigned __int128 wide = static_cast<unsigned __int128>(next()) * bound;
+  return static_cast<std::uint64_t>(wide >> 64);
+}
+
+double Xoshiro256::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Xoshiro256::next_in(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+}  // namespace parhop::util

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// The deterministic hopset pipeline consumes no randomness; RNG is used only
+// by the workload generators and by the randomized baseline of [EN19]. We use
+// splitmix64 for seeding and xoshiro256** for the stream, so every workload is
+// reproducible from a single 64-bit seed across platforms (no reliance on
+// std::mt19937 distribution implementations).
+#pragma once
+
+#include <cstdint>
+
+namespace parhop::util {
+
+/// splitmix64 step; used to expand a user seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** by Blackman & Vigna (public domain reference constants).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). Uses Lemire's multiply-shift rejection-free
+  /// mapping (tiny modulo bias is irrelevant for workload generation but we
+  /// keep determinism exact).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace parhop::util

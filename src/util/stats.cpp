@@ -1,0 +1,78 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace parhop::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  s.min = v.front();
+  s.max = v.back();
+  double total = 0;
+  for (double x : v) total += x;
+  s.mean = total / static_cast<double>(v.size());
+  auto pct = [&](double p) {
+    double idx = p * static_cast<double>(v.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(idx);
+    std::size_t hi = std::min(lo + 1, v.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return v[lo] * (1 - frac) + v[hi] * frac;
+  };
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+double loglog_slope(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size() && !xs.empty());
+  const std::size_t n = xs.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(xs[i] > 0 && ys[i] > 0);
+    double lx = std::log(xs[i]);
+    double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  double dn = static_cast<double>(n);
+  double denom = dn * sxx - sx * sx;
+  if (denom == 0) return 0;
+  return (dn * sxy - sx * sy) / denom;
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  double acc = 0;
+  for (double x : xs) {
+    assert(x > 0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+std::string human(double v) {
+  char buf[64];
+  double a = std::fabs(v);
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3gG", v / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3gM", v / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3gk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace parhop::util

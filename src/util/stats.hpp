@@ -1,0 +1,36 @@
+// Small numeric summary helpers shared by tests and the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace parhop::util {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Computes a Summary; copies and sorts the input internally.
+Summary summarize(std::span<const double> xs);
+
+/// Least-squares slope of log(y) against log(x); used to fit power-law
+/// exponents (e.g. hopset size ~ n^{1+1/kappa}) in the experiment harness.
+/// Requires xs, ys strictly positive and the same non-zero length.
+double loglog_slope(std::span<const double> xs, std::span<const double> ys);
+
+/// Geometric mean; requires strictly positive input.
+double geomean(std::span<const double> xs);
+
+/// Formats a double compactly ("12.3k", "4.56M") for table cells.
+std::string human(double v);
+
+}  // namespace parhop::util

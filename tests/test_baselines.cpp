@@ -1,0 +1,96 @@
+// Tests for the baselines: randomized [EN19]-style hopset and plain BF.
+#include <gtest/gtest.h>
+
+#include "baselines/en_random_hopset.hpp"
+#include "baselines/plain_bf.hpp"
+#include "graph/generators.hpp"
+#include "sssp/dijkstra.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+TEST(RandomHopset, ProducesValidHopset) {
+  graph::GenOptions o;
+  o.seed = 3;
+  Graph g = graph::gnm(128, 512, o);
+  hopset::Params p;
+  p.beta_hint = 16;
+  auto cx = testing::ctx();
+  auto H = baselines::build_random_hopset(cx, g, p, /*seed=*/99);
+  std::vector<Vertex> srcs = {0, 64};
+  testing::check_hopset_property(g, H.edges, p.epsilon, H.schedule.beta,
+                                 srcs);
+}
+
+TEST(RandomHopset, SeedChangesOutput) {
+  graph::GenOptions o;
+  o.seed = 3;
+  Graph g = graph::gnm(128, 512, o);
+  hopset::Params p;
+  p.kappa = 3;
+  p.rho = 0.45;
+  auto c1 = testing::ctx();
+  auto c2 = testing::ctx();
+  auto a = baselines::build_random_hopset(c1, g, p, 1);
+  auto b = baselines::build_random_hopset(c2, g, p, 2);
+  // The sampler only runs when popular clusters exist; require that the
+  // workload actually exercised it, otherwise the comparison is vacuous.
+  std::size_t popular = 0;
+  for (const auto& s : a.scales)
+    for (const auto& ph : s.phases) popular += ph.popular;
+  ASSERT_GT(popular, 0u) << "workload produced no popular clusters";
+  // Different sampling almost surely produces different edge sets (compare
+  // sizes or content).
+  bool same = a.edges.size() == b.edges.size();
+  if (same) {
+    for (std::size_t i = 0; i < a.edges.size(); ++i)
+      if (!(a.edges[i] == b.edges[i])) {
+        same = false;
+        break;
+      }
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(RandomHopset, SameSeedReproduces) {
+  graph::GenOptions o;
+  Graph g = graph::gnm(96, 300, o);
+  hopset::Params p;
+  p.beta_hint = 8;
+  auto c1 = testing::ctx();
+  auto c2 = testing::ctx();
+  auto a = baselines::build_random_hopset(c1, g, p, 42);
+  auto b = baselines::build_random_hopset(c2, g, p, 42);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t i = 0; i < a.edges.size(); ++i)
+    EXPECT_TRUE(a.edges[i] == b.edges[i]);
+}
+
+TEST(PlainBf, ExactAtFixpoint) {
+  graph::GenOptions o;
+  o.seed = 5;
+  Graph g = graph::grid2d(12, 12, o);
+  auto cx = testing::ctx();
+  auto r = baselines::plain_bellman_ford(cx, g, 0);
+  auto dj = sssp::dijkstra_distances(g, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_NEAR(r.dist[v], dj[v], 1e-9);
+}
+
+TEST(PlainBf, RoundsTrackHopRadius) {
+  graph::GenOptions o;
+  o.weights = graph::WeightMode::kUnit;
+  Graph g = graph::path(64, o);
+  auto cx = testing::ctx();
+  auto r = baselines::plain_bellman_ford(cx, g, 0);
+  // Fixpoint detection costs one extra quiet round.
+  EXPECT_GE(r.rounds, 63);
+  EXPECT_LE(r.rounds, 65);
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,151 @@
+// Tests for hop-limited parallel Bellman–Ford: exact h-hop semantics,
+// fixpoint equals Dijkstra, multi-source behavior, union-graph helper.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/sssp.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::kInfWeight;
+using graph::Vertex;
+
+TEST(BellmanFord, HopSemanticsOnPath) {
+  // 0 -1- 1 -1- 2 -1- 3, plus a heavy shortcut 0-3.
+  std::vector<Edge> es = {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {0, 3, 10}};
+  Graph g = Graph::from_edges(4, es);
+  auto cx = testing::ctx();
+  auto r1 = sssp::bellman_ford(cx, g, Vertex(0), 1);
+  EXPECT_DOUBLE_EQ(r1.dist[1], 1);
+  EXPECT_DOUBLE_EQ(r1.dist[3], 10);  // 1 hop: only the shortcut
+  EXPECT_EQ(r1.dist[2], kInfWeight);
+
+  auto r2 = sssp::bellman_ford(cx, g, Vertex(0), 2);
+  EXPECT_DOUBLE_EQ(r2.dist[2], 2);
+  EXPECT_DOUBLE_EQ(r2.dist[3], 10);  // 2 hops: still the shortcut
+
+  auto r3 = sssp::bellman_ford(cx, g, Vertex(0), 3);
+  EXPECT_DOUBLE_EQ(r3.dist[3], 3);  // 3 hops unlocks the light path
+}
+
+TEST(BellmanFord, FixpointMatchesDijkstra) {
+  graph::GenOptions o;
+  o.seed = 31;
+  Graph g = graph::gnm(200, 800, o);
+  auto cx = testing::ctx();
+  auto bf = sssp::bellman_ford(cx, g, Vertex(7), g.num_vertices());
+  auto dj = sssp::dijkstra_distances(g, 7);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_NEAR(bf.dist[v], dj[v], 1e-9) << "vertex " << v;
+}
+
+TEST(BellmanFord, EarlyExitOnFixpoint) {
+  graph::GenOptions o;
+  Graph g = graph::star(64, o);
+  auto cx = testing::ctx();
+  auto bf = sssp::bellman_ford(cx, g, Vertex(0), 1000);
+  EXPECT_LE(bf.rounds_run, 3);  // star stabilizes immediately
+}
+
+TEST(BellmanFord, ParentsConsistent) {
+  graph::GenOptions o;
+  Graph g = graph::grid2d(6, 6, o);
+  auto cx = testing::ctx();
+  auto bf = sssp::bellman_ford(cx, g, Vertex(0), g.num_vertices());
+  for (Vertex v = 1; v < g.num_vertices(); ++v) {
+    ASSERT_NE(bf.parent[v], graph::kNoVertex);
+    EXPECT_NEAR(bf.dist[v],
+                bf.dist[bf.parent[v]] + g.edge_weight(bf.parent[v], v), 1e-9);
+  }
+}
+
+TEST(BellmanFord, MultiSourceMinimum) {
+  graph::GenOptions o;
+  o.weights = graph::WeightMode::kUnit;
+  Graph g = graph::path(10, o);
+  auto cx = testing::ctx();
+  std::vector<Vertex> sources = {0, 9};
+  auto bf = sssp::bellman_ford(cx, g, sources, 20);
+  EXPECT_DOUBLE_EQ(bf.dist[4], 4);  // from 0
+  EXPECT_DOUBLE_EQ(bf.dist[7], 2);  // from 9
+}
+
+TEST(BellmanFord, PerSourceRows) {
+  graph::GenOptions o;
+  o.weights = graph::WeightMode::kUnit;
+  Graph g = graph::path(8, o);
+  auto cx = testing::ctx();
+  std::vector<Vertex> sources = {0, 7};
+  auto rows = sssp::multi_source_bellman_ford(cx, g, sources, 10);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0][7], 7);
+  EXPECT_DOUBLE_EQ(rows[1][0], 7);
+}
+
+TEST(BellmanFord, MultiSourceDepthIsMax) {
+  // Depth of a parallel composition is the max branch, not the sum.
+  graph::GenOptions o;
+  o.weights = graph::WeightMode::kUnit;
+  Graph g = graph::path(32, o);
+  auto c_one = testing::ctx();
+  std::vector<Vertex> one = {0};
+  sssp::multi_source_bellman_ford(c_one, g, one, 64);
+  auto c_four = testing::ctx();
+  std::vector<Vertex> four = {0, 10, 20, 31};
+  sssp::multi_source_bellman_ford(c_four, g, four, 64);
+  EXPECT_LE(c_four.meter.depth(), c_one.meter.depth());
+  EXPECT_GT(c_four.meter.work(), c_one.meter.work());
+}
+
+TEST(BellmanFord, RoundCallbackObservesMonotoneDistances) {
+  graph::GenOptions o;
+  Graph g = graph::cycle(24, o);
+  auto cx = testing::ctx();
+  std::vector<double> last(g.num_vertices(), kInfWeight);
+  int calls = 0;
+  sssp::bellman_ford(
+      cx, g, std::vector<Vertex>{0}, 100,
+      [&](int, std::span<const graph::Weight> d) {
+        ++calls;
+        for (std::size_t v = 0; v < d.size(); ++v) {
+          EXPECT_LE(d[v], last[v]);
+          last[v] = d[v];
+        }
+      });
+  EXPECT_GT(calls, 0);
+}
+
+TEST(UnionGraph, KeepsLightestParallel) {
+  std::vector<Edge> base = {{0, 1, 5}};
+  Graph g = Graph::from_edges(3, base);
+  std::vector<Edge> extra = {{0, 1, 2}, {1, 2, 7}};
+  Graph gu = sssp::union_graph(g, extra);
+  EXPECT_DOUBLE_EQ(gu.edge_weight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(gu.edge_weight(1, 2), 7.0);
+  EXPECT_EQ(gu.num_edges(), 2u);
+}
+
+TEST(ApproxSssp, ExactWhenHopsetEmpty) {
+  graph::GenOptions o;
+  Graph g = graph::grid2d(5, 5, o);
+  auto cx = testing::ctx();
+  auto r = sssp::approx_sssp(cx, g, {}, 0, 100);
+  auto dj = sssp::dijkstra_distances(g, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_NEAR(r.dist[v], dj[v], 1e-9);
+}
+
+TEST(MaxStretch, ComputesWorstRatio) {
+  std::vector<double> exact = {0, 2, 4, kInfWeight};
+  std::vector<double> approx = {0, 2.5, 4, kInfWeight};
+  EXPECT_DOUBLE_EQ(sssp::max_stretch(approx, exact), 1.25);
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,100 @@
+// Tests for cluster collections and witness paths.
+#include <gtest/gtest.h>
+
+#include "hopset/cluster.hpp"
+
+namespace parhop {
+namespace {
+
+using hopset::Clustering;
+using hopset::ClusterMemory;
+using hopset::WitnessPath;
+
+TEST(WitnessPath, LengthAndEndpoints) {
+  WitnessPath p;
+  p.steps = {{3, 0}, {5, 1.5}, {7, 2.0}};
+  EXPECT_EQ(p.first(), 3u);
+  EXPECT_EQ(p.last(), 7u);
+  EXPECT_DOUBLE_EQ(p.length(), 3.5);
+}
+
+TEST(WitnessPath, AppendJoinsAtSharedVertex) {
+  WitnessPath a;
+  a.steps = {{0, 0}, {1, 1.0}};
+  WitnessPath b;
+  b.steps = {{1, 0}, {2, 2.0}};
+  a.append(b);
+  ASSERT_EQ(a.steps.size(), 3u);
+  EXPECT_EQ(a.last(), 2u);
+  EXPECT_DOUBLE_EQ(a.length(), 3.0);
+}
+
+TEST(WitnessPath, AppendToEmpty) {
+  WitnessPath a;
+  WitnessPath b;
+  b.steps = {{4, 0}, {5, 1.0}};
+  a.append(b);
+  EXPECT_EQ(a.first(), 4u);
+}
+
+TEST(WitnessPath, ReversedPreservesLengthAndSwapsEnds) {
+  WitnessPath p;
+  p.steps = {{0, 0}, {1, 1.0}, {2, 2.0}, {3, 0.5}};
+  WitnessPath r = p.reversed();
+  EXPECT_EQ(r.first(), 3u);
+  EXPECT_EQ(r.last(), 0u);
+  EXPECT_DOUBLE_EQ(r.length(), p.length());
+  EXPECT_DOUBLE_EQ(r.steps[0].w, 0.0);
+  // Step weights shift: into 2 costs 0.5, into 1 costs 2, into 0 costs 1.
+  EXPECT_DOUBLE_EQ(r.steps[1].w, 0.5);
+  EXPECT_DOUBLE_EQ(r.steps[2].w, 2.0);
+  EXPECT_DOUBLE_EQ(r.steps[3].w, 1.0);
+}
+
+TEST(WitnessPath, ReverseRoundTrip) {
+  WitnessPath p;
+  p.steps = {{9, 0}, {4, 3.0}, {1, 0.25}};
+  WitnessPath rr = p.reversed().reversed();
+  ASSERT_EQ(rr.steps.size(), p.steps.size());
+  for (std::size_t i = 0; i < p.steps.size(); ++i) {
+    EXPECT_EQ(rr.steps[i].v, p.steps[i].v);
+    EXPECT_DOUBLE_EQ(rr.steps[i].w, p.steps[i].w);
+  }
+}
+
+TEST(Clustering, SingletonsAreValid) {
+  Clustering c = Clustering::singletons(10);
+  EXPECT_EQ(c.size(), 10u);
+  EXPECT_TRUE(c.valid(10));
+  for (graph::Vertex v = 0; v < 10; ++v) {
+    EXPECT_EQ(c.cluster_of[v], v);
+    EXPECT_EQ(c.center[v], v);
+    EXPECT_DOUBLE_EQ(c.radius[v], 0.0);
+  }
+}
+
+TEST(Clustering, ValidCatchesInconsistencies) {
+  Clustering c = Clustering::singletons(4);
+  c.cluster_of[2] = 0;  // 2 claims cluster 0 but is not a member
+  EXPECT_FALSE(c.valid(4));
+
+  Clustering d = Clustering::singletons(4);
+  d.members[1].push_back(0);  // 0 in two clusters
+  EXPECT_FALSE(d.valid(4));
+
+  Clustering e = Clustering::singletons(4);
+  e.center[3] = 0;  // center not a member
+  EXPECT_FALSE(e.valid(4));
+}
+
+TEST(ClusterMemory, SingletonsSelfPaths) {
+  ClusterMemory m = ClusterMemory::singletons(5);
+  for (graph::Vertex v = 0; v < 5; ++v) {
+    EXPECT_EQ(m.to_center[v].first(), v);
+    EXPECT_EQ(m.to_center[v].last(), v);
+    EXPECT_DOUBLE_EQ(m.to_center[v].length(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,125 @@
+// Tests for deterministic parallel connectivity and spanning forests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Components;
+using graph::Edge;
+using graph::Graph;
+
+TEST(Connectivity, SingleComponent) {
+  auto cx = testing::ctx();
+  graph::GenOptions o;
+  Graph g = graph::cycle(50, o);
+  Components c = graph::connected_components(cx, g);
+  EXPECT_EQ(c.count, 1u);
+  for (auto l : c.label) EXPECT_EQ(l, 0u);
+  EXPECT_EQ(c.forest.size(), 49u);
+}
+
+TEST(Connectivity, MultipleComponents) {
+  auto cx = testing::ctx();
+  std::vector<Edge> es = {{0, 1, 1}, {2, 3, 1}, {3, 4, 1}};
+  Graph g = Graph::from_edges(6, es);
+  Components c = graph::connected_components(cx, g);
+  EXPECT_EQ(c.count, 3u);  // {0,1}, {2,3,4}, {5}
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[2], c.label[3]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[2]);
+  EXPECT_EQ(c.label[5], 5u);
+  EXPECT_EQ(c.forest.size(), 3u);
+}
+
+TEST(Connectivity, CanonicalLabelsAreMinima) {
+  auto cx = testing::ctx();
+  std::vector<Edge> es = {{5, 3, 1}, {3, 7, 1}};
+  Graph g = Graph::from_edges(8, es);
+  Components c = graph::connected_components(cx, g);
+  EXPECT_EQ(c.label[5], 3u);
+  EXPECT_EQ(c.label[7], 3u);
+  EXPECT_EQ(c.label[3], 3u);
+}
+
+TEST(Connectivity, KeepPredicateFilters) {
+  auto cx = testing::ctx();
+  std::vector<Edge> es = {{0, 1, 1.0}, {1, 2, 10.0}};
+  Graph g = Graph::from_edges(3, es);
+  Components c = graph::connected_components(
+      cx, g, [](graph::Vertex, const graph::Arc& a) { return a.w < 5.0; });
+  EXPECT_EQ(c.count, 2u);  // heavy edge ignored
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_NE(c.label[0], c.label[2]);
+}
+
+TEST(Connectivity, ForestIsSpanningAndAcyclic) {
+  auto cx = testing::ctx();
+  graph::GenOptions o;
+  o.seed = 5;
+  Graph g = graph::gnm(200, 600, o);
+  Components c = graph::connected_components(cx, g);
+  EXPECT_EQ(c.forest.size(), g.num_vertices() - c.count);
+  // Forest edges must be real graph edges.
+  for (const Edge& e : c.forest)
+    EXPECT_DOUBLE_EQ(g.edge_weight(e.u, e.v), e.w);
+  // Union-find check: forest edges never close a cycle.
+  std::vector<graph::Vertex> uf(g.num_vertices());
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) uf[v] = v;
+  std::function<graph::Vertex(graph::Vertex)> find =
+      [&](graph::Vertex v) { return uf[v] == v ? v : uf[v] = find(uf[v]); };
+  for (const Edge& e : c.forest) {
+    auto a = find(e.u), b = find(e.v);
+    EXPECT_NE(a, b) << "cycle in forest";
+    uf[a] = b;
+  }
+}
+
+TEST(Connectivity, DeterministicAcrossRuns) {
+  graph::GenOptions o;
+  o.seed = 17;
+  Graph g = graph::gnm(128, 400, o);
+  auto c1 = testing::ctx();
+  auto c2 = testing::ctx();
+  Components a = graph::connected_components(c1, g);
+  Components b = graph::connected_components(c2, g);
+  EXPECT_EQ(a.label, b.label);
+  ASSERT_EQ(a.forest.size(), b.forest.size());
+  for (std::size_t i = 0; i < a.forest.size(); ++i)
+    EXPECT_TRUE(a.forest[i] == b.forest[i]);
+}
+
+TEST(RootedForest, ParentsPointTowardCanonicalRoot) {
+  auto cx = testing::ctx();
+  std::vector<Edge> es = {{0, 1, 2}, {1, 2, 3}, {4, 5, 1}};
+  Graph g = Graph::from_edges(6, es);
+  Components c = graph::connected_components(cx, g);
+  auto rf = graph::root_forest(cx, g.num_vertices(), c);
+  EXPECT_EQ(rf.parent[0], 0u);
+  EXPECT_EQ(rf.parent[1], 0u);
+  EXPECT_DOUBLE_EQ(rf.parent_weight[1], 2.0);
+  EXPECT_EQ(rf.parent[2], 1u);
+  EXPECT_DOUBLE_EQ(rf.parent_weight[2], 3.0);
+  EXPECT_EQ(rf.parent[4], 4u);
+  EXPECT_EQ(rf.parent[5], 4u);
+  EXPECT_EQ(rf.parent[3], 3u);  // isolated
+}
+
+TEST(Connectivity, EmptyAndSingleton) {
+  auto cx = testing::ctx();
+  Graph empty;
+  auto c0 = graph::connected_components(cx, empty);
+  EXPECT_EQ(c0.count, 0u);
+  Graph one = Graph::from_edges(1, {});
+  auto c1 = graph::connected_components(cx, one);
+  EXPECT_EQ(c1.count, 1u);
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,104 @@
+// The paper's headline qualifier is *deterministic*: the entire pipeline must
+// produce bit-identical output across runs and across thread-pool sizes, and
+// consume no randomness. These tests pin that down end to end.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hopset/hopset.hpp"
+#include "hopset/path_reporting.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using hopset::Hopset;
+
+bool identical(const Hopset& a, const Hopset& b) {
+  if (a.edges.size() != b.edges.size()) return false;
+  for (std::size_t i = 0; i < a.edges.size(); ++i)
+    if (!(a.edges[i] == b.edges[i])) return false;
+  return true;
+}
+
+TEST(Determinism, HopsetIdenticalAcrossRuns) {
+  graph::GenOptions o;
+  o.seed = 33;
+  Graph g = graph::gnm(160, 640, o);
+  hopset::Params p;
+  p.beta_hint = 8;
+  auto c1 = testing::ctx();
+  auto c2 = testing::ctx();
+  Hopset a = hopset::build_hopset(c1, g, p);
+  Hopset b = hopset::build_hopset(c2, g, p);
+  EXPECT_TRUE(identical(a, b));
+}
+
+TEST(Determinism, HopsetIdenticalAcrossThreadPools) {
+  graph::GenOptions o;
+  o.seed = 34;
+  Graph g = graph::gnm(128, 512, o);
+  hopset::Params p;
+  p.beta_hint = 8;
+  pram::ThreadPool pool1(1), pool4(4);
+  pram::Ctx c1(&pool1), c4(&pool4);
+  Hopset a = hopset::build_hopset(c1, g, p);
+  Hopset b = hopset::build_hopset(c4, g, p);
+  EXPECT_TRUE(identical(a, b));
+}
+
+TEST(Determinism, MeteredCostIdenticalAcrossPools) {
+  // Not just results: the metered PRAM cost is part of the deterministic
+  // contract (the experiment harness depends on it).
+  graph::GenOptions o;
+  o.seed = 35;
+  Graph g = graph::gnm(96, 300, o);
+  hopset::Params p;
+  p.beta_hint = 8;
+  pram::ThreadPool pool1(1), pool3(3);
+  pram::Ctx c1(&pool1), c3(&pool3);
+  hopset::build_hopset(c1, g, p);
+  hopset::build_hopset(c3, g, p);
+  EXPECT_EQ(c1.meter.work(), c3.meter.work());
+  EXPECT_EQ(c1.meter.depth(), c3.meter.depth());
+}
+
+TEST(Determinism, SptIdenticalAcrossRuns) {
+  graph::GenOptions o;
+  o.seed = 36;
+  Graph g = graph::gnm(96, 300, o);
+  hopset::Params p;
+  p.beta_hint = 8;
+  auto c1 = testing::ctx();
+  Hopset H = hopset::build_hopset(c1, g, p, /*track_paths=*/true);
+  auto s1 = hopset::build_spt(c1, g, H, 0);
+  auto c2 = testing::ctx();
+  auto s2 = hopset::build_spt(c2, g, H, 0);
+  EXPECT_EQ(s1.tree.parent, s2.tree.parent);
+  EXPECT_EQ(s1.dist, s2.dist);
+}
+
+TEST(Determinism, WitnessPathsIdenticalAcrossPools) {
+  graph::GenOptions o;
+  o.seed = 37;
+  Graph g = graph::gnm(80, 240, o);
+  hopset::Params p;
+  p.beta_hint = 8;
+  pram::ThreadPool pool1(1), pool4(4);
+  pram::Ctx c1(&pool1), c4(&pool4);
+  Hopset a = hopset::build_hopset(c1, g, p, true);
+  Hopset b = hopset::build_hopset(c4, g, p, true);
+  ASSERT_EQ(a.detailed.size(), b.detailed.size());
+  for (std::size_t i = 0; i < a.detailed.size(); ++i) {
+    const auto& wa = a.detailed[i].witness.steps;
+    const auto& wb = b.detailed[i].witness.steps;
+    ASSERT_EQ(wa.size(), wb.size()) << "edge " << i;
+    for (std::size_t s = 0; s < wa.size(); ++s) {
+      EXPECT_EQ(wa[s].v, wb[s].v);
+      EXPECT_EQ(wa[s].w, wb[s].w);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,66 @@
+// Tests for the exact Dijkstra oracle.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sssp/dijkstra.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::kInfWeight;
+using graph::kNoVertex;
+
+TEST(Dijkstra, HandComputedDistances) {
+  std::vector<Edge> es = {{0, 1, 1}, {1, 2, 2}, {0, 2, 5}, {2, 3, 1}};
+  Graph g = Graph::from_edges(4, es);
+  auto r = sssp::dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[0], 0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 1);
+  EXPECT_DOUBLE_EQ(r.dist[2], 3);  // via 1
+  EXPECT_DOUBLE_EQ(r.dist[3], 4);
+  EXPECT_EQ(r.parent[2], 1u);
+  EXPECT_EQ(r.parent[0], kNoVertex);
+}
+
+TEST(Dijkstra, UnreachableIsInfinity) {
+  std::vector<Edge> es = {{0, 1, 1}};
+  Graph g = Graph::from_edges(3, es);
+  auto d = sssp::dijkstra_distances(g, 0);
+  EXPECT_EQ(d[2], kInfWeight);
+}
+
+TEST(Dijkstra, ParentsFormShortestPathTree) {
+  graph::GenOptions o;
+  o.seed = 21;
+  Graph g = graph::gnm(150, 500, o);
+  auto r = sssp::dijkstra(g, 3);
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (v == 3 || r.dist[v] == kInfWeight) continue;
+    ASSERT_NE(r.parent[v], kNoVertex);
+    EXPECT_NEAR(r.dist[v],
+                r.dist[r.parent[v]] + g.edge_weight(r.parent[v], v), 1e-9);
+  }
+}
+
+TEST(Dijkstra, TriangleInequalityOverEdges) {
+  graph::GenOptions o;
+  Graph g = graph::grid2d(8, 8, o);
+  auto d = sssp::dijkstra_distances(g, 0);
+  for (const Edge& e : g.edge_list()) {
+    EXPECT_LE(d[e.v], d[e.u] + e.w + 1e-9);
+    EXPECT_LE(d[e.u], d[e.v] + e.w + 1e-9);
+  }
+}
+
+TEST(Dijkstra, SourceOutOfRange) {
+  Graph g = Graph::from_edges(2, std::vector<Edge>{{0, 1, 1}});
+  auto r = sssp::dijkstra(g, 9);
+  EXPECT_EQ(r.dist[0], kInfWeight);
+  EXPECT_EQ(r.dist[1], kInfWeight);
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,200 @@
+// Edge cases and failure injection across the pipeline: extreme parameters,
+// degenerate graphs, and corrupted-input detection.
+#include <gtest/gtest.h>
+
+#include "graph/aspect_ratio.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "hopset/hopset.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "hopset/path_reporting.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/spt.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+
+TEST(EdgeCases, TinyEpsilonStillSound) {
+  graph::GenOptions o;
+  o.seed = 50;
+  Graph g = graph::gnm(64, 200, o);
+  hopset::Params p;
+  p.epsilon = 0.02;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+  std::vector<Vertex> srcs = {0, 32};
+  testing::check_hopset_property(g, H.edges, p.epsilon, H.schedule.beta,
+                                 srcs);
+}
+
+TEST(EdgeCases, LargeEpsilonStillSound) {
+  graph::GenOptions o;
+  o.seed = 51;
+  Graph g = graph::gnm(96, 300, o);
+  hopset::Params p;
+  p.epsilon = 0.9;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+  std::vector<Vertex> srcs = {0};
+  testing::check_hopset_property(g, H.edges, p.epsilon, H.schedule.beta,
+                                 srcs);
+}
+
+TEST(EdgeCases, KappaTwoDenseHopset) {
+  graph::GenOptions o;
+  o.seed = 52;
+  Graph g = graph::gnm(96, 300, o);
+  hopset::Params p;
+  p.kappa = 2;
+  p.rho = 0.49;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+  auto ar = graph::aspect_ratio(g);
+  EXPECT_LE(H.edges.size(), hopset::size_bound(p, 96, ar.log_lambda));
+  std::vector<Vertex> srcs = {0};
+  testing::check_hopset_property(g, H.edges, p.epsilon, H.schedule.beta,
+                                 srcs);
+}
+
+TEST(EdgeCases, RhoNearBounds) {
+  graph::GenOptions o;
+  Graph g = graph::gnm(64, 192, o);
+  for (double rho : {0.05, 0.49}) {
+    hopset::Params p;
+    p.rho = rho;
+    auto cx = testing::ctx();
+    hopset::Hopset H = hopset::build_hopset(cx, g, p);
+    std::vector<Vertex> srcs = {0};
+    testing::check_hopset_property(g, H.edges, p.epsilon, H.schedule.beta,
+                                   srcs);
+  }
+}
+
+TEST(EdgeCases, UniformWeightClique) {
+  graph::GenOptions o;
+  o.weights = graph::WeightMode::kUnit;
+  Graph g = graph::complete(32, o);
+  hopset::Params p;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+  // Diameter 1: any hopset is fine, but distances must remain exact-ish.
+  std::vector<Vertex> srcs = {0};
+  double worst =
+      testing::check_hopset_property(g, H.edges, p.epsilon,
+                                     H.schedule.beta, srcs);
+  EXPECT_DOUBLE_EQ(worst, 1.0);
+}
+
+TEST(EdgeCases, StarHighDegreeCenter) {
+  graph::GenOptions o;
+  o.seed = 53;
+  Graph g = graph::star(256, o);
+  hopset::Params p;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+  std::vector<Vertex> srcs = {0, 1, 255};
+  testing::check_hopset_property(g, H.edges, p.epsilon, H.schedule.beta,
+                                 srcs);
+}
+
+TEST(EdgeCases, TwoVertexGraph) {
+  Graph g = Graph::from_edges(2, std::vector<Edge>{{0, 1, 3.5}});
+  hopset::Params p;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p, /*track_paths=*/true);
+  auto spt = hopset::build_spt(cx, g, H, 0);
+  EXPECT_EQ(spt.tree.parent[1], 0u);
+  EXPECT_DOUBLE_EQ(spt.dist[1], 3.5);
+}
+
+TEST(EdgeCases, ExtremeWeightSpread) {
+  // Weights across 2^40: the basic (Λ-dependent) hopset must still be sound,
+  // just with many scales.
+  graph::Builder b(8);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1024.0);
+  b.add_edge(2, 3, 1.0);
+  b.add_edge(3, 4, 1048576.0);
+  b.add_edge(4, 5, 1.0);
+  b.add_edge(5, 6, 1099511627776.0);
+  b.add_edge(6, 7, 1.0);
+  Graph g = b.build();
+  hopset::Params p;
+  p.beta_hint = 4;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+  EXPECT_GE(H.scales.size(), 30u) << "one scale per weight octave expected";
+  std::vector<Vertex> srcs = {0};
+  testing::check_hopset_property(g, H.edges, p.epsilon, 16, srcs);
+}
+
+TEST(EdgeCases, FractionalWeightsBelowOne) {
+  // Minimum weight far below 1: the unit-shifted schedule must handle it
+  // without rescaling drift (weights stay bit-exact).
+  graph::Builder b(6);
+  b.add_edge(0, 1, 0.001);
+  b.add_edge(1, 2, 0.002);
+  b.add_edge(2, 3, 0.016);
+  b.add_edge(3, 4, 0.001);
+  b.add_edge(4, 5, 0.008);
+  b.add_edge(0, 5, 0.032);
+  Graph g = b.build();
+  hopset::Params p;
+  p.beta_hint = 4;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p, /*track_paths=*/true);
+  std::vector<Vertex> srcs = {0};
+  testing::check_hopset_property(g, H.edges, p.epsilon, 8, srcs);
+  auto spt = hopset::build_spt(cx, g, H, 0);
+  auto check = sssp::validate_spt_stretch(cx, spt.tree, g, p.epsilon);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(FailureInjection, CorruptedWitnessRejected) {
+  graph::GenOptions o;
+  o.seed = 54;
+  Graph g = graph::gnm(64, 200, o);
+  hopset::Params p;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p, /*track_paths=*/true);
+  if (H.detailed.empty()) GTEST_SKIP() << "no hopset edges at this size";
+  // Strip one witness: build_spt must refuse rather than emit a bad tree.
+  H.detailed[0].witness.steps.clear();
+  EXPECT_THROW(hopset::build_spt(cx, g, H, 0), std::invalid_argument);
+}
+
+TEST(FailureInjection, ShortcuttingEdgeDetectedByOracle) {
+  // A hand-made "hopset" that illegally shortcuts must be caught by the
+  // validation oracle (this guards the test harness itself).
+  graph::GenOptions o;
+  o.weights = graph::WeightMode::kUnit;
+  Graph g = graph::path(8, o);
+  std::vector<Edge> bogus = {{0, 7, 1.0}};  // real distance is 7
+  auto cx = testing::ctx();
+  graph::Graph gu = sssp::union_graph(g, bogus);
+  auto approx = sssp::bellman_ford(cx, gu, Vertex(0), 8);
+  auto exact = sssp::dijkstra_distances(g, 0);
+  EXPECT_LT(approx.dist[7], exact[7]) << "oracle must see the shortcut";
+}
+
+TEST(EdgeCases, SptFromEveryVertexOnSmallGraph) {
+  graph::GenOptions o;
+  o.seed = 55;
+  Graph g = graph::gnm(32, 96, o);
+  hopset::Params p;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p, /*track_paths=*/true);
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    auto spt = hopset::build_spt(cx, g, H, s);
+    auto check = sssp::validate_spt_stretch(cx, spt.tree, g, p.epsilon);
+    EXPECT_TRUE(check.ok) << "source " << s << ": " << check.error;
+  }
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,256 @@
+// Tests for Algorithm 2/3 (parallel limited BFS exploration in G̃_i) against
+// the formal guarantees of Lemma A.2/A.3 and Corollary A.5.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hopset/exploration.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+using hopset::Clustering;
+using hopset::ExploreOptions;
+using hopset::Record;
+
+std::vector<std::uint32_t> all_ids(const Clustering& P) {
+  std::vector<std::uint32_t> ids(P.size());
+  for (std::size_t c = 0; c < P.size(); ++c)
+    ids[c] = static_cast<std::uint32_t>(c);
+  return ids;
+}
+
+TEST(Exploration, SingletonDetectionMatchesHopDistances) {
+  // On singleton clusters, cluster-to-cluster distance is plain (2β+1)-hop
+  // bounded distance — check against Bellman–Ford exactly (Lemma A.3).
+  graph::GenOptions o;
+  o.seed = 5;
+  Graph g = graph::gnm(48, 120, o);
+  Clustering P = Clustering::singletons(g.num_vertices());
+  auto cx = testing::ctx();
+
+  ExploreOptions opts;
+  opts.dist_limit = 40.0;
+  opts.per_pulse_limit = 40.0;
+  opts.hop_limit = 5;
+  opts.pulses = 1;
+  opts.max_records = g.num_vertices();  // keep everything
+  auto res = hopset::explore(cx, g, P, all_ids(P), opts);
+
+  for (Vertex target = 0; target < g.num_vertices(); ++target) {
+    auto bf = sssp::bellman_ford(cx, g, target, opts.hop_limit);
+    // Every record for `target` must equal the 5-hop distance from its src.
+    for (const Record& r : res.cluster_records[target]) {
+      EXPECT_NEAR(r.dist, bf.dist[r.src], 1e-9)
+          << "target " << target << " src " << r.src;
+      EXPECT_LE(r.dist, opts.dist_limit);
+    }
+    // Completeness: every vertex within the limits must be recorded.
+    std::size_t expected = 0;
+    for (Vertex s = 0; s < g.num_vertices(); ++s)
+      if (bf.dist[s] <= opts.dist_limit) ++expected;
+    EXPECT_EQ(res.cluster_records[target].size(), expected);
+  }
+}
+
+TEST(Exploration, RecordCapKeepsNearest) {
+  graph::GenOptions o;
+  o.weights = graph::WeightMode::kUnit;
+  Graph g = graph::path(12, o);
+  Clustering P = Clustering::singletons(g.num_vertices());
+  auto cx = testing::ctx();
+
+  ExploreOptions opts;
+  opts.dist_limit = 100;
+  opts.per_pulse_limit = 100;
+  opts.hop_limit = 12;
+  opts.max_records = 3;
+  auto res = hopset::explore(cx, g, P, all_ids(P), opts);
+
+  // Vertex 6 keeps itself plus its two nearest (5 and 7), per Lemma A.2's
+  // N^j[x] semantics with x = 3.
+  const auto& recs = res.cluster_records[6];
+  ASSERT_GE(recs.size(), 3u);
+  EXPECT_EQ(recs[0].src, 6u);
+  EXPECT_DOUBLE_EQ(recs[0].dist, 0.0);
+  EXPECT_EQ(recs[1].src, 5u);  // tie at dist 1 broken by smaller ID
+  EXPECT_EQ(recs[2].src, 7u);
+}
+
+TEST(Exploration, DistanceLimitPrunes) {
+  graph::GenOptions o;
+  o.weights = graph::WeightMode::kUnit;
+  Graph g = graph::path(10, o);
+  Clustering P = Clustering::singletons(g.num_vertices());
+  auto cx = testing::ctx();
+
+  ExploreOptions opts;
+  opts.dist_limit = 2.0;
+  opts.per_pulse_limit = 2.0;
+  opts.hop_limit = 10;
+  opts.max_records = 10;
+  auto res = hopset::explore(cx, g, P, all_ids(P), opts);
+  for (Vertex v = 0; v < 10; ++v)
+    for (const Record& r : res.cluster_records[v])
+      EXPECT_LE(std::abs(static_cast<int>(r.src) - static_cast<int>(v)), 2);
+}
+
+TEST(Exploration, HopLimitBindsBeforeDistance) {
+  graph::GenOptions o;
+  o.weights = graph::WeightMode::kUnit;
+  Graph g = graph::path(10, o);
+  Clustering P = Clustering::singletons(g.num_vertices());
+  auto cx = testing::ctx();
+
+  ExploreOptions opts;
+  opts.dist_limit = 100;
+  opts.per_pulse_limit = 100;
+  opts.hop_limit = 2;
+  opts.max_records = 10;
+  std::vector<std::uint32_t> sources = {0};
+  auto res = hopset::explore(cx, g, P, sources, opts);
+  EXPECT_FALSE(res.cluster_records[2].empty());
+  EXPECT_TRUE(res.cluster_records[3].empty());  // 3 hops away
+}
+
+TEST(Exploration, MultiPulseTeleportsThroughClusters) {
+  // Two 3-vertex clusters joined by unit edges; a third singleton beyond.
+  // One pulse covers one G̃ edge; the second pulse must restart from the
+  // intermediate cluster (Lemma A.4 semantics).
+  graph::GenOptions o;
+  o.weights = graph::WeightMode::kUnit;
+  Graph g = graph::path(7, o);  // 0-1-2 | 3-4-5 | 6
+  Clustering P;
+  P.cluster_of = {0, 0, 0, 1, 1, 1, 2};
+  P.center = {1, 4, 6};
+  P.members = {{0, 1, 2}, {3, 4, 5}, {6}};
+  P.radius = {1, 1, 0};
+  ASSERT_TRUE(P.valid(7));
+  auto cx = testing::ctx();
+
+  ExploreOptions opts;
+  opts.per_pulse_limit = 1.0;  // exactly one inter-cluster edge per pulse
+  opts.hop_limit = 3;
+  opts.max_records = 1;
+  std::vector<std::uint32_t> sources = {0};
+
+  opts.pulses = 1;
+  auto one = hopset::explore(cx, g, P, sources, opts);
+  EXPECT_FALSE(one.cluster_records[1].empty());  // neighbor cluster reached
+  EXPECT_TRUE(one.cluster_records[2].empty());   // two G̃ hops away
+
+  opts.pulses = 2;
+  auto two = hopset::explore(cx, g, P, sources, opts);
+  ASSERT_FALSE(two.cluster_records[2].empty());
+  EXPECT_EQ(two.cluster_records[2][0].src, 0u);
+}
+
+TEST(Exploration, CenterModeAddsTeleportCosts) {
+  graph::GenOptions o;
+  o.weights = graph::WeightMode::kUnit;
+  Graph g = graph::path(7, o);
+  Clustering P;
+  P.cluster_of = {0, 0, 0, 1, 1, 1, 2};
+  P.center = {1, 4, 6};
+  P.members = {{0, 1, 2}, {3, 4, 5}, {6}};
+  P.radius = {1, 1, 0};
+  auto cx = testing::ctx();
+
+  std::vector<graph::Weight> teleport = {2.0, 2.0, 0.0};  // 2·R̂
+  ExploreOptions opts;
+  opts.per_pulse_limit = 1.0;
+  opts.hop_limit = 3;
+  opts.pulses = 2;
+  opts.max_records = 1;
+  opts.teleport_cost = teleport;
+  std::vector<std::uint32_t> sources = {0};
+  auto res = hopset::explore(cx, g, P, sources, opts);
+  // Record at cluster 2: teleport out of cluster 0 (2) + edge 2-3 (1) +
+  // teleport through cluster 1 (2) + edge 5-6 (1) = 6; bounds the real
+  // center-to-boundary walk 1→2→3→4→5→6 of length 5 (Lemma 2.3 direction).
+  ASSERT_FALSE(res.cluster_records[2].empty());
+  EXPECT_DOUBLE_EQ(res.cluster_records[2][0].dist, 6.0);
+}
+
+TEST(Exploration, PathTrackingProducesRealWalks) {
+  graph::GenOptions o;
+  o.seed = 9;
+  Graph g = graph::gnm(32, 96, o);
+  Clustering P = Clustering::singletons(g.num_vertices());
+  hopset::ClusterMemory cmem =
+      hopset::ClusterMemory::singletons(g.num_vertices());
+  auto cx = testing::ctx();
+
+  ExploreOptions opts;
+  opts.dist_limit = 30;
+  opts.per_pulse_limit = 30;
+  opts.hop_limit = 4;
+  opts.max_records = 5;
+  opts.track_paths = true;
+  opts.cmem = &cmem;
+  auto res = hopset::explore(cx, g, P, all_ids(P), opts);
+
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const Record& r : res.cluster_records[v]) {
+      if (r.src == v) continue;  // self record carries no path
+      hopset::WitnessPath w = hopset::materialize(r.path);
+      ASSERT_FALSE(w.empty());
+      EXPECT_EQ(w.first(), r.src);  // singleton cluster: path starts at src
+      EXPECT_EQ(w.last(), v);
+      // Walk must consist of real graph edges and have length == dist.
+      double len = 0;
+      for (std::size_t i = 1; i < w.steps.size(); ++i) {
+        double ew = g.edge_weight(w.steps[i - 1].v, w.steps[i].v);
+        EXPECT_DOUBLE_EQ(ew, w.steps[i].w);
+        len += ew;
+      }
+      EXPECT_NEAR(len, r.dist, 1e-9);
+    }
+  }
+}
+
+TEST(Exploration, EarlyTerminationReportsRounds) {
+  graph::GenOptions o;
+  Graph g = graph::star(32, o);
+  Clustering P = Clustering::singletons(g.num_vertices());
+  auto cx = testing::ctx();
+  ExploreOptions opts;
+  opts.dist_limit = 1e9;
+  opts.per_pulse_limit = 1e9;
+  opts.hop_limit = 1000;  // star stabilizes after 2 steps
+  opts.max_records = 4;
+  auto res = hopset::explore(cx, g, P, all_ids(P), opts);
+  EXPECT_LE(res.total_steps, 5);
+}
+
+TEST(Exploration, DeterministicAcrossThreadPools) {
+  graph::GenOptions o;
+  o.seed = 23;
+  Graph g = graph::gnm(64, 200, o);
+  Clustering P = Clustering::singletons(g.num_vertices());
+  ExploreOptions opts;
+  opts.dist_limit = 25;
+  opts.per_pulse_limit = 25;
+  opts.hop_limit = 6;
+  opts.max_records = 4;
+
+  pram::ThreadPool p1(1), p4(4);
+  pram::Ctx c1(&p1), c4(&p4);
+  auto r1 = hopset::explore(c1, g, P, all_ids(P), opts);
+  auto r4 = hopset::explore(c4, g, P, all_ids(P), opts);
+  ASSERT_EQ(r1.cluster_records.size(), r4.cluster_records.size());
+  for (std::size_t c = 0; c < r1.cluster_records.size(); ++c) {
+    ASSERT_EQ(r1.cluster_records[c].size(), r4.cluster_records[c].size());
+    for (std::size_t i = 0; i < r1.cluster_records[c].size(); ++i) {
+      EXPECT_EQ(r1.cluster_records[c][i].src, r4.cluster_records[c][i].src);
+      EXPECT_EQ(r1.cluster_records[c][i].dist, r4.cluster_records[c][i].dist);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,121 @@
+// Tests for the deterministic workload generators.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::GenOptions;
+using graph::Graph;
+
+TEST(Generators, GnmHasRequestedEdges) {
+  GenOptions o;
+  o.ensure_connected = false;
+  Graph g = graph::gnm(100, 300, o);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 300u);
+}
+
+TEST(Generators, GnmDeterministicInSeed) {
+  GenOptions o;
+  Graph a = graph::gnm(64, 200, o);
+  Graph b = graph::gnm(64, 200, o);
+  EXPECT_EQ(a, b);
+  o.seed = 2;
+  Graph c = graph::gnm(64, 200, o);
+  EXPECT_NE(a, c);
+}
+
+TEST(Generators, GnmClampsToCompleteGraph) {
+  GenOptions o;
+  o.ensure_connected = false;
+  Graph g = graph::gnm(5, 1000, o);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(Generators, GridShape) {
+  GenOptions o;
+  Graph g = graph::grid2d(4, 5, o);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  // 4 rows × 4 horizontal + 3 × 5 vertical = 31.
+  EXPECT_EQ(g.num_edges(), 4u * 4 + 3 * 5);
+}
+
+TEST(Generators, TorusAddsWrapEdges) {
+  GenOptions o;
+  Graph g = graph::grid2d(4, 4, o, /*torus=*/true);
+  EXPECT_EQ(g.num_edges(), 2u * 16);  // every vertex degree 4
+  for (graph::Vertex v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, PathCycleStarComplete) {
+  GenOptions o;
+  EXPECT_EQ(graph::path(10, o).num_edges(), 9u);
+  EXPECT_EQ(graph::cycle(10, o).num_edges(), 10u);
+  EXPECT_EQ(graph::star(10, o).num_edges(), 9u);
+  EXPECT_EQ(graph::complete(6, o).num_edges(), 15u);
+}
+
+TEST(Generators, WeightsRespectMode) {
+  GenOptions o;
+  o.weights = graph::WeightMode::kUnit;
+  for (const auto& e : graph::gnm(32, 64, o).edge_list())
+    EXPECT_DOUBLE_EQ(e.w, 1.0);
+
+  o.weights = graph::WeightMode::kUniform;
+  o.max_weight = 10;
+  for (const auto& e : graph::gnm(32, 64, o).edge_list()) {
+    EXPECT_GE(e.w, 1.0);
+    EXPECT_LE(e.w, 10.0);
+  }
+
+  o.weights = graph::WeightMode::kExponential;
+  o.max_weight = 1 << 20;
+  bool large_seen = false;
+  for (const auto& e : graph::gnm(64, 256, o).edge_list()) {
+    EXPECT_GE(e.w, 1.0);
+    EXPECT_LE(e.w, double(1 << 20));
+    if (e.w > 1024) large_seen = true;
+  }
+  EXPECT_TRUE(large_seen) << "exponential mode should spread weights widely";
+}
+
+TEST(Generators, EnsureConnectedConnects) {
+  GenOptions o;
+  o.ensure_connected = true;
+  Graph g = graph::gnm(200, 50, o);  // far too few edges on their own
+  auto cx = testing::ctx();
+  auto exact = sssp::dijkstra_distances(g, 0);
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_LT(exact[v], graph::kInfWeight) << "vertex " << v << " unreachable";
+}
+
+TEST(Generators, BarabasiAlbertDegreeSkew) {
+  GenOptions o;
+  Graph g = graph::barabasi_albert(300, 2, o);
+  std::size_t maxdeg = 0;
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    maxdeg = std::max(maxdeg, g.degree(v));
+  EXPECT_GE(maxdeg, 10u) << "preferential attachment should create hubs";
+}
+
+TEST(Generators, GeometricRespectsRadius) {
+  GenOptions o;
+  o.ensure_connected = false;
+  Graph g = graph::geometric(100, 0.2, o);
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(Generators, ByNameDispatch) {
+  GenOptions o;
+  EXPECT_GT(graph::by_name("gnm", 64, o).num_edges(), 0u);
+  EXPECT_GT(graph::by_name("grid", 64, o).num_edges(), 0u);
+  EXPECT_GT(graph::by_name("ba", 64, o).num_edges(), 0u);
+  EXPECT_GT(graph::by_name("path", 64, o).num_edges(), 0u);
+  EXPECT_THROW(graph::by_name("nope", 64, o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parhop

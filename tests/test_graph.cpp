@@ -1,0 +1,132 @@
+// Unit tests for the CSR graph, builder and aspect-ratio utilities.
+#include <gtest/gtest.h>
+
+#include "graph/aspect_ratio.hpp"
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::kInfWeight;
+
+Graph triangle() {
+  std::vector<Edge> es = {{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 5.0}};
+  return Graph::from_edges(3, es);
+}
+
+TEST(Graph, BasicCounts) {
+  Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Graph, SymmetricAdjacency) {
+  Graph g = triangle();
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(2, 0), 5.0);
+  EXPECT_EQ(g.edge_weight(0, 0), kInfWeight);
+}
+
+TEST(Graph, ParallelEdgesKeepLightest) {
+  std::vector<Edge> es = {{0, 1, 7.0}, {1, 0, 3.0}, {0, 1, 9.0}};
+  Graph g = Graph::from_edges(2, es);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 3.0);
+}
+
+TEST(Graph, SelfLoopsDropped) {
+  std::vector<Edge> es = {{0, 0, 1.0}, {0, 1, 2.0}};
+  Graph g = Graph::from_edges(2, es);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, RejectsBadInput) {
+  std::vector<Edge> bad_endpoint = {{0, 5, 1.0}};
+  EXPECT_THROW(Graph::from_edges(2, bad_endpoint), std::out_of_range);
+  std::vector<Edge> bad_weight = {{0, 1, 0.0}};
+  EXPECT_THROW(Graph::from_edges(2, bad_weight), std::invalid_argument);
+  std::vector<Edge> neg_weight = {{0, 1, -2.0}};
+  EXPECT_THROW(Graph::from_edges(2, neg_weight), std::invalid_argument);
+}
+
+TEST(Graph, ArcSourceInversion) {
+  Graph g = triangle();
+  auto arcs = g.all_arcs();
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    graph::Vertex u = g.arc_source(i);
+    EXPECT_DOUBLE_EQ(g.edge_weight(u, arcs[i].to), arcs[i].w);
+  }
+}
+
+TEST(Graph, EdgeListCanonical) {
+  Graph g = triangle();
+  auto es = g.edge_list();
+  ASSERT_EQ(es.size(), 3u);
+  for (const Edge& e : es) EXPECT_LT(e.u, e.v);
+  EXPECT_TRUE(std::is_sorted(es.begin(), es.end(),
+                             [](const Edge& a, const Edge& b) {
+                               return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+                             }));
+}
+
+TEST(Graph, WeightRange) {
+  auto [lo, hi] = triangle().weight_range();
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  EXPECT_DOUBLE_EQ(hi, 5.0);
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, RoundTripThroughEdgeList) {
+  Graph g = triangle();
+  Graph g2 = Graph::from_edges(3, g.edge_list());
+  EXPECT_EQ(g, g2);
+}
+
+TEST(Builder, GrowsAndBuilds) {
+  graph::Builder b(2);
+  b.add_edge(0, 1, 1.5);
+  b.ensure_vertex(4);
+  b.add_edge(3, 4, 2.5);
+  Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(AspectRatio, UpperBoundAndScales) {
+  std::vector<Edge> es = {{0, 1, 1.0}, {1, 2, 8.0}};
+  Graph g = Graph::from_edges(3, es);
+  auto ar = graph::aspect_ratio(g);
+  EXPECT_DOUBLE_EQ(ar.min_weight, 1.0);
+  EXPECT_DOUBLE_EQ(ar.max_weight, 8.0);
+  EXPECT_DOUBLE_EQ(ar.lambda_upper, 2 * 8.0);
+  EXPECT_EQ(ar.log_lambda, 4);
+}
+
+TEST(AspectRatio, NormalizeMinWeight) {
+  std::vector<Edge> es = {{0, 1, 2.0}, {1, 2, 10.0}};
+  Graph g = Graph::from_edges(3, es);
+  Graph gn = graph::normalize_min_weight(g);
+  auto [lo, hi] = gn.weight_range();
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  EXPECT_DOUBLE_EQ(hi, 5.0);
+}
+
+TEST(AspectRatio, EdgelessGraph) {
+  Graph g = Graph::from_edges(3, {});
+  auto ar = graph::aspect_ratio(g);
+  EXPECT_EQ(ar.log_lambda, 0);
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,38 @@
+#include "test_helpers.hpp"
+
+#include "sssp/bellman_ford.hpp"
+
+namespace parhop::testing {
+
+double check_hopset_property(const graph::Graph& g,
+                             std::span<const graph::Edge> hopset_edges,
+                             double eps, int beta,
+                             std::span<const graph::Vertex> sources) {
+  auto c = ctx();
+  graph::Graph gu = sssp::union_graph(g, hopset_edges);
+  double worst = 1.0;
+  for (graph::Vertex s : sources) {
+    auto exact = sssp::dijkstra_distances(g, s);
+    auto approx = sssp::bellman_ford(c, gu, s, beta);
+    for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (exact[v] == graph::kInfWeight) {
+        EXPECT_EQ(approx.dist[v], graph::kInfWeight)
+            << "hopset connected an unreachable pair " << s << "-" << v;
+        continue;
+      }
+      // Lower bound: hopset edges must never shorten distances (Lemmas
+      // 2.3/2.9). Tolerate only floating roundoff.
+      EXPECT_GE(approx.dist[v], exact[v] * (1 - 1e-9))
+          << "distance shortened for pair " << s << "-" << v;
+      if (exact[v] > 0) {
+        EXPECT_LE(approx.dist[v], (1 + eps) * exact[v] * (1 + 1e-9))
+            << "stretch violated for pair " << s << "-" << v
+            << " approx=" << approx.dist[v] << " exact=" << exact[v];
+        worst = std::max(worst, approx.dist[v] / exact[v]);
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace parhop::testing

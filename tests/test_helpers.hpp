@@ -1,0 +1,29 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "pram/primitives.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace parhop::testing {
+
+/// Fresh context with a zeroed meter.
+inline pram::Ctx ctx() { return pram::Ctx(&pram::ThreadPool::global()); }
+
+/// Verifies the two-sided hopset inequality (eq. 1) for every pair reachable
+/// from `sources` (β-bounded distances computed by hop-limited BF on G ∪ H):
+///   d_G(u,v) ≤ d^{(β)}_{G∪H}(u,v) ≤ (1+ε)·d_G(u,v).
+/// Returns the worst stretch observed; fails the test on a lower-bound
+/// violation or coverage failure.
+double check_hopset_property(const graph::Graph& g,
+                             std::span<const graph::Edge> hopset_edges,
+                             double eps, int beta,
+                             std::span<const graph::Vertex> sources);
+
+}  // namespace parhop::testing

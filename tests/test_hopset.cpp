@@ -1,0 +1,165 @@
+// Tests for the multi-scale hopset driver (Theorem 3.7): size bound, scale
+// bookkeeping, weight normalization, cost metering.
+#include <gtest/gtest.h>
+
+#include "graph/aspect_ratio.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "hopset/hopset.hpp"
+#include "sssp/dijkstra.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+using hopset::Hopset;
+using hopset::Params;
+
+TEST(HopsetBuild, SizeWithinTheorem37Bound) {
+  graph::GenOptions o;
+  o.seed = 2;
+  for (Vertex n : {64u, 128u, 256u}) {
+    Graph g = graph::gnm(n, 4 * n, o);
+    Params p;
+    p.kappa = 3;
+    p.beta_hint = 8;
+    auto cx = testing::ctx();
+    Hopset H = hopset::build_hopset(cx, g, p);
+    auto ar = graph::aspect_ratio(graph::normalize_min_weight(g));
+    EXPECT_LE(H.edges.size(),
+              hopset::size_bound(p, n, ar.log_lambda))
+        << "n=" << n;
+  }
+}
+
+TEST(HopsetBuild, ScaleProvenanceCoversAllEdges) {
+  graph::GenOptions o;
+  Graph g = graph::gnm(128, 512, o);
+  Params p;
+  p.beta_hint = 8;
+  auto cx = testing::ctx();
+  Hopset H = hopset::build_hopset(cx, g, p);
+  EXPECT_EQ(H.edges.size(), H.detailed.size());
+  std::size_t from_scales = 0;
+  for (const auto& s : H.scales) {
+    EXPECT_GE(s.k, H.schedule.k0);
+    EXPECT_LE(s.k, H.schedule.lambda);
+    from_scales += s.edges;
+  }
+  EXPECT_EQ(from_scales, H.edges.size());
+}
+
+TEST(HopsetBuild, EdgesNeverShortenDistances) {
+  graph::GenOptions o;
+  o.seed = 6;
+  Graph g = graph::grid2d(10, 10, o);
+  Params p;
+  p.beta_hint = 8;
+  auto cx = testing::ctx();
+  Hopset H = hopset::build_hopset(cx, g, p);
+  for (const auto& e : H.edges) {
+    auto d = sssp::dijkstra_distances(g, e.u);
+    EXPECT_GE(e.w, d[e.v] * (1 - 1e-9));
+  }
+}
+
+TEST(HopsetBuild, WeightNormalizationRoundTrips) {
+  // A graph whose min weight is 0.25: the internal normalization must not
+  // leak into the returned weights.
+  graph::Builder b(6);
+  b.add_edge(0, 1, 0.25);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(2, 3, 4.0);
+  b.add_edge(3, 4, 0.5);
+  b.add_edge(4, 5, 2.0);
+  b.add_edge(0, 5, 8.0);
+  Graph g = b.build();
+  Params p;
+  p.beta_hint = 4;
+  auto cx = testing::ctx();
+  Hopset H = hopset::build_hopset(cx, g, p);
+  EXPECT_DOUBLE_EQ(H.weight_scale, 0.25);
+  for (const auto& e : H.edges) {
+    auto d = sssp::dijkstra_distances(g, e.u);
+    EXPECT_GE(e.w, d[e.v] * (1 - 1e-9)) << "unscaled weight leaked";
+  }
+}
+
+TEST(HopsetBuild, EmptyAndTinyGraphs) {
+  auto cx = testing::ctx();
+  Params p;
+  Hopset h0 = hopset::build_hopset(cx, Graph{}, p);
+  EXPECT_TRUE(h0.edges.empty());
+  Graph one = Graph::from_edges(1, {});
+  EXPECT_TRUE(hopset::build_hopset(cx, one, p).edges.empty());
+  graph::GenOptions o;
+  Graph two = graph::path(2, o);
+  Hopset h2 = hopset::build_hopset(cx, two, p);
+  // One edge, diameter 1 hop: nothing to add.
+  EXPECT_TRUE(h2.edges.empty());
+}
+
+TEST(HopsetBuild, MetersWorkAndDepth) {
+  graph::GenOptions o;
+  Graph g = graph::gnm(96, 300, o);
+  Params p;
+  p.beta_hint = 8;
+  auto cx = testing::ctx();
+  Hopset H = hopset::build_hopset(cx, g, p);
+  EXPECT_GT(H.build_cost.work, 0u);
+  EXPECT_GT(H.build_cost.depth, 0u);
+  // The meter in ctx accumulated at least the build's cost.
+  EXPECT_GE(cx.meter.work(), H.build_cost.work);
+}
+
+TEST(HopsetBuild, CumulativeVsSingleScaleMode) {
+  graph::GenOptions o;
+  o.seed = 40;
+  Graph g = graph::gnm(128, 512, o);
+  // κρ schedule with ℓ=2 keeps δ_0 = ε̂²·2^{k0+1} above the minimum edge
+  // weight at β̂=16, so the machinery genuinely engages (see DESIGN.md §6).
+  Params cum;
+  cum.kappa = 3;
+  cum.rho = 0.45;
+  cum.beta_hint = 16;
+  cum.cumulative_scales = true;
+  Params single = cum;
+  single.cumulative_scales = false;
+  auto c1 = testing::ctx();
+  auto c2 = testing::ctx();
+  Hopset a = hopset::build_hopset(c1, g, cum);
+  Hopset b = hopset::build_hopset(c2, g, single);
+  // Both are valid hopsets; sizes may differ but neither is empty here.
+  EXPECT_GT(a.edges.size(), 0u);
+  EXPECT_GT(b.edges.size(), 0u);
+  std::vector<Vertex> srcs = {0, 64};
+  testing::check_hopset_property(g, a.edges, cum.epsilon, a.schedule.beta,
+                                 srcs);
+  testing::check_hopset_property(g, b.edges, single.epsilon,
+                                 b.schedule.beta, srcs);
+}
+
+TEST(HopsetBuild, DisconnectedGraphStaysDisconnected) {
+  graph::GenOptions o;
+  o.ensure_connected = false;
+  o.seed = 3;
+  // Two far-apart cliques with no connection.
+  graph::Builder b(12);
+  for (Vertex u = 0; u < 6; ++u)
+    for (Vertex v = u + 1; v < 6; ++v) b.add_edge(u, v, 1.0 + u + v);
+  for (Vertex u = 6; u < 12; ++u)
+    for (Vertex v = u + 1; v < 12; ++v) b.add_edge(u, v, 2.0 + u);
+  Graph g = b.build();
+  Params p;
+  p.beta_hint = 4;
+  auto cx = testing::ctx();
+  Hopset H = hopset::build_hopset(cx, g, p);
+  for (const auto& e : H.edges) {
+    EXPECT_EQ(e.u < 6, e.v < 6) << "hopset bridged disconnected components";
+  }
+}
+
+}  // namespace
+}  // namespace parhop

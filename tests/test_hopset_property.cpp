@@ -1,0 +1,98 @@
+// The headline property test (Theorem 3.7 / eq. 1): on every graph family
+// and parameter combination, the deterministic hopset H satisfies
+//   d_G(u,v) ≤ d^{(β)}_{G∪H}(u,v) ≤ (1+ε)·d_G(u,v)
+// for all pairs, verified against exact Dijkstra. Parameterized sweeps act
+// as the property-based harness.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hopset/hopset.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::GenOptions;
+using graph::Vertex;
+using testing::check_hopset_property;
+using testing::ctx;
+
+std::vector<Vertex> some_sources(Vertex n) {
+  std::vector<Vertex> s{0};
+  if (n > 1) s.push_back(n / 2);
+  if (n > 2) s.push_back(n - 1);
+  if (n > 7) s.push_back(n / 3);
+  return s;
+}
+
+struct Case {
+  std::string family;
+  Vertex n;
+  double eps;
+  int kappa;
+  double rho;
+  int beta_hint;  // small budgets force multiple scales on small graphs
+  graph::WeightMode weights;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  std::string w = c.weights == graph::WeightMode::kUnit         ? "unit"
+                  : c.weights == graph::WeightMode::kUniform    ? "uni"
+                                                                : "exp";
+  return c.family + "_n" + std::to_string(c.n) + "_e" +
+         std::to_string(static_cast<int>(c.eps * 100)) + "_k" +
+         std::to_string(c.kappa) + "_b" + std::to_string(c.beta_hint) + "_" +
+         w;
+}
+
+class HopsetProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(HopsetProperty, TwoSidedStretch) {
+  const Case& c = GetParam();
+  GenOptions opts;
+  opts.seed = 7;
+  opts.weights = c.weights;
+  opts.max_weight = 32.0;
+  graph::Graph g = graph::by_name(c.family, c.n, opts);
+
+  hopset::Params p;
+  p.epsilon = c.eps;
+  p.kappa = c.kappa;
+  p.rho = c.rho;
+  p.beta_hint = c.beta_hint;
+
+  auto cx = ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+
+  auto sources = some_sources(g.num_vertices());
+  double worst =
+      check_hopset_property(g, H.edges, c.eps, H.schedule.beta, sources);
+  RecordProperty("worst_stretch", std::to_string(worst));
+  RecordProperty("hopset_edges", std::to_string(H.edges.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, HopsetProperty,
+    ::testing::Values(
+        // Auto (self-consistent) hop budget across families and parameters.
+        Case{"gnm", 128, 0.25, 3, 0.4, 0, graph::WeightMode::kUniform},
+        Case{"gnm", 256, 0.25, 4, 0.3, 0, graph::WeightMode::kUniform},
+        Case{"gnm", 256, 0.1, 3, 0.45, 0, graph::WeightMode::kUniform},
+        Case{"grid", 144, 0.25, 3, 0.4, 0, graph::WeightMode::kUniform},
+        Case{"grid", 256, 0.5, 4, 0.3, 0, graph::WeightMode::kUnit},
+        Case{"path", 128, 0.25, 3, 0.4, 0, graph::WeightMode::kUniform},
+        Case{"path", 256, 0.5, 3, 0.45, 0, graph::WeightMode::kUniform},
+        Case{"cycle", 128, 0.5, 3, 0.4, 0, graph::WeightMode::kExponential},
+        Case{"ba", 128, 0.25, 3, 0.4, 0, graph::WeightMode::kUniform},
+        Case{"geometric", 128, 0.25, 3, 0.4, 0, graph::WeightMode::kUniform},
+        // Stress: hop budgets far below the formula exercise many scales;
+        // meaningful on families whose hop diameter stays near the budget.
+        Case{"gnm", 256, 0.25, 3, 0.4, 16, graph::WeightMode::kUniform},
+        Case{"ba", 256, 0.25, 3, 0.4, 12, graph::WeightMode::kUniform},
+        Case{"geometric", 192, 0.5, 4, 0.3, 16,
+             graph::WeightMode::kExponential}),
+    case_name);
+
+}  // namespace
+}  // namespace parhop

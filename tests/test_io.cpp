@@ -1,0 +1,81 @@
+// DIMACS I/O round-trip and error handling tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+
+TEST(DimacsIo, RoundTrip) {
+  graph::GenOptions o;
+  o.seed = 3;
+  Graph g = graph::gnm(50, 120, o);
+  std::stringstream ss;
+  graph::write_dimacs(ss, g);
+  Graph g2 = graph::read_dimacs(ss);
+  EXPECT_EQ(g, g2);
+}
+
+TEST(DimacsIo, ParsesReferenceFormat) {
+  std::stringstream ss(
+      "c example\n"
+      "p sp 3 4\n"
+      "a 1 2 5\n"
+      "a 2 1 5\n"
+      "a 2 3 2.5\n"
+      "a 3 2 2.5\n");
+  Graph g = graph::read_dimacs(ss);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 2.5);
+}
+
+TEST(DimacsIo, SingleDirectionArcsAccepted) {
+  std::stringstream ss("p sp 2 1\na 1 2 4\n");
+  Graph g = graph::read_dimacs(ss);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 4.0);
+}
+
+TEST(DimacsIo, IntegralMode) {
+  std::vector<graph::Edge> es = {{0, 1, 2.7}};
+  Graph g = Graph::from_edges(2, es);
+  std::stringstream ss;
+  graph::write_dimacs(ss, g, /*integral=*/true);
+  Graph g2 = graph::read_dimacs(ss);
+  EXPECT_DOUBLE_EQ(g2.edge_weight(0, 1), 3.0);
+}
+
+TEST(DimacsIo, Malformed) {
+  std::stringstream no_problem("a 1 2 3\n");
+  EXPECT_THROW(graph::read_dimacs(no_problem), std::runtime_error);
+  std::stringstream bad_kind("p max 3 3\n");
+  EXPECT_THROW(graph::read_dimacs(bad_kind), std::runtime_error);
+  std::stringstream bad_vertex("p sp 2 1\na 1 9 3\n");
+  EXPECT_THROW(graph::read_dimacs(bad_vertex), std::runtime_error);
+  std::stringstream zero_vertex("p sp 2 1\na 0 1 3\n");
+  EXPECT_THROW(graph::read_dimacs(zero_vertex), std::runtime_error);
+  std::stringstream unknown_tag("p sp 2 1\nz 1 2\n");
+  EXPECT_THROW(graph::read_dimacs(unknown_tag), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW(graph::read_dimacs(empty), std::runtime_error);
+}
+
+TEST(DimacsIo, FileRoundTrip) {
+  graph::GenOptions o;
+  Graph g = graph::grid2d(5, 5, o);
+  std::string path = ::testing::TempDir() + "/parhop_io_test.gr";
+  graph::write_dimacs_file(path, g);
+  Graph g2 = graph::read_dimacs_file(path);
+  EXPECT_EQ(g, g2);
+  EXPECT_THROW(graph::read_dimacs_file("/nonexistent/x.gr"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,161 @@
+// Tests for the distance oracle, hopset serialization, and zero-weight edge
+// contraction (§1 footnote 1).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/contraction.hpp"
+#include "graph/generators.hpp"
+#include "hopset/hopset.hpp"
+#include "hopset/path_reporting.hpp"
+#include "hopset/serialize.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/oracle.hpp"
+#include "sssp/sssp.hpp"
+#include "sssp/spt.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+TEST(Oracle, MatchesDirectQueries) {
+  graph::GenOptions o;
+  o.seed = 71;
+  Graph g = graph::gnm(200, 700, o);
+  hopset::Params p;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+  sssp::Oracle oracle(g, H.edges, H.schedule.beta);
+
+  auto d = oracle.distances(cx, 5);
+  auto exact = sssp::dijkstra_distances(g, 5);
+  EXPECT_LE(sssp::max_stretch(d, exact), 1 + p.epsilon + 1e-9);
+  EXPECT_DOUBLE_EQ(oracle.pair(cx, 5, 100), d[100]);
+}
+
+TEST(Oracle, MultiSourceRows) {
+  graph::GenOptions o;
+  o.seed = 72;
+  Graph g = graph::grid2d(12, 12, o);
+  hopset::Params p;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+  sssp::Oracle oracle(g, H.edges, H.schedule.beta);
+  std::vector<Vertex> S = {0, 71, 143};
+  auto rows = oracle.multi_source(cx, S);
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 0; i < S.size(); ++i) {
+    auto exact = sssp::dijkstra_distances(g, S[i]);
+    EXPECT_LE(sssp::max_stretch(rows[i], exact), 1 + p.epsilon + 1e-9);
+  }
+}
+
+TEST(Oracle, ParentsConsistentWithDistances) {
+  graph::GenOptions o;
+  Graph g = graph::gnm(96, 300, o);
+  hopset::Params p;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+  sssp::Oracle oracle(g, H.edges, H.schedule.beta);
+  auto t = oracle.distances_with_parents(cx, 0);
+  for (Vertex v = 1; v < g.num_vertices(); ++v) {
+    if (t.dist[v] == graph::kInfWeight) continue;
+    ASSERT_NE(t.parent[v], graph::kNoVertex);
+    EXPECT_LE(t.dist[t.parent[v]], t.dist[v]);
+  }
+}
+
+TEST(Serialize, RoundTripPlain) {
+  graph::GenOptions o;
+  o.seed = 73;
+  Graph g = graph::gnm(128, 400, o);
+  hopset::Params p;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+  std::stringstream ss;
+  hopset::write_hopset(ss, H);
+  hopset::Hopset H2 = hopset::read_hopset(ss);
+  ASSERT_EQ(H.edges.size(), H2.edges.size());
+  for (std::size_t i = 0; i < H.edges.size(); ++i)
+    EXPECT_TRUE(H.edges[i] == H2.edges[i]);
+  EXPECT_EQ(H.schedule.beta, H2.schedule.beta);
+  EXPECT_EQ(H.schedule.k0, H2.schedule.k0);
+}
+
+TEST(Serialize, RoundTripWitnessesSupportSpt) {
+  graph::GenOptions o;
+  o.seed = 74;
+  Graph g = graph::gnm(96, 300, o);
+  hopset::Params p;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p, /*track_paths=*/true);
+  std::stringstream ss;
+  hopset::write_hopset(ss, H);
+  hopset::Hopset H2 = hopset::read_hopset(ss);
+  // The reloaded hopset must still drive SPT retrieval.
+  auto spt = hopset::build_spt(cx, g, H2, 0);
+  auto check = sssp::validate_spt_stretch(cx, spt.tree, g, p.epsilon);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream bad1("not-a-hopset 1\n");
+  EXPECT_THROW(hopset::read_hopset(bad1), std::runtime_error);
+  std::stringstream bad2("parhop-hopset 9\n");
+  EXPECT_THROW(hopset::read_hopset(bad2), std::runtime_error);
+  std::stringstream bad3("parhop-hopset 1\nparams 0.1 2 8 3 10 1\nedges 2\n");
+  EXPECT_THROW(hopset::read_hopset(bad3), std::runtime_error);
+}
+
+TEST(Contraction, MergesZeroWeightClasses) {
+  // Weights of 0 are rejected by Graph; footnote 1's zero-weight edges are
+  // modeled by a tiny positive epsilon class.
+  graph::Builder b(6);
+  const double z = 1e-12;
+  b.add_edge(0, 1, z);
+  b.add_edge(1, 2, z);
+  b.add_edge(2, 3, 5.0);
+  b.add_edge(3, 4, z);
+  b.add_edge(4, 5, 7.0);
+  Graph g = b.build();
+  auto cx = testing::ctx();
+  auto c = graph::contract_light_edges(cx, g, z);
+  EXPECT_EQ(c.quotient.num_vertices(), 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(c.map[0], c.map[2]);
+  EXPECT_EQ(c.map[3], c.map[4]);
+  EXPECT_NE(c.map[0], c.map[5]);
+  EXPECT_DOUBLE_EQ(c.quotient.edge_weight(c.map[2], c.map[3]), 5.0);
+  EXPECT_DOUBLE_EQ(c.quotient.edge_weight(c.map[4], c.map[5]), 7.0);
+}
+
+TEST(Contraction, PreservesDistancesAboveThreshold) {
+  graph::GenOptions o;
+  o.seed = 75;
+  Graph g = graph::gnm(64, 200, o);  // weights ≥ 1: nothing contracts
+  auto cx = testing::ctx();
+  auto c = graph::contract_light_edges(cx, g, 0);
+  EXPECT_EQ(c.quotient.num_vertices(), g.num_vertices());
+  auto d1 = sssp::dijkstra_distances(g, 0);
+  auto d2 = sssp::dijkstra_distances(c.quotient, c.map[0]);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_DOUBLE_EQ(d1[v], d2[c.map[v]]);
+}
+
+TEST(Contraction, RepresentativesRoundTrip) {
+  graph::Builder b(4);
+  b.add_edge(0, 1, 1e-12);
+  b.add_edge(2, 3, 4.0);
+  b.add_edge(1, 2, 2.0);
+  Graph g = b.build();
+  auto cx = testing::ctx();
+  auto c = graph::contract_light_edges(cx, g, 1e-12);
+  for (std::size_t q = 0; q < c.representative.size(); ++q)
+    EXPECT_EQ(c.map[c.representative[q]], q);
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,83 @@
+// Tests for the parallel merge sort backing pram::sort at scale: stability,
+// determinism across pool sizes, and the fixed-boundary merge rounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "pram/primitives.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace parhop {
+namespace {
+
+TEST(ParallelSort, LargeRandomInput) {
+  auto cx = testing::ctx();
+  util::Xoshiro256 rng(41);
+  std::vector<std::uint64_t> xs(200000);
+  for (auto& x : xs) x = rng.next();
+  pram::sort(cx, std::span<std::uint64_t>(xs),
+             [](auto a, auto b) { return a < b; });
+  EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));
+}
+
+TEST(ParallelSort, OddSizesAroundGrainBoundaries) {
+  auto cx = testing::ctx();
+  for (std::size_t n : {std::size_t(1) << 13, (std::size_t(1) << 14) + 1,
+                        (std::size_t(3) << 13) - 1, std::size_t(100003)}) {
+    util::Xoshiro256 rng(n);
+    std::vector<std::uint32_t> xs(n);
+    for (auto& x : xs) x = static_cast<std::uint32_t>(rng.next_below(1000));
+    pram::sort(cx, std::span<std::uint32_t>(xs),
+               [](auto a, auto b) { return a < b; });
+    EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end())) << "n=" << n;
+  }
+}
+
+TEST(ParallelSort, StabilityPreserved) {
+  // Sort by key only; payload order within equal keys must be retained.
+  struct Item {
+    int key;
+    int payload;
+  };
+  auto cx = testing::ctx();
+  util::Xoshiro256 rng(43);
+  std::vector<Item> xs(120000);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = {static_cast<int>(rng.next_below(16)), static_cast<int>(i)};
+  pram::sort(cx, std::span<Item>(xs),
+             [](const Item& a, const Item& b) { return a.key < b.key; });
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    ASSERT_LE(xs[i - 1].key, xs[i].key);
+    if (xs[i - 1].key == xs[i].key)
+      ASSERT_LT(xs[i - 1].payload, xs[i].payload) << "stability broken at " << i;
+  }
+}
+
+TEST(ParallelSort, DeterministicAcrossPools) {
+  util::Xoshiro256 rng(44);
+  std::vector<double> base(150000);
+  for (auto& x : base) x = rng.next_double();
+  std::vector<double> a = base, b = base;
+  pram::ThreadPool p1(1), p4(4);
+  pram::Ctx c1(&p1), c4(&p4);
+  pram::sort(c1, std::span<double>(a), [](double x, double y) { return x < y; });
+  pram::sort(c4, std::span<double>(b), [](double x, double y) { return x < y; });
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelSort, AlreadySortedAndReversed) {
+  auto cx = testing::ctx();
+  std::vector<int> asc(50000), desc(50000);
+  std::iota(asc.begin(), asc.end(), 0);
+  for (std::size_t i = 0; i < desc.size(); ++i)
+    desc[i] = static_cast<int>(desc.size() - i);
+  pram::sort(cx, std::span<int>(asc), [](int a, int b) { return a < b; });
+  pram::sort(cx, std::span<int>(desc), [](int a, int b) { return a < b; });
+  EXPECT_TRUE(std::is_sorted(asc.begin(), asc.end()));
+  EXPECT_TRUE(std::is_sorted(desc.begin(), desc.end()));
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,121 @@
+// Property sweep over the (κ, ρ, ε) parameter grid: every configuration
+// must satisfy the Theorem 3.7 size bound and the two-sided stretch
+// property simultaneously. Different (κ, ρ) cells exercise different
+// schedule shapes (ℓ, i₀, exponential vs fixed degree stages).
+#include <gtest/gtest.h>
+
+#include "graph/aspect_ratio.hpp"
+#include "graph/generators.hpp"
+#include "hopset/hopset.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+struct Grid {
+  int kappa;
+  double rho;
+  double eps;
+};
+
+std::string grid_name(const ::testing::TestParamInfo<Grid>& i) {
+  return "k" + std::to_string(i.param.kappa) + "_r" +
+         std::to_string(static_cast<int>(i.param.rho * 100)) + "_e" +
+         std::to_string(static_cast<int>(i.param.eps * 100));
+}
+
+class ParamSweep : public ::testing::TestWithParam<Grid> {};
+
+TEST_P(ParamSweep, SizeBoundAndStretchTogether) {
+  const Grid& c = GetParam();
+  graph::GenOptions o;
+  o.seed = 81;
+  Graph g = graph::gnm(192, 768, o);
+
+  hopset::Params p;
+  p.kappa = c.kappa;
+  p.rho = c.rho;
+  p.epsilon = c.eps;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+
+  auto ar = graph::aspect_ratio(g);
+  EXPECT_LE(H.edges.size(),
+            hopset::size_bound(p, g.num_vertices(), ar.log_lambda));
+
+  std::vector<Vertex> srcs = {0, 96, 191};
+  testing::check_hopset_property(g, H.edges, c.eps, H.schedule.beta, srcs);
+
+  // The schedule must be internally consistent for this cell.
+  EXPECT_GE(H.schedule.ell, 1);
+  EXPECT_GE(H.schedule.beta, 4);
+  for (auto d : H.schedule.deg) EXPECT_GE(d, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, ParamSweep,
+    ::testing::Values(Grid{2, 0.20, 0.25}, Grid{2, 0.45, 0.25},
+                      Grid{3, 0.20, 0.25}, Grid{3, 0.45, 0.25},
+                      Grid{3, 0.45, 0.10}, Grid{3, 0.45, 0.75},
+                      Grid{4, 0.20, 0.50}, Grid{4, 0.45, 0.50},
+                      Grid{5, 0.35, 0.25}, Grid{6, 0.40, 0.25}),
+    grid_name);
+
+class WeightModeSweep
+    : public ::testing::TestWithParam<graph::WeightMode> {};
+
+TEST_P(WeightModeSweep, PropertyAcrossWeightRegimes) {
+  graph::GenOptions o;
+  o.seed = 82;
+  o.weights = GetParam();
+  o.max_weight = 1 << 12;
+  Graph g = graph::gnm(160, 640, o);
+  hopset::Params p;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+  std::vector<Vertex> srcs = {0, 80};
+  testing::check_hopset_property(g, H.edges, p.epsilon, H.schedule.beta,
+                                 srcs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, WeightModeSweep,
+                         ::testing::Values(graph::WeightMode::kUnit,
+                                           graph::WeightMode::kUniform,
+                                           graph::WeightMode::kExponential),
+                         [](const ::testing::TestParamInfo<graph::WeightMode>&
+                                i) {
+                           switch (i.param) {
+                             case graph::WeightMode::kUnit:
+                               return std::string("unit");
+                             case graph::WeightMode::kUniform:
+                               return std::string("uniform");
+                             default:
+                               return std::string("exponential");
+                           }
+                         });
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, PropertyAcrossWorkloadSeeds) {
+  graph::GenOptions o;
+  o.seed = GetParam();
+  Graph g = graph::by_name("geometric", 144, o);
+  hopset::Params p;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+  std::vector<Vertex> srcs = {0, 72};
+  testing::check_hopset_property(g, H.edges, p.epsilon, H.schedule.beta,
+                                 srcs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "s" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace parhop

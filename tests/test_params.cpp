@@ -1,0 +1,132 @@
+// Tests for the parameter schedule (§2, §3.4): ℓ, i₀, deg_i, δ_i, R_i, β.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hopset/params.hpp"
+
+namespace parhop {
+namespace {
+
+using hopset::Params;
+using hopset::Schedule;
+
+TEST(Schedule, PhaseCountFormula) {
+  Params p;
+  p.kappa = 4;
+  p.rho = 0.25;  // κρ = 1: ℓ = 0 + ⌈5/1⌉ − 1 = 4
+  Schedule s = hopset::make_schedule(p, 1024, 12);
+  EXPECT_EQ(s.ell, 4);
+  EXPECT_EQ(s.i0, 0);
+}
+
+TEST(Schedule, ExponentialThenFixedDegrees) {
+  Params p;
+  p.kappa = 8;
+  p.rho = 0.4;  // κρ = 3.2: i0 = 1
+  const std::uint64_t n = 1 << 16;
+  Schedule s = hopset::make_schedule(p, n, 20);
+  EXPECT_EQ(s.i0, 1);
+  // deg_0 = n^{1/8}, deg_1 = n^{2/8}, then n^{0.4}.
+  EXPECT_EQ(s.deg[0], static_cast<std::uint64_t>(
+                          std::ceil(std::pow(double(n), 1.0 / 8))));
+  EXPECT_EQ(s.deg[1], static_cast<std::uint64_t>(
+                          std::ceil(std::pow(double(n), 2.0 / 8))));
+  for (int i = s.i0 + 1; i <= s.ell; ++i)
+    EXPECT_EQ(s.deg[i], static_cast<std::uint64_t>(
+                            std::ceil(std::pow(double(n), 0.4))));
+}
+
+TEST(Schedule, DegreesNeverExceedWorkBudget) {
+  Params p;
+  p.kappa = 3;
+  p.rho = 0.3;
+  Schedule s = hopset::make_schedule(p, 4096, 14);
+  for (auto d : s.deg)
+    EXPECT_LE(d, static_cast<std::uint64_t>(
+                     std::ceil(std::pow(4096.0, p.rho))));
+}
+
+TEST(Schedule, DeltaGeometricUpToScaleWidth) {
+  Params p;
+  Schedule s = hopset::make_schedule(p, 256, 10);
+  const int k = 5;
+  // δ_i = ε̂^{ℓ−i}·2^{k+1}: geometric with ratio 1/ε̂, topping at 2^{k+1}.
+  for (int i = 0; i < s.ell; ++i) {
+    EXPECT_NEAR(s.delta(k, i + 1) / s.delta(k, i), 1.0 / s.eps_hat, 1e-9);
+    EXPECT_LE(s.delta(k, i), std::exp2(k + 1) * (1 + 1e-9));
+  }
+  EXPECT_NEAR(s.delta(k, s.ell), std::exp2(k + 1), 1e-6);
+}
+
+TEST(Schedule, RadiusBoundRecurrence) {
+  Params p;
+  Schedule s = hopset::make_schedule(p, 256, 10);
+  const double logn = s.logn;
+  EXPECT_DOUBLE_EQ(s.radius_bound(4, 0, logn), 0.0);
+  // R_1 = 2(1+ε̂)δ_0·log n.
+  EXPECT_NEAR(s.radius_bound(4, 1, logn),
+              2 * (1 + s.eps_hat) * s.delta(4, 0) * logn, 1e-9);
+  // Monotone in i.
+  for (int i = 0; i < s.ell; ++i)
+    EXPECT_LE(s.radius_bound(4, i, logn), s.radius_bound(4, i + 1, logn));
+}
+
+TEST(Schedule, BetaDefaultsToHopboundFormula) {
+  Params p;
+  p.epsilon = 0.5;
+  Schedule s = hopset::make_schedule(p, 1 << 20, 24);
+  EXPECT_DOUBLE_EQ(s.hopbound_formula,
+                   std::pow(1.0 / s.eps_hat + 5.0, s.ell));
+  EXPECT_EQ(s.beta, static_cast<int>(std::ceil(
+                        std::min<double>(1 << 20, s.hopbound_formula))));
+  EXPECT_EQ(s.k0, static_cast<int>(std::floor(std::log2(s.beta))));
+}
+
+TEST(Schedule, BetaHintOverrides) {
+  Params p;
+  p.beta_hint = 12;
+  Schedule s = hopset::make_schedule(p, 1024, 12);
+  EXPECT_EQ(s.beta, 12);
+  EXPECT_EQ(s.k0, 3);
+}
+
+TEST(Schedule, LambdaTracksAspectRatio) {
+  Params p;
+  p.beta_hint = 8;
+  Schedule s = hopset::make_schedule(p, 256, 17);
+  EXPECT_EQ(s.lambda, 16);
+}
+
+TEST(Schedule, RejectsBadParameters) {
+  Params p;
+  p.kappa = 1;
+  EXPECT_THROW(hopset::make_schedule(p, 64, 8), std::invalid_argument);
+  p = Params{};
+  p.rho = 0.7;
+  EXPECT_THROW(hopset::make_schedule(p, 64, 8), std::invalid_argument);
+  p = Params{};
+  p.epsilon = 1.5;
+  EXPECT_THROW(hopset::make_schedule(p, 64, 8), std::invalid_argument);
+  p = Params{};
+  EXPECT_THROW(hopset::make_schedule(p, 1, 8), std::invalid_argument);
+}
+
+TEST(BetaFormula, GrowsWithAspectRatioAndShrinkingEps) {
+  Params p;
+  double b1 = hopset::beta_formula(p, 1024, 10);
+  double b2 = hopset::beta_formula(p, 1024, 40);
+  EXPECT_GT(b2, b1);
+  Params tight = p;
+  tight.epsilon = p.epsilon / 4;
+  EXPECT_GT(hopset::beta_formula(tight, 1024, 10), b1);
+}
+
+TEST(SizeBound, Theorem37Form) {
+  Params p;
+  p.kappa = 2;
+  EXPECT_DOUBLE_EQ(hopset::size_bound(p, 100, 7), 7 * std::pow(100.0, 1.5));
+}
+
+}  // namespace
+}  // namespace parhop

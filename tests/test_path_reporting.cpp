@@ -1,0 +1,154 @@
+// Tests for the path-reporting hopset and SPT retrieval (§4, Theorems 4.5
+// and 4.6): witness validity, peeling, tree structure, stretch.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hopset/hopset.hpp"
+#include "hopset/path_reporting.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/spt.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+using hopset::Hopset;
+using hopset::Params;
+
+Hopset build_pr(const Graph& g, double eps, int beta_hint) {
+  Params p;
+  p.epsilon = eps;
+  p.kappa = 3;
+  p.rho = 0.4;
+  p.beta_hint = beta_hint;
+  auto cx = parhop::testing::ctx();
+  return hopset::build_hopset(cx, g, p, /*track_paths=*/true);
+}
+
+TEST(PathReporting, WitnessesLiveInLowerScales) {
+  // Memory property (§4.1/§4.3): a scale-k edge's witness uses only graph
+  // edges and hopset edges of scales < k, and realizes at most the weight.
+  graph::GenOptions o;
+  o.seed = 3;
+  Graph g = graph::gnm(96, 300, o);
+  Hopset H = build_pr(g, 0.25, 8);
+  ASSERT_GT(H.detailed.size(), 0u);
+
+  // Index all hopset edges by endpoints for scale lookup.
+  auto find_scale = [&](Vertex a, Vertex b, double w) -> int {
+    int best = -1;
+    for (const auto& e : H.detailed)
+      if (((e.u == a && e.v == b) || (e.u == b && e.v == a)) &&
+          std::abs(e.w - w) < 1e-12)
+        best = std::max(best, static_cast<int>(e.scale));
+    return best;
+  };
+
+  for (const auto& e : H.detailed) {
+    ASSERT_FALSE(e.witness.empty());
+    EXPECT_EQ(e.witness.first(), e.u);
+    EXPECT_EQ(e.witness.last(), e.v);
+    EXPECT_LE(e.witness.length(), e.w * (1 + 1e-9));
+    for (std::size_t i = 1; i < e.witness.steps.size(); ++i) {
+      Vertex a = e.witness.steps[i - 1].v;
+      Vertex b = e.witness.steps[i].v;
+      double w = e.witness.steps[i].w;
+      bool is_graph_edge = std::abs(g.edge_weight(a, b) - w) < 1e-12;
+      if (!is_graph_edge) {
+        int sc = find_scale(a, b, w);
+        ASSERT_GE(sc, 0) << "witness step is neither graph nor hopset edge";
+        EXPECT_LT(sc, e.scale) << "witness uses same-or-higher scale edge";
+      }
+    }
+  }
+}
+
+struct SptCase {
+  std::string family;
+  Vertex n;
+  double eps;
+  int beta_hint;
+};
+
+class SptRetrieval : public ::testing::TestWithParam<SptCase> {};
+
+TEST_P(SptRetrieval, TreeIsValidAndStretchBounded) {
+  const auto& c = GetParam();
+  graph::GenOptions o;
+  o.seed = 29;
+  Graph g = graph::by_name(c.family, c.n, o);
+  Hopset H = build_pr(g, c.eps, c.beta_hint);
+
+  auto cx = parhop::testing::ctx();
+  auto spt = hopset::build_spt(cx, g, H, /*source=*/0);
+
+  auto check = sssp::validate_spt_stretch(cx, spt.tree, g, c.eps);
+  EXPECT_TRUE(check.ok) << check.error;
+
+  // Distances returned must equal the tree distances.
+  auto dT = sssp::tree_distances(cx, spt.tree);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (spt.dist[v] == graph::kInfWeight) continue;
+    EXPECT_NEAR(spt.dist[v], dT[v], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SptRetrieval,
+    ::testing::Values(SptCase{"gnm", 96, 0.25, 8},
+                      SptCase{"gnm", 128, 0.5, 0},
+                      SptCase{"grid", 100, 0.25, 8},
+                      SptCase{"path", 64, 0.5, 8},
+                      SptCase{"ba", 96, 0.25, 8},
+                      SptCase{"cycle", 64, 0.25, 0}),
+    [](const ::testing::TestParamInfo<SptCase>& i) {
+      return i.param.family + "_n" + std::to_string(i.param.n) + "_b" +
+             std::to_string(i.param.beta_hint);
+    });
+
+TEST(SptRetrieval, PeelsAllHopsetEdges) {
+  graph::GenOptions o;
+  o.seed = 8;
+  Graph g = graph::gnm(128, 400, o);
+  Hopset H = build_pr(g, 0.25, 8);
+  auto cx = parhop::testing::ctx();
+  auto spt = hopset::build_spt(cx, g, H, 5);
+  // Tree edges are original graph edges — validated here explicitly on top
+  // of the parameterized check.
+  auto check = sssp::validate_tree_edges_in_graph(spt.tree, g);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(spt.peel_iterations, static_cast<int>(H.scales.size()));
+}
+
+TEST(SptRetrieval, RequiresWitnesses) {
+  graph::GenOptions o;
+  Graph g = graph::gnm(64, 200, o);
+  Params p;
+  p.beta_hint = 8;
+  auto cx = parhop::testing::ctx();
+  Hopset H = hopset::build_hopset(cx, g, p, /*track_paths=*/false);
+  if (!H.detailed.empty()) {
+    EXPECT_THROW(hopset::build_spt(cx, g, H, 0), std::invalid_argument);
+  }
+}
+
+TEST(SptRetrieval, DisconnectedSourceComponentOnly) {
+  // Source's component gets a tree; the other component stays at +inf.
+  std::vector<graph::Edge> es;
+  for (Vertex v = 0; v + 1 < 5; ++v) es.push_back({v, Vertex(v + 1), 2.0});
+  for (Vertex v = 5; v + 1 < 10; ++v) es.push_back({v, Vertex(v + 1), 3.0});
+  Graph g = Graph::from_edges(10, es);
+  Hopset H = build_pr(g, 0.5, 4);
+  auto cx = parhop::testing::ctx();
+  auto spt = hopset::build_spt(cx, g, H, 0);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_LT(spt.dist[v], graph::kInfWeight);
+  for (Vertex v = 5; v < 10; ++v) {
+    EXPECT_EQ(spt.dist[v], graph::kInfWeight);
+    EXPECT_EQ(spt.tree.parent[v], v);
+  }
+}
+
+}  // namespace
+}  // namespace parhop

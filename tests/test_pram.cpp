@@ -1,0 +1,227 @@
+// Unit tests for the PRAM substrate: primitives, cost metering, determinism
+// of chunked execution, pointer jumping.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pram/primitives.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace parhop {
+namespace {
+
+TEST(Meter, AccumulatesWorkAndDepth) {
+  pram::Meter m;
+  m.charge(10, 2);
+  m.add_work(5);
+  m.add_depth(1);
+  EXPECT_EQ(m.work(), 15u);
+  EXPECT_EQ(m.depth(), 3u);
+  m.reset();
+  EXPECT_EQ(m.work(), 0u);
+  EXPECT_EQ(m.depth(), 0u);
+}
+
+TEST(Meter, ProcessorHighWaterMark) {
+  pram::Meter m;
+  m.note_processors(4);
+  m.note_processors(100);
+  m.note_processors(7);
+  EXPECT_EQ(m.max_processors(), 100u);
+}
+
+TEST(ScopedPhase, MeasuresDelta) {
+  pram::Meter m;
+  m.charge(5, 1);
+  pram::ScopedPhase phase(m, "test");
+  m.charge(7, 2);
+  EXPECT_EQ(phase.so_far().work, 7u);
+  EXPECT_EQ(phase.so_far().depth, 2u);
+}
+
+TEST(ParallelFor, CoversAllIndicesOnce) {
+  auto cx = testing::ctx();
+  std::vector<int> hits(10000, 0);
+  pram::parallel_for(cx, hits.size(), [&](std::size_t i) { hits[i]++; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ParallelFor, ChargesWorkAndOneRound) {
+  auto cx = testing::ctx();
+  pram::parallel_for(cx, 500, [](std::size_t) {});
+  EXPECT_EQ(cx.meter.work(), 500u);
+  EXPECT_EQ(cx.meter.depth(), 1u);
+}
+
+TEST(ParallelFor, EmptyRangeIsFree) {
+  auto cx = testing::ctx();
+  pram::parallel_for(cx, 0, [](std::size_t) { FAIL(); });
+  EXPECT_EQ(cx.meter.work(), 0u);
+  EXPECT_EQ(cx.meter.depth(), 0u);
+}
+
+TEST(Reduce, SumsLargeRange) {
+  auto cx = testing::ctx();
+  std::vector<std::uint64_t> xs(50000);
+  std::iota(xs.begin(), xs.end(), 0);
+  std::uint64_t total = pram::reduce<std::uint64_t>(
+      cx, xs, 0, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, 50000ull * 49999 / 2);
+}
+
+TEST(Reduce, LogDepthCharge) {
+  auto cx = testing::ctx();
+  std::vector<std::uint64_t> xs(1 << 12, 1);
+  pram::reduce<std::uint64_t>(cx, xs, 0,
+                              [](auto a, auto b) { return a + b; });
+  EXPECT_EQ(cx.meter.depth(), 2u * 12);
+  EXPECT_EQ(cx.meter.work(), 2u * (1 << 12));
+}
+
+TEST(MinIndex, FindsFirstMinimum) {
+  auto cx = testing::ctx();
+  std::vector<double> xs = {5, 3, 9, 3, 7};
+  std::size_t idx = pram::min_index<double>(
+      cx, xs, [](double a, double b) { return a < b; });
+  EXPECT_EQ(idx, 1u);  // ties toward lower index
+}
+
+TEST(ScanExclusive, MatchesSequentialPrefix) {
+  auto cx = testing::ctx();
+  util::Xoshiro256 rng(3);
+  std::vector<std::uint64_t> xs(12345);
+  for (auto& x : xs) x = rng.next_below(100);
+  std::vector<std::uint64_t> out(xs.size());
+  std::uint64_t total = pram::scan_exclusive<std::uint64_t>(
+      cx, xs, out, 0, [](auto a, auto b) { return a + b; });
+  std::uint64_t run = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(out[i], run) << "at " << i;
+    run += xs[i];
+  }
+  EXPECT_EQ(total, run);
+}
+
+TEST(ScanExclusive, InPlaceAliasing) {
+  auto cx = testing::ctx();
+  std::vector<std::uint64_t> xs = {1, 2, 3, 4};
+  pram::scan_exclusive<std::uint64_t>(cx, xs, xs, 0,
+                                      [](auto a, auto b) { return a + b; });
+  EXPECT_EQ(xs, (std::vector<std::uint64_t>{0, 1, 3, 6}));
+}
+
+TEST(PackIndices, SelectsMatchingInOrder) {
+  auto cx = testing::ctx();
+  auto out = pram::pack_indices(cx, 10, [](std::size_t i) { return i % 3 == 0; });
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 3, 6, 9}));
+}
+
+TEST(PackIndices, EmptyAndFull) {
+  auto cx = testing::ctx();
+  EXPECT_TRUE(pram::pack_indices(cx, 5, [](std::size_t) { return false; }).empty());
+  EXPECT_EQ(pram::pack_indices(cx, 3, [](std::size_t) { return true; }).size(), 3u);
+}
+
+TEST(Sort, SortsAndChargesAks) {
+  auto cx = testing::ctx();
+  util::Xoshiro256 rng(9);
+  std::vector<std::uint64_t> xs(1 << 10);
+  for (auto& x : xs) x = rng.next();
+  pram::sort(cx, std::span<std::uint64_t>(xs),
+             [](auto a, auto b) { return a < b; });
+  EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));
+  EXPECT_EQ(cx.meter.depth(), 10u);
+  EXPECT_EQ(cx.meter.work(), 10u * (1 << 10));
+}
+
+TEST(SortWithRanks, PermutationIsConsistent) {
+  auto cx = testing::ctx();
+  std::vector<int> xs = {30, 10, 20};
+  std::vector<int> orig = xs;
+  auto order = pram::sort_with_ranks(cx, std::span<int>(xs),
+                                     [](int a, int b) { return a < b; });
+  EXPECT_EQ(xs, (std::vector<int>{10, 20, 30}));
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(orig[order[i]], xs[i]);
+}
+
+TEST(PointerJump, CollapsesChainToRoot) {
+  auto cx = testing::ctx();
+  // Chain 4 → 3 → 2 → 1 → 0 (root).
+  std::vector<std::uint32_t> parent = {0, 0, 1, 2, 3};
+  std::vector<double> dist = {0, 1, 1, 1, 1};
+  pram::pointer_jump(cx, parent, dist);
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    EXPECT_EQ(parent[v], 0u);
+    EXPECT_DOUBLE_EQ(dist[v], static_cast<double>(v == 0 ? 0 : v));
+  }
+}
+
+TEST(PointerJump, ForestWithMultipleRoots) {
+  auto cx = testing::ctx();
+  std::vector<std::uint32_t> parent = {0, 0, 1, 3, 3, 4};
+  pram::pointer_jump(cx, parent);
+  EXPECT_EQ(parent[2], 0u);
+  EXPECT_EQ(parent[5], 3u);
+  EXPECT_EQ(parent[3], 3u);
+}
+
+TEST(PointerJump, WeightedTreeDistances) {
+  auto cx = testing::ctx();
+  // Star of chains rooted at 0.
+  std::vector<std::uint32_t> parent = {0, 0, 1, 0, 3};
+  std::vector<double> dist = {0, 2.5, 1.5, 4.0, 0.5};
+  pram::pointer_jump(cx, parent, dist);
+  EXPECT_DOUBLE_EQ(dist[2], 4.0);
+  EXPECT_DOUBLE_EQ(dist[4], 4.5);
+}
+
+TEST(CeilLog2, Boundaries) {
+  EXPECT_EQ(pram::ceil_log2(0), 0u);
+  EXPECT_EQ(pram::ceil_log2(1), 0u);
+  EXPECT_EQ(pram::ceil_log2(2), 1u);
+  EXPECT_EQ(pram::ceil_log2(3), 2u);
+  EXPECT_EQ(pram::ceil_log2(4), 2u);
+  EXPECT_EQ(pram::ceil_log2(5), 3u);
+  EXPECT_EQ(pram::ceil_log2(1ull << 40), 40u);
+}
+
+// Determinism contract: results identical across pool sizes (1 vs several
+// threads), including chunk-combined reductions.
+TEST(Determinism, ReduceIdenticalAcrossPools) {
+  util::Xoshiro256 rng(11);
+  std::vector<double> xs(40000);
+  for (auto& x : xs) x = rng.next_double();
+  pram::ThreadPool pool1(1), pool4(4);
+  pram::Ctx c1(&pool1), c4(&pool4);
+  auto sum = [](double a, double b) { return a + b; };
+  double r1 = pram::reduce<double>(c1, xs, 0.0, sum);
+  double r4 = pram::reduce<double>(c4, xs, 0.0, sum);
+  EXPECT_EQ(r1, r4);  // bit-identical, not just approximately equal
+}
+
+TEST(Determinism, ScanIdenticalAcrossPools) {
+  util::Xoshiro256 rng(13);
+  std::vector<double> xs(30000);
+  for (auto& x : xs) x = rng.next_double();
+  pram::ThreadPool pool1(1), pool3(3);
+  pram::Ctx c1(&pool1), c3(&pool3);
+  std::vector<double> o1(xs.size()), o3(xs.size());
+  auto sum = [](double a, double b) { return a + b; };
+  pram::scan_exclusive<double>(c1, xs, o1, 0.0, sum);
+  pram::scan_exclusive<double>(c3, xs, o3, 0.0, sum);
+  EXPECT_EQ(o1, o3);
+}
+
+TEST(ThreadPool, RunsAllChunksConcurrently) {
+  pram::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.run_chunks(10000, 64, [&](std::size_t b, std::size_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 10000);
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,122 @@
+// Tests for Appendix D: path-reporting hopsets without aspect-ratio
+// dependence (Theorems D.1/D.2) — the three-step edge replacement must yield
+// a valid (1+6ε)-SPT over original graph edges, even under extreme weight
+// spreads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "hopset/reduced_path_reporting.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/spt.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+struct RCase {
+  std::string family;
+  Vertex n;
+  double eps;
+  int logw;  // weights up to 2^logw — drives Λ
+};
+
+class ReducedSpt : public ::testing::TestWithParam<RCase> {};
+
+TEST_P(ReducedSpt, TreeValidAndStretchBounded) {
+  const auto& c = GetParam();
+  graph::GenOptions o;
+  o.seed = 61;
+  o.weights = graph::WeightMode::kExponential;
+  o.max_weight = std::exp2(c.logw);
+  Graph g = graph::by_name(c.family, c.n, o);
+
+  hopset::Params p;
+  p.epsilon = c.eps;
+  p.kappa = 3;
+  p.rho = 0.45;
+  auto cx = testing::ctx();
+  auto R = hopset::build_hopset_reduced_pr(cx, g, p);
+  ASSERT_FALSE(R.base.edges.empty());
+
+  auto spt = hopset::build_spt_reduced(cx, g, R, 0);
+  // The reduction compounds the error to 1+6ε (Lemma 4.3 of [EN19]).
+  auto check = sssp::validate_spt_stretch(cx, spt.tree, g, 6 * c.eps);
+  EXPECT_TRUE(check.ok) << check.error;
+
+  // Reported distances are the tree distances.
+  auto dT = sssp::tree_distances(cx, spt.tree);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (spt.dist[v] == graph::kInfWeight) continue;
+    EXPECT_NEAR(spt.dist[v], dT[v], 1e-9 * (1 + dT[v]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ReducedSpt,
+    ::testing::Values(RCase{"gnm", 96, 0.25, 10}, RCase{"gnm", 96, 0.5, 20},
+                      RCase{"grid", 100, 0.25, 16},
+                      RCase{"ba", 96, 0.25, 24},
+                      RCase{"cycle", 64, 0.5, 12}),
+    [](const ::testing::TestParamInfo<RCase>& i) {
+      return i.param.family + "_n" + std::to_string(i.param.n) + "_w" +
+             std::to_string(i.param.logw);
+    });
+
+TEST(ReducedSpt, MultipleSources) {
+  graph::GenOptions o;
+  o.seed = 62;
+  o.weights = graph::WeightMode::kExponential;
+  o.max_weight = 1 << 14;
+  Graph g = graph::by_name("gnm", 80, o);
+  hopset::Params p;
+  p.epsilon = 0.25;
+  auto cx = testing::ctx();
+  auto R = hopset::build_hopset_reduced_pr(cx, g, p);
+  for (Vertex s : {Vertex(0), Vertex(40), Vertex(79)}) {
+    auto spt = hopset::build_spt_reduced(cx, g, R, s);
+    auto check = sssp::validate_spt_stretch(cx, spt.tree, g, 6 * p.epsilon);
+    EXPECT_TRUE(check.ok) << "source " << s << ": " << check.error;
+  }
+}
+
+TEST(ReducedSpt, PrBuilderMatchesPlainReduction) {
+  // The PR builder must produce the same hopset edge multiset as the plain
+  // Appendix C builder (witnesses aside).
+  graph::GenOptions o;
+  o.seed = 63;
+  o.weights = graph::WeightMode::kExponential;
+  o.max_weight = 1 << 12;
+  Graph g = graph::by_name("gnm", 64, o);
+  hopset::Params p;
+  p.epsilon = 0.5;
+  auto c1 = testing::ctx();
+  auto c2 = testing::ctx();
+  auto plain = hopset::build_hopset_reduced(c1, g, p);
+  auto pr = hopset::build_hopset_reduced_pr(c2, g, p);
+  EXPECT_EQ(plain.edges.size(), pr.base.edges.size());
+  EXPECT_EQ(plain.star_edges.size(), pr.base.star_edges.size());
+  EXPECT_EQ(plain.scales, pr.base.scales);
+}
+
+TEST(ReducedSpt, DisconnectedComponentsStayApart) {
+  // Two components with wildly different weight bands.
+  graph::Builder b(12);
+  for (Vertex v = 0; v + 1 < 6; ++v) b.add_edge(v, v + 1, 0.5 + v);
+  for (Vertex v = 6; v + 1 < 12; ++v) b.add_edge(v, v + 1, 1000.0 * (v - 4));
+  Graph g = b.build();
+  hopset::Params p;
+  auto cx = testing::ctx();
+  auto R = hopset::build_hopset_reduced_pr(cx, g, p);
+  auto spt = hopset::build_spt_reduced(cx, g, R, 0);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_LT(spt.dist[v], graph::kInfWeight);
+  for (Vertex v = 6; v < 12; ++v) EXPECT_EQ(spt.dist[v], graph::kInfWeight);
+}
+
+}  // namespace
+}  // namespace parhop

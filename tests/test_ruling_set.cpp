@@ -1,0 +1,170 @@
+// Tests for Algorithm 4 ruling sets: separation (Lemma B.2), covering
+// (Lemma B.3), determinism, and edge cases.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "graph/generators.hpp"
+#include "hopset/ruling_set.hpp"
+#include "pram/primitives.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+using hopset::Clustering;
+using hopset::RulingSetOptions;
+
+// Reference G̃ distances between singleton clusters: BFS over the virtual
+// graph whose edges join clusters with d^{(hops)}(C,C') ≤ limit.
+std::vector<int> virtual_bfs(const Graph& g, double limit, int hops,
+                             const std::vector<std::uint32_t>& sources) {
+  const Vertex n = g.num_vertices();
+  // d^{(hops)} between all singleton pairs via per-source Bellman-Ford.
+  auto cx = testing::ctx();
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (Vertex s = 0; s < n; ++s) {
+    auto bf = sssp::bellman_ford(cx, g, s, hops);
+    for (Vertex v = 0; v < n; ++v)
+      if (v != s && bf.dist[v] <= limit) adj[s][v] = true;
+  }
+  std::vector<int> dist(n, -1);
+  std::queue<Vertex> q;
+  for (auto s : sources) {
+    dist[s] = 0;
+    q.push(s);
+  }
+  while (!q.empty()) {
+    Vertex u = q.front();
+    q.pop();
+    for (Vertex v = 0; v < n; ++v)
+      if (adj[u][v] && dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+  }
+  return dist;
+}
+
+struct RsCase {
+  std::string family;
+  Vertex n;
+  double limit;
+};
+
+class RulingSetP : public ::testing::TestWithParam<RsCase> {};
+
+TEST_P(RulingSetP, SeparationAndCovering) {
+  const auto& c = GetParam();
+  graph::GenOptions o;
+  o.seed = 11;
+  Graph g = graph::by_name(c.family, c.n, o);
+  Clustering P = Clustering::singletons(g.num_vertices());
+  auto cx = testing::ctx();
+
+  std::vector<std::uint32_t> W;
+  for (Vertex v = 0; v < g.num_vertices(); v += 2) W.push_back(v);
+
+  RulingSetOptions opts;
+  opts.dist_limit = c.limit;
+  opts.hop_limit = 8;
+  auto Q = hopset::ruling_set(cx, g, P, W, opts);
+  ASSERT_FALSE(Q.empty());
+
+  // Q ⊆ W.
+  for (auto q : Q)
+    EXPECT_TRUE(std::find(W.begin(), W.end(), q) != W.end());
+
+  // Separation: pairwise G̃ distance ≥ 3 (Lemma B.2).
+  auto gdist = virtual_bfs(g, c.limit, opts.hop_limit, Q);
+  for (auto q1 : Q)
+    for (auto q2 : Q) {
+      if (q1 >= q2) continue;
+      // BFS from all of Q: check directly between the pair instead.
+      std::vector<std::uint32_t> only = {q1};
+      auto d = virtual_bfs(g, c.limit, opts.hop_limit, only);
+      EXPECT_TRUE(d[q2] < 0 || d[q2] >= 3)
+          << "rulers " << q1 << "," << q2 << " at distance " << d[q2];
+    }
+
+  // Covering: every W cluster within 2·⌈log n⌉ + 2 G̃-hops of Q (Lemma B.3;
+  // our bit count is ⌈log n⌉ + 1).
+  const int bound =
+      2 * (static_cast<int>(pram::ceil_log2(g.num_vertices())) + 1);
+  for (auto w : W)
+    EXPECT_TRUE(gdist[w] >= 0 && gdist[w] <= bound)
+        << "cluster " << w << " not covered (dist " << gdist[w] << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, RulingSetP,
+    ::testing::Values(RsCase{"path", 32, 3.0}, RsCase{"cycle", 24, 5.0},
+                      RsCase{"grid", 36, 4.0}, RsCase{"gnm", 40, 6.0}),
+    [](const ::testing::TestParamInfo<RsCase>& i) {
+      return i.param.family + "_n" + std::to_string(i.param.n);
+    });
+
+TEST(RulingSet, EmptyAndSingleton) {
+  graph::GenOptions o;
+  Graph g = graph::path(8, o);
+  Clustering P = Clustering::singletons(8);
+  auto cx = testing::ctx();
+  RulingSetOptions opts;
+  opts.dist_limit = 2;
+  opts.hop_limit = 4;
+  EXPECT_TRUE(hopset::ruling_set(cx, g, P, {}, opts).empty());
+  std::vector<std::uint32_t> one = {5};
+  auto Q = hopset::ruling_set(cx, g, P, one, opts);
+  ASSERT_EQ(Q.size(), 1u);
+  EXPECT_EQ(Q[0], 5u);
+}
+
+TEST(RulingSet, IsolatedCandidatesAllSurvive) {
+  // No edges: every candidate is its own ruler.
+  Graph g = Graph::from_edges(8, {});
+  Clustering P = Clustering::singletons(8);
+  auto cx = testing::ctx();
+  RulingSetOptions opts;
+  opts.dist_limit = 10;
+  opts.hop_limit = 4;
+  std::vector<std::uint32_t> W = {1, 3, 6};
+  auto Q = hopset::ruling_set(cx, g, P, W, opts);
+  EXPECT_EQ(Q, W);
+}
+
+TEST(RulingSet, CliqueKeepsExactlyOne) {
+  graph::GenOptions o;
+  o.weights = graph::WeightMode::kUnit;
+  Graph g = graph::complete(16, o);
+  Clustering P = Clustering::singletons(16);
+  auto cx = testing::ctx();
+  RulingSetOptions opts;
+  opts.dist_limit = 1.5;  // clique: everyone adjacent in G̃
+  opts.hop_limit = 3;
+  std::vector<std::uint32_t> W;
+  for (std::uint32_t v = 0; v < 16; ++v) W.push_back(v);
+  auto Q = hopset::ruling_set(cx, g, P, W, opts);
+  EXPECT_EQ(Q.size(), 1u);
+}
+
+TEST(RulingSet, DeterministicAcrossRuns) {
+  graph::GenOptions o;
+  o.seed = 13;
+  Graph g = graph::gnm(48, 150, o);
+  Clustering P = Clustering::singletons(48);
+  RulingSetOptions opts;
+  opts.dist_limit = 8;
+  opts.hop_limit = 6;
+  std::vector<std::uint32_t> W;
+  for (std::uint32_t v = 0; v < 48; v += 3) W.push_back(v);
+  auto c1 = testing::ctx();
+  auto c2 = testing::ctx();
+  EXPECT_EQ(hopset::ruling_set(c1, g, P, W, opts),
+            hopset::ruling_set(c2, g, P, W, opts));
+}
+
+}  // namespace
+}  // namespace parhop

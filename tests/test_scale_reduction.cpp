@@ -1,0 +1,197 @@
+// Tests for the Klein–Sairam weight reduction (Appendix C): node graphs,
+// laminar centers, star edges (Lemma C.1 count), relevant scales, and the
+// end-to-end Λ-independent hopset property (Theorem C.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/aspect_ratio.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "hopset/scale_reduction.hpp"
+#include "sssp/dijkstra.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+using hopset::Params;
+using hopset::ScaleGraph;
+
+TEST(RelevantScales, FlagsOnlyScalesWithEdgesInBand) {
+  graph::Builder b(4);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 100.0);
+  b.add_edge(2, 3, 10000.0);
+  Graph g = b.build();
+  auto scales = hopset::relevant_scales(g, 0.5, 0, 20);
+  // Every edge weight w makes scales with (ε/n)2^k < w ≤ 2^{k+1} relevant —
+  // i.e. log2(w)−1 ≤ k < log2(w·n/ε); verify band membership for each.
+  const double n = 4;
+  for (int k : scales) {
+    bool any = false;
+    for (const auto& e : g.edge_list())
+      if (e.w > (0.5 / n) * std::exp2(k) && e.w <= std::exp2(k + 1))
+        any = true;
+    EXPECT_TRUE(any) << "scale " << k << " has no edge in band";
+  }
+  // And scale 0 must be relevant (weight-1 edge), as must a scale near 2^13
+  // (weight-10000 edge).
+  EXPECT_FALSE(scales.empty());
+  EXPECT_EQ(scales.front(), 0);
+  EXPECT_GE(scales.back(), 13);
+}
+
+TEST(ScaleGraphBuild, ContractsLightEdges) {
+  // Edges 0.001-light get contracted at higher scales.
+  graph::Builder b(6);
+  b.add_edge(0, 1, 0.001);
+  b.add_edge(1, 2, 0.001);
+  b.add_edge(2, 3, 5.0);
+  b.add_edge(3, 4, 0.001);
+  b.add_edge(4, 5, 6.0);
+  Graph g = b.build();
+  auto cx = testing::ctx();
+  std::vector<graph::Edge> stars;
+  // Scale k with (ε/n)2^k ≥ 0.001: contract the three light edges.
+  // ε=0.5, n=6: threshold = 0.0833·2^k ⇒ k=4 gives 1.33 ≥ 0.001. Cap 2^5=32.
+  ScaleGraph sg = hopset::build_scale_graph(cx, g, 4, 0.5, nullptr, &stars);
+  EXPECT_EQ(sg.center.size(), 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(sg.node_of[0], sg.node_of[1]);
+  EXPECT_EQ(sg.node_of[1], sg.node_of[2]);
+  EXPECT_EQ(sg.node_of[3], sg.node_of[4]);
+  EXPECT_NE(sg.node_of[0], sg.node_of[3]);
+  // Node edges: (N0,N1) via weight 5 and (N1,N2) via weight 6, inflated.
+  EXPECT_EQ(sg.g.num_edges(), 2u);
+}
+
+TEST(ScaleGraphBuild, EdgeWeightsInflatedBySizes) {
+  graph::Builder b(4);
+  b.add_edge(0, 1, 0.01);
+  b.add_edge(2, 3, 0.01);
+  b.add_edge(1, 2, 3.0);
+  Graph g = b.build();
+  auto cx = testing::ctx();
+  // ε=0.4, n=4 ⇒ contract_below = 0.1·2^k; k=1 contracts the 0.01 edges
+  // (0.2 ≥ 0.01) while keep_below = 4 retains the 3.0 edge.
+  ScaleGraph sg = hopset::build_scale_graph(cx, g, 1, 0.4, nullptr, nullptr);
+  ASSERT_EQ(sg.g.num_edges(), 1u);
+  auto e = sg.g.edge_list()[0];
+  // eq. 21: 3.0 + (|X|+|Y|)·(ε/n)·2^k = 3.0 + 4·0.1·2.
+  EXPECT_NEAR(e.w, 3.0 + 4 * (0.4 / 4) * 2, 1e-9);
+}
+
+TEST(ScaleGraphBuild, DropsTooHeavyEdges) {
+  graph::Builder b(3);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1000.0);
+  Graph g = b.build();
+  auto cx = testing::ctx();
+  ScaleGraph sg = hopset::build_scale_graph(cx, g, 3, 0.5, nullptr, nullptr);
+  // keep_below = 16: the 1000 edge is absent at scale 3.
+  for (const auto& e : sg.g.edge_list()) EXPECT_LE(e.w, 16 + 3 * 1.0);
+}
+
+TEST(ScaleGraphBuild, LaminarCentersInherit) {
+  // Chain contracts progressively; the center must come from the largest
+  // child at the previous relevant scale.
+  graph::GenOptions o;
+  o.seed = 12;
+  o.weights = graph::WeightMode::kExponential;
+  o.max_weight = 1 << 16;
+  Graph g = graph::gnm(64, 192, o);
+  auto cx = testing::ctx();
+  auto scales = hopset::relevant_scales(g, 0.5, 0, 30);
+  ASSERT_GE(scales.size(), 2u);
+  ScaleGraph prev =
+      hopset::build_scale_graph(cx, g, scales[0], 0.5, nullptr, nullptr);
+  for (std::size_t i = 1; i < scales.size(); ++i) {
+    ScaleGraph cur =
+        hopset::build_scale_graph(cx, g, scales[i], 0.5, &prev, nullptr);
+    // Laminarity: previous nodes nest inside current nodes.
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      Vertex rep = prev.center[prev.node_of[v]];
+      EXPECT_EQ(cur.node_of[v], cur.node_of[rep])
+          << "node of scale " << scales[i - 1] << " split at scale "
+          << scales[i];
+    }
+    // Every center belongs to its node.
+    for (std::size_t u = 0; u < cur.center.size(); ++u)
+      EXPECT_EQ(cur.node_of[cur.center[u]], u);
+    prev = std::move(cur);
+  }
+}
+
+TEST(StarEdges, CountWithinLemmaC1Bound) {
+  graph::GenOptions o;
+  o.seed = 31;
+  o.weights = graph::WeightMode::kExponential;
+  o.max_weight = 1 << 14;
+  Graph g = graph::gnm(128, 512, o);
+  Params p;
+  p.epsilon = 0.5;
+  auto cx = testing::ctx();
+  auto R = hopset::build_hopset_reduced(cx, g, p);
+  double n = g.num_vertices();
+  EXPECT_LE(R.star_edges.size(), n * std::log2(n))
+      << "Lemma C.1 star bound exceeded";
+}
+
+TEST(StarEdges, WeightsAreTreeDistances) {
+  // Star weights must be ≥ the exact distance (they are real tree paths).
+  graph::GenOptions o;
+  o.seed = 14;
+  o.weights = graph::WeightMode::kExponential;
+  o.max_weight = 1 << 12;
+  Graph g = graph::gnm(64, 200, o);
+  Params p;
+  p.epsilon = 0.5;
+  auto cx = testing::ctx();
+  auto R = hopset::build_hopset_reduced(cx, g, p);
+  for (const auto& e : R.star_edges) {
+    auto d = sssp::dijkstra_distances(g, e.u);
+    EXPECT_GE(e.w, d[e.v] * (1 - 1e-9));
+  }
+}
+
+TEST(ReducedHopset, PropertyHoldsUnderHugeAspectRatio) {
+  graph::GenOptions o;
+  o.seed = 77;
+  o.weights = graph::WeightMode::kExponential;
+  o.max_weight = std::exp2(24);  // Λ ~ 2^30
+  Graph g = graph::gnm(96, 288, o);
+  Params p;
+  p.epsilon = 0.5;
+  p.kappa = 3;
+  auto cx = testing::ctx();
+  auto R = hopset::build_hopset_reduced(cx, g, p);
+  ASSERT_GT(R.edges.size(), 0u);
+
+  // Stretch check with the reduction's compounded error (Lemma 4.3 of
+  // [EN19] gives 1+6ε for the reduction on top of the hopset's 1+ε).
+  std::vector<Vertex> srcs = {0, 48};
+  testing::check_hopset_property(g, R.edges, 6 * p.epsilon,
+                                 std::max(R.beta, 4 * 96), srcs);
+}
+
+TEST(ReducedHopset, NoShortcutsEver) {
+  graph::GenOptions o;
+  o.seed = 15;
+  o.weights = graph::WeightMode::kExponential;
+  o.max_weight = 1 << 16;
+  Graph g = graph::gnm(64, 192, o);
+  Params p;
+  p.epsilon = 0.5;
+  auto cx = testing::ctx();
+  auto R = hopset::build_hopset_reduced(cx, g, p);
+  for (const auto& e : R.edges) {
+    auto d = sssp::dijkstra_distances(g, e.u);
+    EXPECT_GE(e.w, d[e.v] * (1 - 1e-9))
+        << "reduced hopset edge (" << e.u << "," << e.v << ")";
+  }
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,0 +1,125 @@
+// Tests for the generic shortest-path-tree utilities (validation and §4.2
+// pointer-jumping distances).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/spt.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using sssp::ParentTree;
+
+ParentTree chain_tree() {
+  // 0 ← 1 ← 2 ← 3 with weights 1, 2, 3.
+  ParentTree t;
+  t.root = 0;
+  t.parent = {0, 0, 1, 2};
+  t.parent_weight = {0, 1, 2, 3};
+  return t;
+}
+
+TEST(TreeDistances, ChainAccumulates) {
+  auto cx = testing::ctx();
+  auto d = sssp::tree_distances(cx, chain_tree());
+  EXPECT_DOUBLE_EQ(d[0], 0);
+  EXPECT_DOUBLE_EQ(d[1], 1);
+  EXPECT_DOUBLE_EQ(d[2], 3);
+  EXPECT_DOUBLE_EQ(d[3], 6);
+}
+
+TEST(ValidateTree, AcceptsValid) {
+  EXPECT_TRUE(sssp::validate_tree(chain_tree()).ok);
+}
+
+TEST(ValidateTree, RejectsCycle) {
+  ParentTree t;
+  t.root = 0;
+  t.parent = {0, 2, 1};
+  t.parent_weight = {0, 1, 1};
+  auto c = sssp::validate_tree(t);
+  EXPECT_FALSE(c.ok);
+  EXPECT_NE(c.error.find("cycle"), std::string::npos);
+}
+
+TEST(ValidateTree, RejectsBadRoot) {
+  ParentTree t;
+  t.root = 1;
+  t.parent = {0, 0};
+  t.parent_weight = {0, 1};
+  EXPECT_FALSE(sssp::validate_tree(t).ok);  // root's parent isn't itself
+}
+
+TEST(ValidateTreeEdges, DetectsForeignEdge) {
+  Graph g = Graph::from_edges(3, std::vector<Edge>{{0, 1, 1}});
+  ParentTree t;
+  t.root = 0;
+  t.parent = {0, 0, 1};
+  t.parent_weight = {0, 1, 5};  // edge (1,2) missing from g
+  auto c = sssp::validate_tree_edges_in_graph(t, g);
+  EXPECT_FALSE(c.ok);
+}
+
+TEST(ValidateTreeEdges, DetectsWeightMismatch) {
+  Graph g = Graph::from_edges(2, std::vector<Edge>{{0, 1, 1}});
+  ParentTree t;
+  t.root = 0;
+  t.parent = {0, 0};
+  t.parent_weight = {0, 2};  // wrong weight
+  EXPECT_FALSE(sssp::validate_tree_edges_in_graph(t, g).ok);
+}
+
+TEST(ValidateSpt, ExactDijkstraTreePasses) {
+  graph::GenOptions o;
+  o.seed = 4;
+  Graph g = graph::gnm(80, 240, o);
+  auto dj = sssp::dijkstra(g, 0);
+  ParentTree t;
+  t.root = 0;
+  t.parent.resize(g.num_vertices());
+  t.parent_weight.assign(g.num_vertices(), 0);
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (v == 0 || dj.parent[v] == graph::kNoVertex) {
+      t.parent[v] = v;
+    } else {
+      t.parent[v] = dj.parent[v];
+      t.parent_weight[v] = g.edge_weight(dj.parent[v], v);
+    }
+  }
+  auto cx = testing::ctx();
+  EXPECT_TRUE(sssp::validate_spt_stretch(cx, t, g, 0.0).ok);
+}
+
+TEST(ValidateSpt, CatchesStretchViolation) {
+  // Tree routes 0→2 via a detour heavier than (1+ε)·d_G.
+  std::vector<Edge> es = {{0, 1, 10}, {1, 2, 10}, {0, 2, 1}};
+  Graph g = Graph::from_edges(3, es);
+  ParentTree t;
+  t.root = 0;
+  t.parent = {0, 0, 1};
+  t.parent_weight = {0, 10, 10};
+  auto cx = testing::ctx();
+  EXPECT_FALSE(sssp::validate_spt_stretch(cx, t, g, 0.5).ok);
+  // With a huge ε the same tree is acceptable.
+  EXPECT_TRUE(sssp::validate_spt_stretch(cx, t, g, 30.0).ok);
+}
+
+TEST(ValidateSpt, CatchesMissingCoverage) {
+  std::vector<Edge> es = {{0, 1, 1}, {1, 2, 1}};
+  Graph g = Graph::from_edges(3, es);
+  ParentTree t;
+  t.root = 0;
+  t.parent = {0, 0, 2};  // vertex 2 left out though reachable
+  t.parent_weight = {0, 1, 0};
+  auto cx = testing::ctx();
+  auto c = sssp::validate_spt_stretch(cx, t, g, 0.5);
+  EXPECT_FALSE(c.ok);
+  EXPECT_NE(c.error.find("reachable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parhop

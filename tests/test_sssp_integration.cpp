@@ -1,0 +1,94 @@
+// End-to-end integration tests: Theorem 3.8 (aSSSD / aMSSD through the
+// hopset) and the full pipeline on each graph family.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hopset/hopset.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/sssp.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+TEST(SsspIntegration, SingleSourceWithinEpsilon) {
+  graph::GenOptions o;
+  o.seed = 1;
+  Graph g = graph::by_name("grid", 225, o);
+  hopset::Params p;
+  p.epsilon = 0.25;
+  auto cx = testing::ctx();
+  auto H = hopset::build_hopset(cx, g, p);
+  auto r = sssp::approx_sssp(cx, g, H.edges, 0, H.schedule.beta);
+  auto exact = sssp::dijkstra_distances(g, 0);
+  double stretch = sssp::max_stretch(r.dist, exact);
+  EXPECT_LE(stretch, 1 + p.epsilon + 1e-9);
+  // Lower bound direction.
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (exact[v] < graph::kInfWeight)
+      EXPECT_GE(r.dist[v], exact[v] * (1 - 1e-9));
+}
+
+TEST(SsspIntegration, MultiSourceRowsAllWithinEpsilon) {
+  graph::GenOptions o;
+  o.seed = 4;
+  Graph g = graph::by_name("gnm", 192, o);
+  hopset::Params p;
+  p.epsilon = 0.25;
+  auto cx = testing::ctx();
+  auto H = hopset::build_hopset(cx, g, p);
+  std::vector<Vertex> S = {0, 17, 63, 150};
+  auto rows = sssp::approx_multi_source(cx, g, H.edges, S, H.schedule.beta);
+  ASSERT_EQ(rows.size(), S.size());
+  for (std::size_t i = 0; i < S.size(); ++i) {
+    auto exact = sssp::dijkstra_distances(g, S[i]);
+    EXPECT_LE(sssp::max_stretch(rows[i], exact), 1 + p.epsilon + 1e-9)
+        << "source " << S[i];
+  }
+}
+
+TEST(SsspIntegration, HopsetBeatsRawHopRadiusOnPath) {
+  // The point of the hopset: β-hop BF on G ∪ H reaches (1+ε)-approximate
+  // distances even when the raw hop radius is far larger than β.
+  graph::GenOptions o;
+  o.seed = 6;
+  o.weights = graph::WeightMode::kUniform;
+  Graph g = graph::path(512, o);
+  hopset::Params p;
+  p.epsilon = 0.5;
+  p.kappa = 3;
+  p.rho = 0.45;
+  auto cx = testing::ctx();
+  auto H = hopset::build_hopset(cx, g, p);
+  ASSERT_LT(H.schedule.beta, 512) << "budget must be below the hop diameter";
+
+  auto exact = sssp::dijkstra_distances(g, 0);
+  // Raw BF with the same budget fails to even reach the far end.
+  auto raw = sssp::bellman_ford(cx, g, Vertex(0), H.schedule.beta);
+  EXPECT_EQ(raw.dist[511], graph::kInfWeight);
+  // Through the hopset it is (1+ε)-approximate everywhere.
+  auto r = sssp::approx_sssp(cx, g, H.edges, 0, H.schedule.beta);
+  EXPECT_LE(sssp::max_stretch(r.dist, exact), 1 + p.epsilon + 1e-9);
+}
+
+TEST(SsspIntegration, DifferentSourcesSameHopset) {
+  graph::GenOptions o;
+  o.seed = 9;
+  Graph g = graph::by_name("ba", 160, o);
+  hopset::Params p;
+  auto cx = testing::ctx();
+  auto H = hopset::build_hopset(cx, g, p);
+  for (Vertex s : {Vertex(0), Vertex(80), Vertex(159)}) {
+    auto r = sssp::approx_sssp(cx, g, H.edges, s, H.schedule.beta);
+    auto exact = sssp::dijkstra_distances(g, s);
+    EXPECT_LE(sssp::max_stretch(r.dist, exact), 1 + p.epsilon + 1e-9)
+        << "source " << s;
+  }
+}
+
+}  // namespace
+}  // namespace parhop
