@@ -5,20 +5,22 @@
 //   (d) cumulative G ∪ H_{<k} vs the paper's G ∪ H_{k-1} exploration graph.
 #include "baselines/en_random_hopset.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 
-using namespace parhop;
-
+namespace parhop {
 namespace {
 
 struct Row {
   std::string variant;
   hopset::Hopset H;
+  double wall_s = 0;
 };
 
-void report(const graph::Graph& g, double eps, std::vector<Row>& rows,
-            util::Table& t) {
+void report(const graph::Graph& g, double eps, const std::string& section,
+            std::vector<Row>& variant_rows, util::Table& t,
+            util::Json& rows) {
   auto sources = bench::probe_sources(g.num_vertices());
-  for (auto& r : rows) {
+  for (auto& r : variant_rows) {
     auto probe = bench::probe_stretch(
         g, r.H.edges, eps, 4 * static_cast<int>(g.num_vertices()), sources);
     t.add_row({r.variant, std::to_string(r.H.edges.size()),
@@ -26,33 +28,52 @@ void report(const graph::Graph& g, double eps, std::vector<Row>& rows,
                util::human(double(r.H.build_cost.depth)),
                util::format("%.4f", probe.max_stretch),
                std::to_string(probe.hops_needed)});
+    util::Json row = util::Json::object();
+    row.set("section", section);
+    row.set("variant", r.variant);
+    row.set("n", g.num_vertices());
+    row.set("m", g.num_edges());
+    row.set("hopset_edges", r.H.edges.size());
+    row.set("work", r.H.build_cost.work);
+    row.set("depth", r.H.build_cost.depth);
+    row.set("max_stretch", probe.max_stretch);
+    row.set("hops_needed", probe.hops_needed);
+    row.set("wall_s", r.wall_s);
+    rows.push_back(row);
   }
 }
 
-}  // namespace
-
-int main() {
-  graph::Vertex n = 512;
+util::Json run_e10(const bench::RunOptions& opt) {
+  graph::Vertex n = opt.tiny ? 128 : 512;
   graph::Graph g = bench::workload("grid", n);
   hopset::Params base;
   base.epsilon = 0.25;
   base.kappa = 3;
   base.rho = 0.45;
+  util::Json rows = util::Json::array();
+
+  auto timed = [&](const std::string& variant, auto&& build) {
+    bench::Timer timer;
+    hopset::Hopset H = build();
+    return Row{variant, std::move(H), timer.seconds()};
+  };
 
   // (a) seeds: ruling set vs sampling.
   bench::print_header("E10a", "supercluster seeds: ruling set vs sampling");
   {
     util::Table t({"variant", "|H|", "work", "depth", "stretch", "hops"});
-    std::vector<Row> rows;
-    pram::Ctx c1;
-    rows.push_back({"ruling-set (det)", hopset::build_hopset(c1, g, base)});
-    pram::Ctx c2;
-    rows.push_back(
-        {"sampling seed=1", baselines::build_random_hopset(c2, g, base, 1)});
-    pram::Ctx c3;
-    rows.push_back(
-        {"sampling seed=2", baselines::build_random_hopset(c3, g, base, 2)});
-    report(g, base.epsilon, rows, t);
+    std::vector<Row> vr;
+    vr.push_back(timed("ruling-set (det)", [&] {
+      pram::Ctx cx;
+      return hopset::build_hopset(cx, g, base);
+    }));
+    for (int seed : {1, 2}) {
+      vr.push_back(timed("sampling seed=" + std::to_string(seed), [&] {
+        pram::Ctx cx;
+        return baselines::build_random_hopset(cx, g, base, seed);
+      }));
+    }
+    report(g, base.epsilon, "a_seeds", vr, t, rows);
     t.print(std::cout);
   }
 
@@ -60,15 +81,17 @@ int main() {
   bench::print_header("E10b", "exploration hop budget β̂ sweep");
   {
     util::Table t({"variant", "|H|", "work", "depth", "stretch", "hops"});
-    std::vector<Row> rows;
+    std::vector<Row> vr;
     for (int beta : {8, 16, 32, 64, 0}) {
       hopset::Params p = base;
       p.beta_hint = beta;
-      pram::Ctx cx;
-      rows.push_back({beta == 0 ? "auto (h_ell)" : "beta=" + std::to_string(beta),
-                      hopset::build_hopset(cx, g, p)});
+      vr.push_back(timed(
+          beta == 0 ? "auto (h_ell)" : "beta=" + std::to_string(beta), [&] {
+            pram::Ctx cx;
+            return hopset::build_hopset(cx, g, p);
+          }));
     }
-    report(g, base.epsilon, rows, t);
+    report(g, base.epsilon, "b_hop_budget", vr, t, rows);
     t.print(std::cout);
     std::cout << "note: stretch is checked at a generous probe budget; the "
                  "hops column shows what each variant actually needs.\n";
@@ -78,14 +101,18 @@ int main() {
   bench::print_header("E10c", "edge weights: tight witness lengths vs paper");
   {
     util::Table t({"variant", "|H|", "work", "depth", "stretch", "hops"});
-    std::vector<Row> rows;
-    pram::Ctx c1;
-    rows.push_back({"tight (witness)", hopset::build_hopset(c1, g, base)});
+    std::vector<Row> vr;
+    vr.push_back(timed("tight (witness)", [&] {
+      pram::Ctx cx;
+      return hopset::build_hopset(cx, g, base);
+    }));
     hopset::Params paper = base;
     paper.tight_weights = false;
-    pram::Ctx c2;
-    rows.push_back({"paper closed-form", hopset::build_hopset(c2, g, paper)});
-    report(g, base.epsilon, rows, t);
+    vr.push_back(timed("paper closed-form", [&] {
+      pram::Ctx cx;
+      return hopset::build_hopset(cx, g, paper);
+    }));
+    report(g, base.epsilon, "c_weights", vr, t, rows);
     t.print(std::cout);
     std::cout << "note: paper-mode weights are valid upper bounds but "
                  "looser; stretch may exceed the tight mode's (the paper "
@@ -96,15 +123,29 @@ int main() {
   bench::print_header("E10d", "exploration graph: cumulative vs H_{k-1} only");
   {
     util::Table t({"variant", "|H|", "work", "depth", "stretch", "hops"});
-    std::vector<Row> rows;
-    pram::Ctx c1;
-    rows.push_back({"G ∪ H_{<k} (cum)", hopset::build_hopset(c1, g, base)});
+    std::vector<Row> vr;
+    vr.push_back(timed("G u H_{<k} (cum)", [&] {
+      pram::Ctx cx;
+      return hopset::build_hopset(cx, g, base);
+    }));
     hopset::Params single = base;
     single.cumulative_scales = false;
-    pram::Ctx c2;
-    rows.push_back({"G ∪ H_{k-1}", hopset::build_hopset(c2, g, single)});
-    report(g, base.epsilon, rows, t);
+    vr.push_back(timed("G u H_{k-1}", [&] {
+      pram::Ctx cx;
+      return hopset::build_hopset(cx, g, single);
+    }));
+    report(g, base.epsilon, "d_exploration_graph", vr, t, rows);
     t.print(std::cout);
   }
-  return 0;
+
+  util::Json payload = util::Json::object();
+  payload.set("rows", rows);
+  return payload;
 }
+
+PARHOP_REGISTER_EXPERIMENT(
+    "e10", "ablations: seeds, hop budget, weights, exploration graph",
+    run_e10);
+
+}  // namespace
+}  // namespace parhop

@@ -4,18 +4,22 @@
 // the bound and the log-log growth slope (expected ≈ 1 + 1/κ or below; the
 // bound must never be exceeded).
 #include "common.hpp"
+#include "registry.hpp"
 
-using namespace parhop;
+namespace parhop {
+namespace {
 
-int main() {
-  bench::print_header("E1", "hopset size |H| vs ⌈log Λ⌉·n^{1+1/κ} (Thm 3.7)");
+util::Json run_e1(const bench::RunOptions& opt) {
+  util::Json rows = util::Json::array();
+  util::Json slopes = util::Json::array();
 
   for (const std::string family : {"gnm", "grid"}) {
     for (int kappa : {2, 3, 4}) {
       util::Table t({"family", "kappa", "n", "m", "|H|", "bound",
                      "|H|/bound", "build_s"});
       std::vector<double> ns, sizes;
-      for (graph::Vertex n : {128u, 256u, 512u, 1024u, 2048u}) {
+      for (graph::Vertex n : bench::sweep<graph::Vertex>(
+               opt, {128u, 256u, 512u, 1024u, 2048u}, {64u, 128u})) {
         graph::Graph g = bench::workload(family, n);
         hopset::Params p;
         p.kappa = kappa;
@@ -39,16 +43,45 @@ int main() {
                    std::to_string(H.edges.size()), util::human(bound),
                    util::format("%.3f", H.edges.size() / bound),
                    util::format("%.2f", secs)});
+        util::Json row = util::Json::object();
+        row.set("family", family);
+        row.set("kappa", kappa);
+        row.set("n", g.num_vertices());
+        row.set("m", g.num_edges());
+        row.set("hopset_edges", H.edges.size());
+        row.set("size_bound", bound);
+        row.set("work", H.build_cost.work);
+        row.set("depth", H.build_cost.depth);
+        row.set("wall_s", secs);
+        rows.push_back(row);
       }
       t.print(std::cout);
       if (ns.size() >= 2) {
+        double slope = util::loglog_slope(ns, sizes);
         std::cout << "log-log slope(|H|/logLambda vs n) = "
-                  << util::format("%.3f", util::loglog_slope(ns, sizes))
+                  << util::format("%.3f", slope)
                   << "  (bound exponent 1+1/kappa = "
                   << util::format("%.3f", 1.0 + 1.0 / kappa) << ")\n";
+        util::Json s = util::Json::object();
+        s.set("family", family);
+        s.set("kappa", kappa);
+        s.set("loglog_slope", slope);
+        s.set("bound_exponent", 1.0 + 1.0 / kappa);
+        slopes.push_back(s);
       }
       std::cout << '\n';
     }
   }
-  return 0;
+
+  util::Json payload = util::Json::object();
+  payload.set("rows", rows);
+  payload.set("slopes", slopes);
+  return payload;
 }
+
+PARHOP_REGISTER_EXPERIMENT(
+    "e1", "hopset size |H| vs ceil(log Lambda)*n^{1+1/kappa} (Thm 3.7)",
+    run_e1);
+
+}  // namespace
+}  // namespace parhop

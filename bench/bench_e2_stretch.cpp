@@ -3,31 +3,35 @@
 // Sweeps ε and graph families; the deterministic guarantee means ZERO
 // violations in every row (the "violations" column must read 0).
 #include "common.hpp"
+#include "registry.hpp"
 
-using namespace parhop;
+namespace parhop {
+namespace {
 
-int main() {
-  bench::print_header(
-      "E2", "two-sided stretch of β-hop distances over G ∪ H (Thm 3.7)");
-
+util::Json run_e2(const bench::RunOptions& opt) {
+  util::Json rows = util::Json::array();
   util::Table t({"family", "n", "eps", "|H|", "beta", "max_stretch",
                  "target", "covered", "violations"});
+  int total_violations = 0;
   for (const std::string family : {"gnm", "grid", "ba", "path", "geometric"}) {
     for (double eps : {0.1, 0.25, 0.5}) {
-      graph::Vertex n = 512;
+      graph::Vertex n = opt.tiny ? 128 : 512;
       graph::Graph g = bench::workload(family, n);
       hopset::Params p;
       p.epsilon = eps;
       p.kappa = 3;
       p.rho = 0.45;
+      bench::Timer timer;
       pram::Ctx cx;
       hopset::Hopset H = hopset::build_hopset(cx, g, p);
+      double secs = timer.seconds();
       auto sources = bench::probe_sources(g.num_vertices());
       auto probe = bench::probe_stretch(g, H.edges, eps, H.schedule.beta,
                                         sources);
       int violations =
           (probe.covered && probe.max_stretch <= (1 + eps) * (1 + 1e-12)) ? 0
                                                                           : 1;
+      total_violations += violations;
       t.add_row({family, std::to_string(g.num_vertices()),
                  util::format("%.2f", eps), std::to_string(H.edges.size()),
                  std::to_string(H.schedule.beta),
@@ -35,8 +39,33 @@ int main() {
                  util::format("%.2f", 1 + eps),
                  probe.covered ? "yes" : "NO",
                  std::to_string(violations)});
+      util::Json row = util::Json::object();
+      row.set("family", family);
+      row.set("n", g.num_vertices());
+      row.set("m", g.num_edges());
+      row.set("eps", eps);
+      row.set("hopset_edges", H.edges.size());
+      row.set("beta", H.schedule.beta);
+      row.set("max_stretch", probe.max_stretch);
+      row.set("covered", probe.covered);
+      row.set("violations", violations);
+      row.set("work", H.build_cost.work);
+      row.set("depth", H.build_cost.depth);
+      row.set("wall_s", secs);
+      rows.push_back(row);
     }
   }
   t.print(std::cout);
-  return 0;
+
+  util::Json payload = util::Json::object();
+  payload.set("rows", rows);
+  payload.set("total_violations", total_violations);
+  return payload;
 }
+
+PARHOP_REGISTER_EXPERIMENT(
+    "e2", "two-sided stretch of beta-hop distances over G u H (Thm 3.7)",
+    run_e2);
+
+}  // namespace
+}  // namespace parhop

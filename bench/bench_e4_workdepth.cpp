@@ -5,18 +5,21 @@
 // metered depth grows polylogarithmically (slope of depth vs log n reported).
 // Wall-clock is included as a sanity column only.
 #include "common.hpp"
+#include "registry.hpp"
 
-using namespace parhop;
+namespace parhop {
+namespace {
 
-int main() {
-  bench::print_header(
-      "E4", "metered PRAM work/depth of the build vs n (Thm 3.7)");
+util::Json run_e4(const bench::RunOptions& opt) {
+  util::Json rows = util::Json::array();
+  util::Json slopes = util::Json::array();
 
   for (double rho : {0.3, 0.45}) {
     util::Table t({"n", "m", "rho", "work", "depth", "work/(m*n^rho)",
                    "depth/log3n", "wall_s"});
     std::vector<double> ns, works, depths;
-    for (graph::Vertex n : {128u, 256u, 512u, 1024u, 2048u}) {
+    for (graph::Vertex n : bench::sweep<graph::Vertex>(
+             opt, {128u, 256u, 512u, 1024u, 2048u}, {64u, 128u, 256u})) {
       graph::Graph g = bench::workload("gnm", n);
       hopset::Params p;
       p.kappa = 3;
@@ -38,15 +41,42 @@ int main() {
                  util::human(w), util::human(d), util::format("%.1f", norm),
                  util::format("%.2f", d / (lg * lg * lg)),
                  util::format("%.2f", secs)});
+      util::Json row = util::Json::object();
+      row.set("n", g.num_vertices());
+      row.set("m", g.num_edges());
+      row.set("rho", rho);
+      row.set("hopset_edges", H.edges.size());
+      row.set("work", H.build_cost.work);
+      row.set("depth", H.build_cost.depth);
+      row.set("work_normalized", norm);
+      row.set("depth_over_log3n", d / (lg * lg * lg));
+      row.set("wall_s", secs);
+      rows.push_back(row);
     }
     t.print(std::cout);
-    std::cout << "log-log slope(work vs n) = "
-              << util::format("%.3f", util::loglog_slope(ns, works))
+    double wslope = util::loglog_slope(ns, works);
+    std::cout << "log-log slope(work vs n) = " << util::format("%.3f", wslope)
               << "  (target ≈ 1+rho = " << util::format("%.2f", 1 + rho)
               << " up to polylog)\n";
     std::cout << "depth is polylog: the depth/log3n column should stay "
                  "roughly flat while n grows 16x (a power law would grow "
                  "it by 16^c).\n\n";
+    util::Json s = util::Json::object();
+    s.set("rho", rho);
+    s.set("work_loglog_slope", wslope);
+    s.set("depth_loglog_slope", util::loglog_slope(ns, depths));
+    s.set("target_exponent", 1 + rho);
+    slopes.push_back(s);
   }
-  return 0;
+
+  util::Json payload = util::Json::object();
+  payload.set("rows", rows);
+  payload.set("slopes", slopes);
+  return payload;
 }
+
+PARHOP_REGISTER_EXPERIMENT(
+    "e4", "metered PRAM work/depth of the build vs n (Thm 3.7)", run_e4);
+
+}  // namespace
+}  // namespace parhop

@@ -2,26 +2,38 @@
 // β-hop Bellman–Ford over G ∪ H. Reports per-query depth/work and stretch,
 // sweeping the number of sources |S| (the aMSSD tradeoff).
 #include "common.hpp"
+#include "registry.hpp"
 
-using namespace parhop;
+namespace parhop {
+namespace {
 
-int main() {
-  bench::print_header(
-      "E5", "aSSSD/aMSSD through the hopset (Thm 3.8): stretch & query cost");
-
-  graph::Vertex n = 1024;
+util::Json run_e5(const bench::RunOptions& opt) {
+  graph::Vertex n = opt.tiny ? 256 : 1024;
   graph::Graph g = bench::workload("grid", n);
   hopset::Params p;
   p.epsilon = 0.25;
   p.kappa = 3;
   p.rho = 0.45;
+  bench::Timer build_timer;
   pram::Ctx build_cx;
   hopset::Hopset H = hopset::build_hopset(build_cx, g, p);
+  double build_secs = build_timer.seconds();
   std::cout << "workload: grid n=" << g.num_vertices()
             << " m=" << g.num_edges() << "  |H|=" << H.edges.size()
             << "  build work=" << util::human(double(H.build_cost.work))
             << " depth=" << util::human(double(H.build_cost.depth)) << "\n\n";
 
+  util::Json build = util::Json::object();
+  build.set("family", "grid");
+  build.set("n", g.num_vertices());
+  build.set("m", g.num_edges());
+  build.set("hopset_edges", H.edges.size());
+  build.set("beta", H.schedule.beta);
+  build.set("work", H.build_cost.work);
+  build.set("depth", H.build_cost.depth);
+  build.set("wall_s", build_secs);
+
+  util::Json rows = util::Json::array();
   util::Table t({"|S|", "query_work", "query_depth", "max_stretch",
                  "target", "wall_s"});
   for (std::size_t num_sources : {1u, 2u, 4u, 8u, 16u}) {
@@ -31,13 +43,13 @@ int main() {
           (i * 2654435761u) % g.num_vertices()));
     bench::Timer timer;
     pram::Ctx cx;
-    auto rows = sssp::approx_multi_source(cx, g, H.edges, S,
-                                          H.schedule.beta);
+    auto query_rows = sssp::approx_multi_source(cx, g, H.edges, S,
+                                                H.schedule.beta);
     double secs = timer.seconds();
     double worst = 1.0;
     for (std::size_t i = 0; i < S.size(); ++i) {
       auto exact = sssp::dijkstra_distances(g, S[i]);
-      worst = std::max(worst, sssp::max_stretch(rows[i], exact));
+      worst = std::max(worst, sssp::max_stretch(query_rows[i], exact));
     }
     t.add_row({std::to_string(num_sources),
                util::human(double(cx.meter.work())),
@@ -45,9 +57,31 @@ int main() {
                util::format("%.4f", worst),
                util::format("%.2f", 1 + p.epsilon),
                util::format("%.2f", secs)});
+    util::Json row = util::Json::object();
+    row.set("num_sources", num_sources);
+    row.set("n", g.num_vertices());
+    row.set("m", g.num_edges());
+    row.set("hopset_edges", H.edges.size());
+    row.set("work", cx.meter.work());
+    row.set("depth", cx.meter.depth());
+    row.set("max_stretch", worst);
+    row.set("stretch_target", 1 + p.epsilon);
+    row.set("wall_s", secs);
+    rows.push_back(row);
   }
   t.print(std::cout);
   std::cout << "\nShape check: query depth flat in |S| (parallel "
                "explorations), work linear in |S|, stretch ≤ target.\n";
-  return 0;
+
+  util::Json payload = util::Json::object();
+  payload.set("build", build);
+  payload.set("rows", rows);
+  return payload;
 }
+
+PARHOP_REGISTER_EXPERIMENT(
+    "e5", "aSSSD/aMSSD through the hopset (Thm 3.8): stretch & query cost",
+    run_e5);
+
+}  // namespace
+}  // namespace parhop

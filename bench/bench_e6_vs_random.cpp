@@ -5,17 +5,17 @@
 // should land within small constant factors, stretch identical.
 #include "baselines/en_random_hopset.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 
-using namespace parhop;
+namespace parhop {
+namespace {
 
-int main() {
-  bench::print_header(
-      "E6", "deterministic (ruling sets) vs randomized [EN19] sampling");
-
+util::Json run_e6(const bench::RunOptions& opt) {
+  util::Json rows = util::Json::array();
   util::Table t({"family", "n", "det|H|", "rnd|H|(avg)", "det_work",
                  "rnd_work(avg)", "det_stretch", "rnd_stretch(max)"});
   for (const std::string family : {"gnm", "grid", "ba"}) {
-    graph::Vertex n = 512;
+    graph::Vertex n = opt.tiny ? 128 : 512;
     graph::Graph g = bench::workload(family, n);
     hopset::Params p;
     p.epsilon = 0.25;
@@ -23,14 +23,16 @@ int main() {
     p.rho = 0.45;
     auto sources = bench::probe_sources(g.num_vertices());
 
+    bench::Timer timer;
     pram::Ctx cd;
     hopset::Hopset det = hopset::build_hopset(cd, g, p);
+    double det_secs = timer.seconds();
     auto det_probe =
         bench::probe_stretch(g, det.edges, p.epsilon,
                              4 * static_cast<int>(n), sources);
 
     double rnd_size = 0, rnd_work = 0, rnd_stretch = 1.0;
-    const int kSeeds = 5;
+    const int kSeeds = opt.tiny ? 2 : 5;
     for (int seed = 1; seed <= kSeeds; ++seed) {
       pram::Ctx cr;
       hopset::Hopset rnd = baselines::build_random_hopset(cr, g, p, seed);
@@ -49,10 +51,34 @@ int main() {
                util::human(rnd_work),
                util::format("%.4f", det_probe.max_stretch),
                util::format("%.4f", rnd_stretch)});
+    util::Json row = util::Json::object();
+    row.set("family", family);
+    row.set("n", g.num_vertices());
+    row.set("m", g.num_edges());
+    row.set("hopset_edges", det.edges.size());
+    row.set("work", det.build_cost.work);
+    row.set("depth", det.build_cost.depth);
+    row.set("wall_s", det_secs);
+    row.set("det_stretch", det_probe.max_stretch);
+    row.set("rnd_hopset_edges_avg", rnd_size);
+    row.set("rnd_work_avg", rnd_work);
+    row.set("rnd_stretch_max", rnd_stretch);
+    row.set("rnd_seeds", kSeeds);
+    rows.push_back(row);
   }
   t.print(std::cout);
   std::cout << "\nShape check: det size/work within polylog factors of "
                "randomized; stretch within (1+eps) on both sides, but only "
                "the deterministic side is guaranteed on EVERY run.\n";
-  return 0;
+
+  util::Json payload = util::Json::object();
+  payload.set("rows", rows);
+  return payload;
 }
+
+PARHOP_REGISTER_EXPERIMENT(
+    "e6", "deterministic (ruling sets) vs randomized [EN19] sampling",
+    run_e6);
+
+}  // namespace
+}  // namespace parhop

@@ -4,17 +4,18 @@
 // (1+ε)-approximate distances with and without the hopset.
 #include "baselines/plain_bf.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 
-using namespace parhop;
+namespace parhop {
+namespace {
 
-int main() {
-  bench::print_header(
-      "E7", "hopset+BF vs plain BF: depth crossover by hop diameter");
-
+util::Json run_e7(const bench::RunOptions& opt) {
+  util::Json rows = util::Json::array();
   util::Table t({"family", "n", "plain_depth", "plain_work", "build_depth",
                  "query_depth", "query_work", "q_depth_ratio", "winner"});
   for (const std::string family : {"gnm", "ba", "grid", "path"}) {
-    for (graph::Vertex n : {512u, 2048u}) {
+    for (graph::Vertex n : bench::sweep<graph::Vertex>(opt, {512u, 2048u},
+                                                       {128u, 256u})) {
       graph::Graph g = bench::workload(family, n);
       // Plain BF to exact fixpoint (its depth = hop radius) — this cost
       // recurs on EVERY query.
@@ -27,8 +28,12 @@ int main() {
       p.epsilon = 0.25;
       p.kappa = 3;
       p.rho = 0.45;
+      bench::Timer timer;
       pram::Ctx cb;
       hopset::Hopset H = hopset::build_hopset(cb, g, p);
+      // wall_s meters the build alone, consistently with the other
+      // experiments' rows.
+      double secs = timer.seconds();
       pram::Ctx cq;  // per-query cost, after the one-time build
       auto r = sssp::approx_sssp(cq, g, H.edges, 0, H.schedule.beta);
       double query_depth = static_cast<double>(cq.meter.depth());
@@ -41,6 +46,21 @@ int main() {
                  util::human(query_depth), util::human(query_work),
                  util::format("%.2f", ratio),
                  ratio > 1 ? "hopset" : "plain"});
+      util::Json row = util::Json::object();
+      row.set("family", family);
+      row.set("n", g.num_vertices());
+      row.set("m", g.num_edges());
+      row.set("hopset_edges", H.edges.size());
+      row.set("plain_depth", cp.meter.depth());
+      row.set("plain_work", cp.meter.work());
+      row.set("build_work", H.build_cost.work);
+      row.set("build_depth", H.build_cost.depth);
+      row.set("work", cq.meter.work());    // per-query
+      row.set("depth", cq.meter.depth());  // per-query
+      row.set("query_depth_ratio", ratio);
+      row.set("winner", ratio > 1 ? "hopset" : "plain");
+      row.set("wall_s", secs);
+      rows.push_back(row);
     }
   }
   t.print(std::cout);
@@ -50,5 +70,14 @@ int main() {
                "gnm/ba plain BF is already polylog and wins. The build cost "
                "is one-time and amortizes across queries (Thm 3.8's regime "
                "is many sources on one preprocessed graph).\n";
-  return 0;
+
+  util::Json payload = util::Json::object();
+  payload.set("rows", rows);
+  return payload;
 }
+
+PARHOP_REGISTER_EXPERIMENT(
+    "e7", "hopset+BF vs plain BF: depth crossover by hop diameter", run_e7);
+
+}  // namespace
+}  // namespace parhop

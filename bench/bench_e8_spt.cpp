@@ -4,33 +4,40 @@
 // peeling work.
 #include "common.hpp"
 #include "hopset/path_reporting.hpp"
+#include "registry.hpp"
 #include "sssp/spt.hpp"
 
-using namespace parhop;
+namespace parhop {
+namespace {
 
-int main() {
-  bench::print_header(
-      "E8", "(1+ε)-SPT via peeling (Thm 4.6) + path-reporting overhead");
-
+util::Json run_e8(const bench::RunOptions& opt) {
+  util::Json rows = util::Json::array();
   util::Table t({"family", "n", "|H|", "witness_store", "store/|H|",
                  "replaced", "peel_work", "tree_ok", "max_stretch",
                  "target"});
   for (const std::string family : {"gnm", "grid", "path", "ba"}) {
-    graph::Vertex n = 512;
+    graph::Vertex n = opt.tiny ? 128 : 512;
     graph::Graph g = bench::workload(family, n);
     hopset::Params p;
     p.epsilon = 0.25;
     p.kappa = 3;
     p.rho = 0.45;
+    bench::Timer timer;
     pram::Ctx cb;
     hopset::Hopset H = hopset::build_hopset(cb, g, p, /*track_paths=*/true);
+    // wall_s meters the build alone, consistently with the other
+    // experiments; the SPT peel below is reported via peel_work.
+    double secs = timer.seconds();
 
     std::size_t witness_store = 0;
     for (const auto& e : H.detailed) witness_store += e.witness.steps.size();
 
     pram::Ctx cq;
     auto spt = hopset::build_spt(cq, g, H, 0);
-    double peel_work = static_cast<double>(cq.meter.work());
+    // Snapshot before validate_spt_stretch charges the same meter: the
+    // peel cost must not include harness validation work.
+    std::uint64_t peel_work_metered = cq.meter.work();
+    double peel_work = static_cast<double>(peel_work_metered);
 
     auto check = sssp::validate_spt_stretch(cq, spt.tree, g, p.epsilon);
 
@@ -50,10 +57,35 @@ int main() {
          std::to_string(spt.replaced_edges), util::human(peel_work),
          check.ok ? "yes" : "NO", util::format("%.4f", worst),
          util::format("%.2f", 1 + p.epsilon)});
+    util::Json row = util::Json::object();
+    row.set("family", family);
+    row.set("n", g.num_vertices());
+    row.set("m", g.num_edges());
+    row.set("hopset_edges", H.edges.size());
+    row.set("witness_store", witness_store);
+    row.set("replaced_edges", spt.replaced_edges);
+    row.set("work", H.build_cost.work);
+    row.set("depth", H.build_cost.depth);
+    row.set("peel_work", peel_work_metered);
+    row.set("tree_ok", check.ok);
+    row.set("max_stretch", worst);
+    row.set("stretch_target", 1 + p.epsilon);
+    row.set("wall_s", secs);
+    rows.push_back(row);
   }
   t.print(std::cout);
   std::cout << "\nShape check: tree_ok = yes everywhere (edges ⊆ E, "
                "spanning, acyclic); stretch ≤ target; witness storage a "
                "small multiple of |H| (the σ overhead, eq. 20).\n";
-  return 0;
+
+  util::Json payload = util::Json::object();
+  payload.set("rows", rows);
+  return payload;
 }
+
+PARHOP_REGISTER_EXPERIMENT(
+    "e8", "(1+eps)-SPT via peeling (Thm 4.6) + path-reporting overhead",
+    run_e8);
+
+}  // namespace
+}  // namespace parhop

@@ -6,18 +6,18 @@
 #include "common.hpp"
 #include "hopset/reduced_path_reporting.hpp"
 #include "hopset/scale_reduction.hpp"
+#include "registry.hpp"
 #include "sssp/spt.hpp"
 
-using namespace parhop;
+namespace parhop {
+namespace {
 
-int main() {
-  bench::print_header(
-      "E9", "Λ-independence via the Klein–Sairam reduction (Thm C.2)");
-
+util::Json run_e9(const bench::RunOptions& opt) {
+  util::Json rows = util::Json::array();
   util::Table t({"logW", "basic|H|", "basic_scales", "reduced|H|", "stars",
                  "rel_scales", "basic_stretch", "reduced_stretch"});
-  graph::Vertex n = 256;
-  for (int logw : {4, 12, 20, 28}) {
+  graph::Vertex n = opt.tiny ? 96 : 256;
+  for (int logw : bench::sweep<int>(opt, {4, 12, 20, 28}, {4, 16})) {
     graph::Graph g = bench::workload("gnm", n, /*seed=*/7,
                                      graph::WeightMode::kExponential,
                                      std::exp2(logw));
@@ -27,13 +27,19 @@ int main() {
     p.rho = 0.45;
     auto sources = bench::probe_sources(g.num_vertices());
 
+    // Each wall reading meters its build alone; the stretch probes are
+    // harness verification and stay untimed.
+    bench::Timer basic_timer;
     pram::Ctx cb;
     hopset::Hopset basic = hopset::build_hopset(cb, g, p);
+    double secs = basic_timer.seconds();
     auto basic_probe = bench::probe_stretch(
         g, basic.edges, p.epsilon, 4 * static_cast<int>(n), sources);
 
+    bench::Timer reduced_timer;
     pram::Ctx cr;
     auto reduced = hopset::build_hopset_reduced(cr, g, p);
+    double reduced_secs = reduced_timer.seconds();
     auto reduced_probe = bench::probe_stretch(
         g, reduced.edges, 6 * p.epsilon, 4 * static_cast<int>(n), sources);
 
@@ -44,6 +50,24 @@ int main() {
                std::to_string(reduced.scales.size()),
                util::format("%.4f", basic_probe.max_stretch),
                util::format("%.4f", reduced_probe.max_stretch)});
+    util::Json row = util::Json::object();
+    row.set("log_weight_spread", logw);
+    row.set("n", g.num_vertices());
+    row.set("m", g.num_edges());
+    row.set("hopset_edges", basic.edges.size());
+    row.set("basic_scales", basic.scales.size());
+    row.set("reduced_hopset_edges", reduced.edges.size());
+    row.set("star_edges", reduced.star_edges.size());
+    row.set("reduced_scales", reduced.scales.size());
+    row.set("basic_stretch", basic_probe.max_stretch);
+    row.set("reduced_stretch", reduced_probe.max_stretch);
+    row.set("work", basic.build_cost.work);
+    row.set("depth", basic.build_cost.depth);
+    row.set("reduced_work", reduced.build_cost.work);
+    row.set("reduced_depth", reduced.build_cost.depth);
+    row.set("wall_s", secs);
+    row.set("reduced_wall_s", reduced_secs);
+    rows.push_back(row);
   }
   t.print(std::cout);
   std::cout << "\nShape check: basic scale count grows with logW (= log Λ "
@@ -54,9 +78,10 @@ int main() {
   // Theorem D.2: path reporting under the reduction — the three-step
   // replacement must yield a valid SPT over E at every weight spread.
   bench::print_header("E9b", "(1+6ε)-SPT under the reduction (Thm D.2)");
+  util::Json spt_rows = util::Json::array();
   util::Table t2({"logW", "hopset+stars", "replaced", "tree_ok",
                   "max_stretch", "target"});
-  for (int logw : {8, 16, 24}) {
+  for (int logw : bench::sweep<int>(opt, {8, 16, 24}, {8})) {
     graph::Graph g = bench::workload("gnm", n, /*seed=*/7,
                                      graph::WeightMode::kExponential,
                                      std::exp2(logw));
@@ -64,9 +89,16 @@ int main() {
     p.epsilon = 0.25;
     p.kappa = 3;
     p.rho = 0.45;
+    bench::Timer timer;
     pram::Ctx cx;
     auto R = hopset::build_hopset_reduced_pr(cx, g, p);
     auto spt = hopset::build_spt_reduced(cx, g, R, 0);
+    // wall_s and the metered work/depth cover build + SPT retrieval (the
+    // row's payload); snapshot both before the validation below charges
+    // the same Ctx.
+    double secs = timer.seconds();
+    std::uint64_t payload_work = cx.meter.work();
+    std::uint64_t payload_depth = cx.meter.depth();
     auto check = sssp::validate_spt_stretch(cx, spt.tree, g, 6 * p.epsilon);
     auto exact = sssp::dijkstra_distances(g, 0);
     double worst = 1.0;
@@ -77,7 +109,31 @@ int main() {
                 std::to_string(spt.replaced_edges),
                 check.ok ? "yes" : "NO", util::format("%.4f", worst),
                 util::format("%.2f", 1 + 6 * p.epsilon)});
+    util::Json row = util::Json::object();
+    row.set("log_weight_spread", logw);
+    row.set("n", g.num_vertices());
+    row.set("m", g.num_edges());
+    row.set("hopset_edges", R.base.edges.size());
+    row.set("replaced_edges", spt.replaced_edges);
+    row.set("tree_ok", check.ok);
+    row.set("max_stretch", worst);
+    row.set("stretch_target", 1 + 6 * p.epsilon);
+    row.set("work", payload_work);
+    row.set("depth", payload_depth);
+    row.set("wall_s", secs);
+    spt_rows.push_back(row);
   }
   t2.print(std::cout);
-  return 0;
+
+  util::Json payload = util::Json::object();
+  payload.set("rows", rows);
+  payload.set("spt_rows", spt_rows);
+  return payload;
 }
+
+PARHOP_REGISTER_EXPERIMENT(
+    "e9", "Lambda-independence via the Klein-Sairam reduction (Thm C.2)",
+    run_e9);
+
+}  // namespace
+}  // namespace parhop

@@ -1,88 +1,177 @@
-// Microbenchmarks of the PRAM substrate primitives (google-benchmark).
-// These are the building blocks every metered bound rests on; wall-clock
-// throughput here is the constant factor in front of the work terms.
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the PRAM substrate primitives. These are the building
+// blocks every metered bound rests on; wall-clock throughput here is the
+// constant factor in front of the work terms. Hand-rolled timing loops (no
+// external benchmark dependency): each primitive runs until ~0.2s of wall
+// time has accumulated, and the table reports items/s plus the metered PRAM
+// work and depth of a single invocation.
+#include <utility>
 
-#include "graph/generators.hpp"
-#include "pram/primitives.hpp"
-#include "sssp/bellman_ford.hpp"
+#include "common.hpp"
+#include "registry.hpp"
 #include "util/rng.hpp"
 
-using namespace parhop;
-
+namespace parhop {
 namespace {
 
-void BM_ParallelFor(benchmark::State& state) {
-  pram::Ctx cx;
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  std::vector<std::uint64_t> out(n);
-  for (auto _ : state) {
-    pram::parallel_for(cx, n, [&](std::size_t i) { out[i] = i * 2654435761u; });
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_ParallelFor)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+struct MicroResult {
+  std::size_t iters = 0;
+  double wall_s = 0;
+  std::uint64_t work = 0;   // one invocation
+  std::uint64_t depth = 0;  // one invocation
+};
 
-void BM_ScanExclusive(benchmark::State& state) {
-  pram::Ctx cx;
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  util::Xoshiro256 rng(1);
-  std::vector<std::uint64_t> xs(n), out(n);
-  for (auto& x : xs) x = rng.next_below(16);
-  for (auto _ : state) {
-    pram::scan_exclusive<std::uint64_t>(
-        cx, xs, out, 0, [](auto a, auto b) { return a + b; });
-    benchmark::DoNotOptimize(out.data());
+/// Runs `reset` + `body` repeatedly until the time budget is spent (at
+/// least once); meters the first invocation through a fresh Ctx handed to
+/// the body. Only `body` is inside the timed region — `reset` rebuilds
+/// consumed input (the PauseTiming of the old google-benchmark harness)
+/// and contributes nothing to wall_s.
+template <typename Reset, typename Body>
+MicroResult measure(double budget_s, Reset&& reset, Body&& body) {
+  MicroResult r;
+  {
+    pram::Ctx cx;
+    reset();
+    body(cx);
+    r.work = cx.meter.work();
+    r.depth = cx.meter.depth();
+    r.iters = 1;
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  while (r.wall_s < budget_s) {
+    pram::Ctx cx;
+    reset();
+    bench::Timer timer;
+    body(cx);
+    r.wall_s += timer.seconds();
+    ++r.iters;
+  }
+  return r;
 }
-BENCHMARK(BM_ScanExclusive)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_PackIndices(benchmark::State& state) {
-  pram::Ctx cx;
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    auto out = pram::pack_indices(cx, n, [](std::size_t i) { return i % 3 == 0; });
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+template <typename Body>
+MicroResult measure(double budget_s, Body&& body) {
+  return measure(budget_s, [] {}, std::forward<Body>(body));
 }
-BENCHMARK(BM_PackIndices)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_PointerJump(benchmark::State& state) {
-  pram::Ctx cx;
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  std::vector<std::uint32_t> parent(n);
-  std::vector<double> dist(n, 1.0);
-  for (auto _ : state) {
-    state.PauseTiming();
-    for (std::size_t v = 0; v < n; ++v)
-      parent[v] = v == 0 ? 0 : static_cast<std::uint32_t>(v - 1);
-    dist.assign(n, 1.0);
-    dist[0] = 0;
-    state.ResumeTiming();
-    pram::pointer_jump(cx, parent, dist);
-    benchmark::DoNotOptimize(parent.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_PointerJump)->Arg(1 << 12)->Arg(1 << 16);
+util::Json run_micro(const bench::RunOptions& opt) {
+  const double budget = opt.tiny ? 0.02 : 0.2;
+  util::Json rows = util::Json::array();
+  util::Table t({"primitive", "n", "iters", "items/s", "work", "depth"});
 
-void BM_BellmanFordRound(benchmark::State& state) {
-  pram::Ctx cx;
-  const graph::Vertex n = static_cast<graph::Vertex>(state.range(0));
-  graph::GenOptions o;
-  o.seed = 2;
-  graph::Graph g = graph::gnm(n, 4 * static_cast<std::size_t>(n), o);
-  for (auto _ : state) {
-    auto r = sssp::bellman_ford(cx, g, graph::Vertex(0), 8);
-    benchmark::DoNotOptimize(r.dist.data());
+  auto record = [&](const std::string& primitive, std::size_t n,
+                    std::size_t items_per_iter, const MicroResult& r) {
+    // The metered-first iteration runs outside the timer; throughput uses
+    // the timed iterations only (guard against a zero-duration clock read).
+    double timed_iters = static_cast<double>(r.iters - 1);
+    double rate = r.wall_s > 0 && timed_iters > 0
+                      ? timed_iters * static_cast<double>(items_per_iter) /
+                            r.wall_s
+                      : 0.0;
+    t.add_row({primitive, std::to_string(n), std::to_string(r.iters),
+               util::human(rate), util::human(double(r.work)),
+               util::human(double(r.depth))});
+    util::Json row = util::Json::object();
+    row.set("primitive", primitive);
+    row.set("n", n);
+    row.set("iters", r.iters);
+    row.set("items_per_s", rate);
+    row.set("work", r.work);
+    row.set("depth", r.depth);
+    row.set("wall_s", r.wall_s);
+    rows.push_back(row);
+  };
+
+  auto sizes = bench::sweep<std::size_t>(
+      opt, {std::size_t(1) << 12, std::size_t(1) << 16, std::size_t(1) << 20},
+      {std::size_t(1) << 10, std::size_t(1) << 14});
+
+  for (std::size_t n : sizes) {
+    std::vector<std::uint64_t> out(n);
+    auto r = measure(budget, [&](pram::Ctx& cx) {
+      pram::parallel_for(cx, n,
+                         [&](std::size_t i) { out[i] = i * 2654435761u; });
+    });
+    record("parallel_for", n, n, r);
   }
-  state.SetItemsProcessed(state.iterations() * 8 * 2 * g.num_edges());
+
+  for (std::size_t n : sizes) {
+    util::Xoshiro256 rng(1);
+    std::vector<std::uint64_t> xs(n), out(n);
+    for (auto& x : xs) x = rng.next_below(16);
+    auto r = measure(budget, [&](pram::Ctx& cx) {
+      pram::scan_exclusive<std::uint64_t>(
+          cx, xs, out, 0, [](auto a, auto b) { return a + b; });
+    });
+    record("scan_exclusive", n, n, r);
+  }
+
+  for (std::size_t n : sizes) {
+    auto r = measure(budget, [&](pram::Ctx& cx) {
+      auto packed =
+          pram::pack_indices(cx, n, [](std::size_t i) { return i % 3 == 0; });
+      (void)packed;
+    });
+    record("pack_indices", n, n, r);
+  }
+
+  for (std::size_t n : sizes) {
+    // The unsorted input is restored outside the timed region so the
+    // reported throughput covers pram::sort alone.
+    util::Xoshiro256 rng(7);
+    std::vector<std::uint64_t> base(n);
+    for (auto& x : base) x = rng.next();
+    std::vector<std::uint64_t> xs;
+    auto r = measure(
+        budget, [&] { xs = base; },
+        [&](pram::Ctx& cx) {
+          pram::sort(cx, std::span<std::uint64_t>(xs),
+                     [](auto a, auto b) { return a < b; });
+        });
+    record("sort", n, n, r);
+  }
+
+  for (std::size_t n : bench::sweep<std::size_t>(
+           opt, {std::size_t(1) << 12, std::size_t(1) << 16},
+           {std::size_t(1) << 10})) {
+    // pointer_jump destroys its input, so each iteration rebuilds a fresh
+    // path in the reset step, outside the timed region.
+    std::vector<std::uint32_t> parent(n);
+    std::vector<double> dist(n, 1.0);
+    auto r = measure(
+        budget,
+        [&] {
+          for (std::size_t v = 0; v < n; ++v)
+            parent[v] = v == 0 ? 0 : static_cast<std::uint32_t>(v - 1);
+          dist.assign(n, 1.0);
+          dist[0] = 0;
+        },
+        [&](pram::Ctx& cx) { pram::pointer_jump(cx, parent, dist); });
+    record("pointer_jump", n, n, r);
+  }
+
+  for (std::size_t n : bench::sweep<std::size_t>(
+           opt, {std::size_t(1) << 10, std::size_t(1) << 13},
+           {std::size_t(1) << 9})) {
+    graph::GenOptions o;
+    o.seed = 2;
+    graph::Graph g =
+        graph::gnm(static_cast<graph::Vertex>(n), 4 * n, o);
+    auto r = measure(budget, [&](pram::Ctx& cx) {
+      auto bf = sssp::bellman_ford(cx, g, graph::Vertex(0), 8);
+      (void)bf;
+    });
+    record("bellman_ford_8rounds", n, 8 * 2 * g.num_edges(), r);
+  }
+
+  t.print(std::cout);
+
+  util::Json payload = util::Json::object();
+  payload.set("rows", rows);
+  return payload;
 }
-BENCHMARK(BM_BellmanFordRound)->Arg(1 << 10)->Arg(1 << 13);
+
+PARHOP_REGISTER_EXPERIMENT(
+    "micro", "PRAM primitive throughput (items/s) and per-op work/depth",
+    run_micro);
 
 }  // namespace
-
-BENCHMARK_MAIN();
+}  // namespace parhop

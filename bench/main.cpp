@@ -1,0 +1,127 @@
+// parhop_bench — unified driver for the experiment harness (E1–E10 of
+// DESIGN.md §3 plus the PRAM microbenchmarks). Replaces the former
+// one-binary-per-experiment layout.
+//
+//   parhop_bench --list
+//   parhop_bench --exp e1            # one experiment
+//   parhop_bench --exp e1,e2,e5     # several
+//   parhop_bench --exp all          # everything
+//   parhop_bench --exp e1 --tiny    # smoke-test scale (CI / ctest)
+//   parhop_bench --exp e1 --out DIR # where BENCH_<exp>.json lands (default .)
+//
+// Each experiment prints its fixed-width tables to stdout (unchanged from the
+// legacy binaries) and additionally emits BENCH_<exp>.json with the envelope
+//
+//   { "schema_version": 1, "experiment": "e1", "title": ..., "tiny": bool,
+//     "wall_time_s": <run wall time>, ...experiment payload... }
+//
+// Every experiment payload carries a "rows" array whose entries record the
+// graph size (n, m), hopset size, metered PRAM work/depth, and per-row wall
+// time where applicable, so successive PRs can diff the perf trajectory.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "registry.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using parhop::bench::Experiment;
+using parhop::bench::RunOptions;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ','))
+    if (!tok.empty()) out.push_back(tok);
+  return out;
+}
+
+void print_usage() {
+  std::cout << "usage: parhop_bench --exp <id[,id...]|all> [--tiny] "
+               "[--out DIR]\n       parhop_bench --list\n";
+}
+
+int run_one(const Experiment& exp, const RunOptions& opt,
+            const std::string& out_dir) {
+  std::cout << "\n=== " << exp.name << " — " << exp.title << " ===\n";
+  auto start = std::chrono::steady_clock::now();
+  parhop::util::Json payload = exp.run(opt);
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  parhop::util::Json doc = parhop::util::Json::object();
+  doc.set("schema_version", 1);
+  doc.set("experiment", exp.name);
+  doc.set("title", exp.title);
+  doc.set("tiny", opt.tiny);
+  doc.set("wall_time_s", wall);
+  for (const auto& [k, v] : payload.members()) doc.set(k, v);
+
+  std::string path = out_dir + "/BENCH_" + exp.name + ".json";
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return 1;
+  }
+  f << doc.dump();
+  f.close();
+  if (f.fail()) {  // truncated write (disk full, I/O error) must not exit 0
+    std::cerr << "error: write to " << path << " failed\n";
+    return 1;
+  }
+  std::cout << "[" << exp.name << "] wall " << wall << "s -> " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parhop::util::Flags flags(argc, argv);
+
+  if (flags.get_bool("help", false)) {
+    print_usage();
+    return 0;
+  }
+  if (flags.get_bool("list", false)) {
+    for (const Experiment& e : parhop::bench::experiments())
+      std::cout << e.name << "\t" << e.title << "\n";
+    return 0;
+  }
+
+  std::string which = flags.get("exp", "");
+  if (which.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  RunOptions opt;
+  opt.tiny = flags.get_bool("tiny", false);
+  const std::string out_dir = flags.get("out", ".");
+
+  std::vector<const Experiment*> selected;
+  if (which == "all") {
+    for (const Experiment& e : parhop::bench::experiments())
+      selected.push_back(&e);
+  } else {
+    for (const std::string& name : split_csv(which)) {
+      const Experiment* e = parhop::bench::find_experiment(name);
+      if (!e) {
+        std::cerr << "error: unknown experiment '" << name
+                  << "' (see --list)\n";
+        return 2;
+      }
+      selected.push_back(e);
+    }
+  }
+
+  int rc = 0;
+  for (const Experiment* e : selected) rc |= run_one(*e, opt, out_dir);
+  return rc;
+}

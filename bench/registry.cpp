@@ -1,0 +1,42 @@
+#include "registry.hpp"
+
+#include <algorithm>
+
+namespace parhop::bench {
+
+namespace {
+
+std::vector<Experiment>& mutable_experiments() {
+  static std::vector<Experiment> exps;
+  return exps;
+}
+
+}  // namespace
+
+const std::vector<Experiment>& experiments() { return mutable_experiments(); }
+
+const Experiment* find_experiment(const std::string& name) {
+  for (const Experiment& e : experiments())
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+namespace detail {
+
+Registrar::Registrar(std::string name, std::string title,
+                     util::Json (*run)(const RunOptions&)) {
+  auto& exps = mutable_experiments();
+  exps.push_back({std::move(name), std::move(title), run});
+  std::sort(exps.begin(), exps.end(),
+            [](const Experiment& a, const Experiment& b) {
+              // "e1" < "e2" < ... < "e10" — numeric-aware for the eN ids.
+              auto key = [](const std::string& s) {
+                return std::pair<std::size_t, std::string>(s.size(), s);
+              };
+              return key(a.name) < key(b.name);
+            });
+}
+
+}  // namespace detail
+
+}  // namespace parhop::bench

@@ -1,0 +1,55 @@
+// Experiment registry behind the unified `parhop_bench` driver. Each
+// experiment translation unit registers itself via PARHOP_REGISTER_EXPERIMENT
+// at static-init time; main.cpp looks experiments up by name, runs them, and
+// wraps the returned payload into BENCH_<exp>.json (see main.cpp for the
+// envelope schema). Experiments keep printing their fixed-width tables to
+// stdout — the JSON is an *additional* machine-readable channel so future PRs
+// can track the perf trajectory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace parhop::bench {
+
+/// Options shared by every experiment run.
+struct RunOptions {
+  /// Shrinks sweeps to smoke-test scale (CI and the ctest smoke test).
+  bool tiny = false;
+};
+
+/// Picks the full or the tiny sweep depending on the run options.
+template <typename T>
+std::vector<T> sweep(const RunOptions& opt, std::initializer_list<T> full,
+                     std::initializer_list<T> tiny) {
+  return opt.tiny ? std::vector<T>(tiny) : std::vector<T>(full);
+}
+
+struct Experiment {
+  std::string name;   ///< CLI id, e.g. "e1" or "micro"
+  std::string title;  ///< one-line claim printed in --list and stored in JSON
+  util::Json (*run)(const RunOptions&);  ///< returns the experiment payload
+};
+
+/// All registered experiments, sorted by name.
+const std::vector<Experiment>& experiments();
+
+/// nullptr when no experiment has that name.
+const Experiment* find_experiment(const std::string& name);
+
+namespace detail {
+struct Registrar {
+  Registrar(std::string name, std::string title,
+            util::Json (*run)(const RunOptions&));
+};
+}  // namespace detail
+
+}  // namespace parhop::bench
+
+/// Registers `fn` (a `util::Json(const bench::RunOptions&)` function) under
+/// `name`. Use once per experiment translation unit, at namespace scope.
+#define PARHOP_REGISTER_EXPERIMENT(name, title, fn)                   \
+  static const ::parhop::bench::detail::Registrar parhop_registrar_##fn( \
+      name, title, fn)

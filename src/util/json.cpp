@@ -1,0 +1,373 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace parhop::util {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  throw std::runtime_error(std::string("json: expected ") + want +
+                           ", got type #" +
+                           std::to_string(static_cast<int>(got)));
+}
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_indent(std::ostream& os, int n) {
+  for (int i = 0; i < n; ++i) os << ' ';
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ != Type::kInt) type_error("int", type_);
+  return int_;
+}
+
+double Json::as_double() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  if (type_ != Type::kDouble) type_error("number", type_);
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+const std::vector<Json>& Json::items() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+void Json::push_back(Json v) {
+  if (type_ != Type::kArray) type_error("array", type_);
+  array_.push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  type_error("array or object", type_);
+}
+
+void Json::set(const std::string& key, Json v) {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (auto& [k, old] : object_) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+bool Json::contains(const std::string& key) const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (const auto& [k, v] : object_)
+    if (k == key) return true;
+  return false;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (const auto& [k, v] : object_)
+    if (k == key) return v;
+  throw std::out_of_range("json: missing key \"" + key + "\"");
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+void Json::dump(std::ostream& os, int indent) const {
+  switch (type_) {
+    case Type::kNull: os << "null"; break;
+    case Type::kBool: os << (bool_ ? "true" : "false"); break;
+    case Type::kInt: os << int_; break;
+    case Type::kDouble: {
+      if (!std::isfinite(double_)) {
+        os << "null";  // JSON has no Inf/NaN; null keeps the document valid
+        break;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.10g", double_);
+      os << buf;
+      break;
+    }
+    case Type::kString: write_escaped(os, string_); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        write_indent(os, indent + 2);
+        array_[i].dump(os, indent + 2);
+        os << (i + 1 < array_.size() ? ",\n" : "\n");
+      }
+      write_indent(os, indent);
+      os << ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        write_indent(os, indent + 2);
+        write_escaped(os, object_[i].first);
+        os << ": ";
+        object_[i].second.dump(os, indent + 2);
+        os << (i + 1 < object_.size() ? ",\n" : "\n");
+      }
+      write_indent(os, indent);
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  dump(os, 0);
+  os << '\n';
+  return os.str();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("dangling escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit");
+          }
+          // UTF-8 encode the code point (surrogate pairs unsupported; the
+          // writer never emits them for our ASCII metric names).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected value");
+    std::string tok = s_.substr(start, pos_ - start);
+    // stod/stoll parse a prefix and stop; require the whole token consumed
+    // so "1.2.3" or "1-2" is rejected instead of silently truncated.
+    try {
+      std::size_t used = 0;
+      Json out = is_double
+                     ? Json(std::stod(tok, &used))
+                     : Json(static_cast<std::int64_t>(std::stoll(tok, &used)));
+      if (used != tok.size()) fail("bad number '" + tok + "'");
+      return out;
+    } catch (const std::invalid_argument&) {
+      fail("bad number '" + tok + "'");
+    } catch (const std::out_of_range&) {
+      fail("number out of range '" + tok + "'");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace parhop::util

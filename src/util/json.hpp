@@ -1,0 +1,96 @@
+// Minimal JSON value type with serialization and parsing. Backs the bench
+// driver's machine-readable BENCH_<exp>.json artifacts (and the smoke test
+// that validates them) without pulling in an external dependency.
+//
+// Supported: objects, arrays, strings, doubles, 64-bit integers, booleans,
+// null. Numbers are stored as either int64 or double; integers round-trip
+// exactly. Object key order is insertion order, so emitted files are stable
+// across runs (the perf-trajectory diff is line-oriented).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace parhop::util {
+
+/// A JSON document node. Value-semantic; copies are deep.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  // One templated constructor for every integer type: a fixed overload set
+  // (int/int64/uint64/...) leaves std::size_t ambiguous on platforms where
+  // it aliases none of them (e.g. macOS LP64, size_t == unsigned long while
+  // uint64_t == unsigned long long).
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  Json(T v) : type_(Type::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;  ///< accepts kInt too
+  const std::string& as_string() const;
+
+  /// Array access.
+  const std::vector<Json>& items() const;
+  void push_back(Json v);
+  std::size_t size() const;
+
+  /// Object access. `set` overwrites an existing key in place.
+  void set(const std::string& key, Json v);
+  bool contains(const std::string& key) const;
+  /// Throws std::out_of_range when the key is absent.
+  const Json& at(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Serializes with 2-space indentation and a trailing newline at top level.
+  std::string dump() const;
+  void dump(std::ostream& os, int indent = 0) const;
+
+  /// Parses a complete JSON document; throws std::runtime_error with a
+  /// byte offset on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace parhop::util

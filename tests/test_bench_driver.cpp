@@ -1,0 +1,107 @@
+// Smoke test for the unified bench driver: `parhop_bench --exp e1 --tiny`
+// must exit 0 and emit a BENCH_e1.json that parses and carries the metric
+// keys the perf-trajectory tooling depends on (graph size, hopset size,
+// metered work/depth, wall time). The binary path is injected by CMake via
+// PARHOP_BENCH_BINARY; the test runs it in a scratch directory so parallel
+// ctest invocations cannot collide.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+#ifndef PARHOP_BENCH_BINARY
+#error "PARHOP_BENCH_BINARY must point at the parhop_bench executable"
+#endif
+
+namespace parhop {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BenchDriver : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scratch_ = fs::temp_directory_path() /
+               ("parhop_bench_smoke_" + std::to_string(::getpid()));
+    fs::remove_all(scratch_);
+    fs::create_directories(scratch_);
+  }
+  void TearDown() override { fs::remove_all(scratch_); }
+
+  int run_driver(const std::string& args) {
+    std::string cmd = std::string(PARHOP_BENCH_BINARY) + " " + args +
+                      " --out=" + scratch_.string() + " > " +
+                      (scratch_ / "stdout.txt").string();
+    return std::system(cmd.c_str());
+  }
+
+  util::Json load_json(const std::string& name) {
+    std::ifstream f(scratch_ / name);
+    EXPECT_TRUE(f.good()) << "missing " << name;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return util::Json::parse(ss.str());
+  }
+
+  fs::path scratch_;
+};
+
+TEST_F(BenchDriver, TinyE1EmitsValidJson) {
+  ASSERT_EQ(run_driver("--exp e1 --tiny"), 0);
+  util::Json doc = load_json("BENCH_e1.json");
+
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema_version").as_int(), 1);
+  EXPECT_EQ(doc.at("experiment").as_string(), "e1");
+  EXPECT_TRUE(doc.at("tiny").as_bool());
+  EXPECT_GT(doc.at("wall_time_s").as_double(), 0.0);
+  ASSERT_TRUE(doc.contains("title"));
+
+  const util::Json& rows = doc.at("rows");
+  ASSERT_TRUE(rows.is_array());
+  ASSERT_GT(rows.size(), 0u);
+  for (const util::Json& row : rows.items()) {
+    // The keys every hopset-building experiment row must carry.
+    for (const char* key :
+         {"n", "m", "hopset_edges", "work", "depth", "wall_s"}) {
+      ASSERT_TRUE(row.contains(key)) << "row missing key \"" << key << "\"";
+      EXPECT_TRUE(row.at(key).is_number()) << key;
+    }
+    EXPECT_GT(row.at("n").as_int(), 0);
+    EXPECT_GT(row.at("m").as_int(), 0);
+    EXPECT_GT(row.at("work").as_int(), 0);
+    EXPECT_GT(row.at("depth").as_int(), 0);
+  }
+}
+
+TEST_F(BenchDriver, UnknownExperimentFails) {
+  EXPECT_NE(run_driver("--exp nope 2> /dev/null"), 0);
+}
+
+TEST(JsonParser, RejectsMalformedNumbers) {
+  // stod/stoll accept prefixes; the parser must reject the full token so a
+  // corrupted BENCH file errors instead of silently yielding wrong metrics.
+  EXPECT_THROW(util::Json::parse("{\"x\": 1.2.3}"), std::runtime_error);
+  EXPECT_THROW(util::Json::parse("{\"x\": 1-2}"), std::runtime_error);
+  EXPECT_THROW(util::Json::parse("{\"x\": 12e}"), std::runtime_error);
+  EXPECT_THROW(util::Json::parse("{\"x\": 1} trailing"), std::runtime_error);
+  EXPECT_DOUBLE_EQ(util::Json::parse("{\"x\": -1.5e2}").at("x").as_double(),
+                   -150.0);
+}
+
+TEST_F(BenchDriver, RoundTripThroughParser) {
+  // The writer and parser must agree so future tooling can rewrite files.
+  ASSERT_EQ(run_driver("--exp e1 --tiny"), 0);
+  util::Json doc = load_json("BENCH_e1.json");
+  util::Json again = util::Json::parse(doc.dump());
+  EXPECT_EQ(again.dump(), doc.dump());
+}
+
+}  // namespace
+}  // namespace parhop

@@ -50,8 +50,9 @@ TEST(ParallelSort, StabilityPreserved) {
              [](const Item& a, const Item& b) { return a.key < b.key; });
   for (std::size_t i = 1; i < xs.size(); ++i) {
     ASSERT_LE(xs[i - 1].key, xs[i].key);
-    if (xs[i - 1].key == xs[i].key)
+    if (xs[i - 1].key == xs[i].key) {
       ASSERT_LT(xs[i - 1].payload, xs[i].payload) << "stability broken at " << i;
+    }
   }
 }
 

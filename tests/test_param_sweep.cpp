@@ -22,9 +22,15 @@ struct Grid {
 };
 
 std::string grid_name(const ::testing::TestParamInfo<Grid>& i) {
-  return "k" + std::to_string(i.param.kappa) + "_r" +
-         std::to_string(static_cast<int>(i.param.rho * 100)) + "_e" +
-         std::to_string(static_cast<int>(i.param.eps * 100));
+  // Built with += on a named string: chained operator+ on temporaries trips
+  // GCC 12's -Wrestrict false positive (PR 105329) under -O3 -Werror.
+  std::string name = "k";
+  name += std::to_string(i.param.kappa);
+  name += "_r";
+  name += std::to_string(static_cast<int>(i.param.rho * 100));
+  name += "_e";
+  name += std::to_string(static_cast<int>(i.param.eps * 100));
+  return name;
 }
 
 class ParamSweep : public ::testing::TestWithParam<Grid> {};
@@ -114,7 +120,9 @@ TEST_P(SeedSweep, PropertyAcrossWorkloadSeeds) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u),
                          [](const ::testing::TestParamInfo<std::uint64_t>& i) {
-                           return "s" + std::to_string(i.param);
+                           std::string name = "s";
+                           name += std::to_string(i.param);
+                           return name;
                          });
 
 }  // namespace

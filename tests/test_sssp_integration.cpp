@@ -28,9 +28,11 @@ TEST(SsspIntegration, SingleSourceWithinEpsilon) {
   double stretch = sssp::max_stretch(r.dist, exact);
   EXPECT_LE(stretch, 1 + p.epsilon + 1e-9);
   // Lower bound direction.
-  for (Vertex v = 0; v < g.num_vertices(); ++v)
-    if (exact[v] < graph::kInfWeight)
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (exact[v] < graph::kInfWeight) {
       EXPECT_GE(r.dist[v], exact[v] * (1 - 1e-9));
+    }
+  }
 }
 
 TEST(SsspIntegration, MultiSourceRowsAllWithinEpsilon) {
