@@ -17,12 +17,13 @@ struct Row {
 };
 
 void report(const graph::Graph& g, double eps, const std::string& section,
-            std::vector<Row>& variant_rows, util::Table& t,
-            util::Json& rows) {
+            std::vector<Row>& variant_rows, util::Table& t, util::Json& rows,
+            pram::ThreadPool* pool) {
   auto sources = bench::probe_sources(g.num_vertices());
   for (auto& r : variant_rows) {
     auto probe = bench::probe_stretch(
-        g, r.H.edges, eps, 4 * static_cast<int>(g.num_vertices()), sources);
+        g, r.H.edges, eps, 4 * static_cast<int>(g.num_vertices()), sources,
+        pool);
     t.add_row({r.variant, std::to_string(r.H.edges.size()),
                util::human(double(r.H.build_cost.work)),
                util::human(double(r.H.build_cost.depth)),
@@ -64,16 +65,16 @@ util::Json run_e10(const bench::RunOptions& opt) {
     util::Table t({"variant", "|H|", "work", "depth", "stretch", "hops"});
     std::vector<Row> vr;
     vr.push_back(timed("ruling-set (det)", [&] {
-      pram::Ctx cx;
+      pram::Ctx cx(opt.pool);
       return hopset::build_hopset(cx, g, base);
     }));
     for (int seed : {1, 2}) {
       vr.push_back(timed("sampling seed=" + std::to_string(seed), [&] {
-        pram::Ctx cx;
+        pram::Ctx cx(opt.pool);
         return baselines::build_random_hopset(cx, g, base, seed);
       }));
     }
-    report(g, base.epsilon, "a_seeds", vr, t, rows);
+    report(g, base.epsilon, "a_seeds", vr, t, rows, opt.pool);
     t.print(std::cout);
   }
 
@@ -87,11 +88,11 @@ util::Json run_e10(const bench::RunOptions& opt) {
       p.beta_hint = beta;
       vr.push_back(timed(
           beta == 0 ? "auto (h_ell)" : "beta=" + std::to_string(beta), [&] {
-            pram::Ctx cx;
+            pram::Ctx cx(opt.pool);
             return hopset::build_hopset(cx, g, p);
           }));
     }
-    report(g, base.epsilon, "b_hop_budget", vr, t, rows);
+    report(g, base.epsilon, "b_hop_budget", vr, t, rows, opt.pool);
     t.print(std::cout);
     std::cout << "note: stretch is checked at a generous probe budget; the "
                  "hops column shows what each variant actually needs.\n";
@@ -103,16 +104,16 @@ util::Json run_e10(const bench::RunOptions& opt) {
     util::Table t({"variant", "|H|", "work", "depth", "stretch", "hops"});
     std::vector<Row> vr;
     vr.push_back(timed("tight (witness)", [&] {
-      pram::Ctx cx;
+      pram::Ctx cx(opt.pool);
       return hopset::build_hopset(cx, g, base);
     }));
     hopset::Params paper = base;
     paper.tight_weights = false;
     vr.push_back(timed("paper closed-form", [&] {
-      pram::Ctx cx;
+      pram::Ctx cx(opt.pool);
       return hopset::build_hopset(cx, g, paper);
     }));
-    report(g, base.epsilon, "c_weights", vr, t, rows);
+    report(g, base.epsilon, "c_weights", vr, t, rows, opt.pool);
     t.print(std::cout);
     std::cout << "note: paper-mode weights are valid upper bounds but "
                  "looser; stretch may exceed the tight mode's (the paper "
@@ -125,16 +126,16 @@ util::Json run_e10(const bench::RunOptions& opt) {
     util::Table t({"variant", "|H|", "work", "depth", "stretch", "hops"});
     std::vector<Row> vr;
     vr.push_back(timed("G u H_{<k} (cum)", [&] {
-      pram::Ctx cx;
+      pram::Ctx cx(opt.pool);
       return hopset::build_hopset(cx, g, base);
     }));
     hopset::Params single = base;
     single.cumulative_scales = false;
     vr.push_back(timed("G u H_{k-1}", [&] {
-      pram::Ctx cx;
+      pram::Ctx cx(opt.pool);
       return hopset::build_hopset(cx, g, single);
     }));
-    report(g, base.epsilon, "d_exploration_graph", vr, t, rows);
+    report(g, base.epsilon, "d_exploration_graph", vr, t, rows, opt.pool);
     t.print(std::cout);
   }
 

@@ -1,0 +1,169 @@
+// E11 — thread scaling (Brent's theorem on real cores): T_p ≈ W/p + D.
+//
+// The paper's parallelism claims are stated as metered PRAM work W and depth
+// D; this experiment is the wall-clock counterpart. It sweeps the thread-pool
+// size p over {1, 2, 4, …} up to the run's pool ceiling (always at least 4
+// sizes, oversubscribing past the physical cores when necessary so the sweep
+// is meaningful on small CI machines) and, for every (graph, p) pair, times
+// the hopset build and the SSSP-through-hopset query path on a pool of
+// exactly p threads. Reported per row:
+//   speedup     = T_1 / T_p          (wall, build + query)
+//   efficiency  = speedup / p
+//   brent_s     = T_1 · (W/p + D)/(W + D)   — the cost model's prediction
+// plus the metered W and D themselves (which are pool-size invariant — the
+// experiment asserts the determinism contract by checking the hopset edge
+// count and metered cost are identical across all pool sizes).
+#include <thread>
+
+#include "common.hpp"
+#include "registry.hpp"
+#include "sssp/sssp.hpp"
+
+namespace parhop {
+namespace {
+
+struct TimedRun {
+  double build_s = 0;
+  double query_s = 0;
+  std::size_t hopset_edges = 0;
+  std::uint64_t work = 0;   // build + query, metered
+  std::uint64_t depth = 0;  // build + query, metered
+};
+
+/// One full build + query pass on a pool of exactly `threads` threads.
+/// `reps` repetitions, best (minimum) wall time kept per phase.
+TimedRun run_once(const graph::Graph& g, const hopset::Params& p,
+                  std::size_t threads, int reps) {
+  pram::ThreadPool pool(threads);
+  TimedRun out;
+  out.build_s = out.query_s = -1.0;
+  std::vector<graph::Vertex> sources = bench::probe_sources(g.num_vertices());
+  for (int rep = 0; rep < reps; ++rep) {
+    pram::Ctx build_cx(&pool);
+    bench::Timer build_timer;
+    hopset::Hopset H = hopset::build_hopset(build_cx, g, p);
+    double build_s = build_timer.seconds();
+
+    pram::Ctx query_cx(&pool);
+    bench::Timer query_timer;
+    auto rows = sssp::approx_multi_source(query_cx, g, H.edges, sources,
+                                          H.schedule.beta);
+    double query_s = query_timer.seconds();
+
+    if (out.build_s < 0 || build_s < out.build_s) out.build_s = build_s;
+    if (out.query_s < 0 || query_s < out.query_s) out.query_s = query_s;
+    out.hopset_edges = H.edges.size();
+    out.work = build_cx.meter.work() + query_cx.meter.work();
+    out.depth = build_cx.meter.depth() + query_cx.meter.depth();
+  }
+  return out;
+}
+
+util::Json run_e11(const bench::RunOptions& opt) {
+  // Pool-size sweep: powers of two up to the run's pool size, padded to at
+  // least 4 entries (so speedup/efficiency columns exist even on 1–2 core
+  // machines; oversubscribed rows then measure scheduling overhead, with
+  // efficiency < 1/p documenting exactly that).
+  std::vector<std::size_t> pool_sizes;
+  for (std::size_t p = 1; p < opt.threads; p *= 2) pool_sizes.push_back(p);
+  if (pool_sizes.empty() || pool_sizes.back() < opt.threads)
+    pool_sizes.push_back(opt.threads);
+  while (pool_sizes.size() < 4) pool_sizes.push_back(pool_sizes.back() * 2);
+
+  const int reps = opt.tiny ? 1 : 3;
+  struct Workload {
+    std::string family;
+    graph::Vertex n;
+  };
+  std::vector<Workload> workloads =
+      opt.tiny ? std::vector<Workload>{{"gnm", 192u}, {"grid", 144u}}
+               : std::vector<Workload>{{"gnm", 1024u}, {"grid", 2025u}};
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  std::cout << "hardware_concurrency=" << hw
+            << "  pool ceiling (--threads)=" << opt.threads << "\n";
+  if (pool_sizes.back() > opt.threads)
+    std::cout << "note: e11 pads its sweep to " << pool_sizes.size()
+              << " pool sizes (up to " << pool_sizes.back()
+              << " threads) beyond --threads — the sweep needs multiple "
+                 "sizes to measure scaling; --threads bounds every other "
+                 "experiment but only seeds this sweep's ceiling.\n";
+
+  util::Json rows = util::Json::array();
+  bool identical_across_pools = true;
+  for (const Workload& w : workloads) {
+    graph::Graph g = bench::workload(w.family, w.n);
+    hopset::Params p;
+    p.epsilon = 0.25;
+    p.kappa = 3;
+    p.rho = 0.45;
+
+    util::Table t({"family", "n", "threads", "build_s", "query_s", "total_s",
+                   "speedup", "efficiency", "brent_s", "work", "depth"});
+    double t1 = 0;  // total wall at threads == 1
+    TimedRun ref;
+    for (std::size_t threads : pool_sizes) {
+      TimedRun r = run_once(g, p, threads, reps);
+      double total = r.build_s + r.query_s;
+      if (threads == pool_sizes.front()) {
+        t1 = total;
+        ref = r;
+      } else if (r.hopset_edges != ref.hopset_edges || r.work != ref.work ||
+                 r.depth != ref.depth) {
+        identical_across_pools = false;
+      }
+      double speedup = total > 0 ? t1 / total : 1.0;
+      double efficiency = speedup / static_cast<double>(threads);
+      double wd = static_cast<double>(r.work) + static_cast<double>(r.depth);
+      double brent =
+          wd > 0 ? t1 *
+                       (static_cast<double>(r.work) /
+                            static_cast<double>(threads) +
+                        static_cast<double>(r.depth)) /
+                       wd
+                 : 0.0;
+      t.add_row({w.family, std::to_string(g.num_vertices()),
+                 std::to_string(threads), util::format("%.3f", r.build_s),
+                 util::format("%.3f", r.query_s),
+                 util::format("%.3f", total), util::format("%.2f", speedup),
+                 util::format("%.2f", efficiency),
+                 util::format("%.3f", brent),
+                 util::human(double(r.work)), util::human(double(r.depth))});
+      util::Json row = util::Json::object();
+      row.set("family", w.family);
+      row.set("n", g.num_vertices());
+      row.set("m", g.num_edges());
+      row.set("threads", threads);
+      row.set("hopset_edges", r.hopset_edges);
+      row.set("build_wall_s", r.build_s);
+      row.set("query_wall_s", r.query_s);
+      row.set("wall_s", total);
+      row.set("speedup", speedup);
+      row.set("efficiency", efficiency);
+      row.set("brent_bound_s", brent);
+      row.set("work", r.work);
+      row.set("depth", r.depth);
+      rows.push_back(row);
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Shape check: speedup grows toward the Brent prediction "
+               "W/(W/p + D) while p <= cores, then flattens; work and depth "
+               "are identical in every row of a graph (determinism "
+               "contract).\n";
+
+  util::Json payload = util::Json::object();
+  payload.set("hardware_concurrency", hw);
+  payload.set("reps", reps);
+  payload.set("identical_across_pools", identical_across_pools);
+  payload.set("rows", rows);
+  return payload;
+}
+
+PARHOP_REGISTER_EXPERIMENT(
+    "e11", "thread scaling: wall time vs pool size (Brent: T_p ~ W/p + D)",
+    run_e11);
+
+}  // namespace
+}  // namespace parhop

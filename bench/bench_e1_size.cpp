@@ -25,7 +25,7 @@ util::Json run_e1(const bench::RunOptions& opt) {
         p.kappa = kappa;
         p.rho = std::min(0.45, 1.5 / kappa);
         bench::Timer timer;
-        pram::Ctx cx;
+        pram::Ctx cx(opt.pool);
         hopset::Hopset H = hopset::build_hopset(cx, g, p);
         double secs = timer.seconds();
         auto ar = graph::aspect_ratio(g);

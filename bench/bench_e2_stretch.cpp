@@ -22,12 +22,12 @@ util::Json run_e2(const bench::RunOptions& opt) {
       p.kappa = 3;
       p.rho = 0.45;
       bench::Timer timer;
-      pram::Ctx cx;
+      pram::Ctx cx(opt.pool);
       hopset::Hopset H = hopset::build_hopset(cx, g, p);
       double secs = timer.seconds();
       auto sources = bench::probe_sources(g.num_vertices());
       auto probe = bench::probe_stretch(g, H.edges, eps, H.schedule.beta,
-                                        sources);
+                                        sources, opt.pool);
       int violations =
           (probe.covered && probe.max_stretch <= (1 + eps) * (1 + 1e-12)) ? 0
                                                                           : 1;

@@ -24,7 +24,7 @@ util::Json run_e3(const bench::RunOptions& opt) {
         p.kappa = kappa;
         p.rho = rho;
         bench::Timer timer;
-        pram::Ctx cx;
+        pram::Ctx cx(opt.pool);
         hopset::Hopset H = hopset::build_hopset(cx, g, p);
         // wall_s meters the build alone in every experiment's rows; the
         // stretch probes below are harness verification, not the payload.
@@ -32,9 +32,10 @@ util::Json run_e3(const bench::RunOptions& opt) {
         auto sources = bench::probe_sources(g.num_vertices());
         // Generous budget so the empirical minimum is always found.
         auto probe = bench::probe_stretch(g, H.edges, eps,
-                                          4 * static_cast<int>(n), sources);
+                                          4 * static_cast<int>(n), sources,
+                                          opt.pool);
         // Raw hop radius without the hopset, for contrast.
-        pram::Ctx c2;
+        pram::Ctx c2(opt.pool);
         auto raw = sssp::bellman_ford(c2, g, graph::Vertex(0),
                                       4 * static_cast<int>(n));
         t.add_row({family, std::to_string(g.num_vertices()),

@@ -25,7 +25,7 @@ util::Json run_e4(const bench::RunOptions& opt) {
       p.kappa = 3;
       p.rho = rho;
       bench::Timer timer;
-      pram::Ctx cx;
+      pram::Ctx cx(opt.pool);
       hopset::Hopset H = hopset::build_hopset(cx, g, p);
       double secs = timer.seconds();
       double w = static_cast<double>(H.build_cost.work);

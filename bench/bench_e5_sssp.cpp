@@ -15,7 +15,7 @@ util::Json run_e5(const bench::RunOptions& opt) {
   p.kappa = 3;
   p.rho = 0.45;
   bench::Timer build_timer;
-  pram::Ctx build_cx;
+  pram::Ctx build_cx(opt.pool);
   hopset::Hopset H = hopset::build_hopset(build_cx, g, p);
   double build_secs = build_timer.seconds();
   std::cout << "workload: grid n=" << g.num_vertices()
@@ -42,7 +42,7 @@ util::Json run_e5(const bench::RunOptions& opt) {
       S.push_back(static_cast<graph::Vertex>(
           (i * 2654435761u) % g.num_vertices()));
     bench::Timer timer;
-    pram::Ctx cx;
+    pram::Ctx cx(opt.pool);
     auto query_rows = sssp::approx_multi_source(cx, g, H.edges, S,
                                                 H.schedule.beta);
     double secs = timer.seconds();

@@ -24,22 +24,23 @@ util::Json run_e6(const bench::RunOptions& opt) {
     auto sources = bench::probe_sources(g.num_vertices());
 
     bench::Timer timer;
-    pram::Ctx cd;
+    pram::Ctx cd(opt.pool);
     hopset::Hopset det = hopset::build_hopset(cd, g, p);
     double det_secs = timer.seconds();
     auto det_probe =
         bench::probe_stretch(g, det.edges, p.epsilon,
-                             4 * static_cast<int>(n), sources);
+                             4 * static_cast<int>(n), sources, opt.pool);
 
     double rnd_size = 0, rnd_work = 0, rnd_stretch = 1.0;
     const int kSeeds = opt.tiny ? 2 : 5;
     for (int seed = 1; seed <= kSeeds; ++seed) {
-      pram::Ctx cr;
+      pram::Ctx cr(opt.pool);
       hopset::Hopset rnd = baselines::build_random_hopset(cr, g, p, seed);
       rnd_size += static_cast<double>(rnd.edges.size());
       rnd_work += static_cast<double>(rnd.build_cost.work);
       auto probe = bench::probe_stretch(g, rnd.edges, p.epsilon,
-                                        4 * static_cast<int>(n), sources);
+                                        4 * static_cast<int>(n), sources,
+                                        opt.pool);
       rnd_stretch = std::max(rnd_stretch, probe.max_stretch);
     }
     rnd_size /= kSeeds;

@@ -19,7 +19,7 @@ util::Json run_e7(const bench::RunOptions& opt) {
       graph::Graph g = bench::workload(family, n);
       // Plain BF to exact fixpoint (its depth = hop radius) — this cost
       // recurs on EVERY query.
-      pram::Ctx cp;
+      pram::Ctx cp(opt.pool);
       auto plain = baselines::plain_bellman_ford(cp, g, 0);
       double plain_depth = static_cast<double>(cp.meter.depth());
       double plain_work = static_cast<double>(cp.meter.work());
@@ -29,12 +29,12 @@ util::Json run_e7(const bench::RunOptions& opt) {
       p.kappa = 3;
       p.rho = 0.45;
       bench::Timer timer;
-      pram::Ctx cb;
+      pram::Ctx cb(opt.pool);
       hopset::Hopset H = hopset::build_hopset(cb, g, p);
       // wall_s meters the build alone, consistently with the other
       // experiments' rows.
       double secs = timer.seconds();
-      pram::Ctx cq;  // per-query cost, after the one-time build
+      pram::Ctx cq(opt.pool);  // per-query cost, after the one-time build
       auto r = sssp::approx_sssp(cq, g, H.edges, 0, H.schedule.beta);
       double query_depth = static_cast<double>(cq.meter.depth());
       double query_work = static_cast<double>(cq.meter.work());

@@ -23,7 +23,7 @@ util::Json run_e8(const bench::RunOptions& opt) {
     p.kappa = 3;
     p.rho = 0.45;
     bench::Timer timer;
-    pram::Ctx cb;
+    pram::Ctx cb(opt.pool);
     hopset::Hopset H = hopset::build_hopset(cb, g, p, /*track_paths=*/true);
     // wall_s meters the build alone, consistently with the other
     // experiments; the SPT peel below is reported via peel_work.
@@ -32,7 +32,7 @@ util::Json run_e8(const bench::RunOptions& opt) {
     std::size_t witness_store = 0;
     for (const auto& e : H.detailed) witness_store += e.witness.steps.size();
 
-    pram::Ctx cq;
+    pram::Ctx cq(opt.pool);
     auto spt = hopset::build_spt(cq, g, H, 0);
     // Snapshot before validate_spt_stretch charges the same meter: the
     // peel cost must not include harness validation work.

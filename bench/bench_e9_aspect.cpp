@@ -30,18 +30,20 @@ util::Json run_e9(const bench::RunOptions& opt) {
     // Each wall reading meters its build alone; the stretch probes are
     // harness verification and stay untimed.
     bench::Timer basic_timer;
-    pram::Ctx cb;
+    pram::Ctx cb(opt.pool);
     hopset::Hopset basic = hopset::build_hopset(cb, g, p);
     double secs = basic_timer.seconds();
     auto basic_probe = bench::probe_stretch(
-        g, basic.edges, p.epsilon, 4 * static_cast<int>(n), sources);
+        g, basic.edges, p.epsilon, 4 * static_cast<int>(n), sources,
+        opt.pool);
 
     bench::Timer reduced_timer;
-    pram::Ctx cr;
+    pram::Ctx cr(opt.pool);
     auto reduced = hopset::build_hopset_reduced(cr, g, p);
     double reduced_secs = reduced_timer.seconds();
     auto reduced_probe = bench::probe_stretch(
-        g, reduced.edges, 6 * p.epsilon, 4 * static_cast<int>(n), sources);
+        g, reduced.edges, 6 * p.epsilon, 4 * static_cast<int>(n), sources,
+        opt.pool);
 
     t.add_row({std::to_string(logw), std::to_string(basic.edges.size()),
                std::to_string(basic.scales.size()),
@@ -90,7 +92,7 @@ util::Json run_e9(const bench::RunOptions& opt) {
     p.kappa = 3;
     p.rho = 0.45;
     bench::Timer timer;
-    pram::Ctx cx;
+    pram::Ctx cx(opt.pool);
     auto R = hopset::build_hopset_reduced_pr(cx, g, p);
     auto spt = hopset::build_spt_reduced(cx, g, R, 0);
     // wall_s and the metered work/depth cover build + SPT retrieval (the

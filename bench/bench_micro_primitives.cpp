@@ -26,10 +26,11 @@ struct MicroResult {
 /// consumed input (the PauseTiming of the old google-benchmark harness)
 /// and contributes nothing to wall_s.
 template <typename Reset, typename Body>
-MicroResult measure(double budget_s, Reset&& reset, Body&& body) {
+MicroResult measure(pram::ThreadPool* pool, double budget_s, Reset&& reset,
+                    Body&& body) {
   MicroResult r;
   {
-    pram::Ctx cx;
+    pram::Ctx cx(pool);
     reset();
     body(cx);
     r.work = cx.meter.work();
@@ -37,7 +38,7 @@ MicroResult measure(double budget_s, Reset&& reset, Body&& body) {
     r.iters = 1;
   }
   while (r.wall_s < budget_s) {
-    pram::Ctx cx;
+    pram::Ctx cx(pool);
     reset();
     bench::Timer timer;
     body(cx);
@@ -48,8 +49,8 @@ MicroResult measure(double budget_s, Reset&& reset, Body&& body) {
 }
 
 template <typename Body>
-MicroResult measure(double budget_s, Body&& body) {
-  return measure(budget_s, [] {}, std::forward<Body>(body));
+MicroResult measure(pram::ThreadPool* pool, double budget_s, Body&& body) {
+  return measure(pool, budget_s, [] {}, std::forward<Body>(body));
 }
 
 util::Json run_micro(const bench::RunOptions& opt) {
@@ -86,7 +87,7 @@ util::Json run_micro(const bench::RunOptions& opt) {
 
   for (std::size_t n : sizes) {
     std::vector<std::uint64_t> out(n);
-    auto r = measure(budget, [&](pram::Ctx& cx) {
+    auto r = measure(opt.pool, budget, [&](pram::Ctx& cx) {
       pram::parallel_for(cx, n,
                          [&](std::size_t i) { out[i] = i * 2654435761u; });
     });
@@ -97,7 +98,7 @@ util::Json run_micro(const bench::RunOptions& opt) {
     util::Xoshiro256 rng(1);
     std::vector<std::uint64_t> xs(n), out(n);
     for (auto& x : xs) x = rng.next_below(16);
-    auto r = measure(budget, [&](pram::Ctx& cx) {
+    auto r = measure(opt.pool, budget, [&](pram::Ctx& cx) {
       pram::scan_exclusive<std::uint64_t>(
           cx, xs, out, 0, [](auto a, auto b) { return a + b; });
     });
@@ -105,7 +106,7 @@ util::Json run_micro(const bench::RunOptions& opt) {
   }
 
   for (std::size_t n : sizes) {
-    auto r = measure(budget, [&](pram::Ctx& cx) {
+    auto r = measure(opt.pool, budget, [&](pram::Ctx& cx) {
       auto packed =
           pram::pack_indices(cx, n, [](std::size_t i) { return i % 3 == 0; });
       (void)packed;
@@ -121,7 +122,7 @@ util::Json run_micro(const bench::RunOptions& opt) {
     for (auto& x : base) x = rng.next();
     std::vector<std::uint64_t> xs;
     auto r = measure(
-        budget, [&] { xs = base; },
+        opt.pool, budget, [&] { xs = base; },
         [&](pram::Ctx& cx) {
           pram::sort(cx, std::span<std::uint64_t>(xs),
                      [](auto a, auto b) { return a < b; });
@@ -137,7 +138,7 @@ util::Json run_micro(const bench::RunOptions& opt) {
     std::vector<std::uint32_t> parent(n);
     std::vector<double> dist(n, 1.0);
     auto r = measure(
-        budget,
+        opt.pool, budget,
         [&] {
           for (std::size_t v = 0; v < n; ++v)
             parent[v] = v == 0 ? 0 : static_cast<std::uint32_t>(v - 1);
@@ -155,7 +156,7 @@ util::Json run_micro(const bench::RunOptions& opt) {
     o.seed = 2;
     graph::Graph g =
         graph::gnm(static_cast<graph::Vertex>(n), 4 * n, o);
-    auto r = measure(budget, [&](pram::Ctx& cx) {
+    auto r = measure(opt.pool, budget, [&](pram::Ctx& cx) {
       auto bf = sssp::bellman_ford(cx, g, graph::Vertex(0), 8);
       (void)bf;
     });

@@ -59,11 +59,15 @@ struct StretchProbe {
   bool covered = true;  ///< all reachable pairs reached within the budget
 };
 
+/// `pool` is the caller-owned pool the probe's Bellman–Ford rounds run on
+/// (experiments pass RunOptions::pool — nothing in bench code silently
+/// defaults to ThreadPool::global()).
 inline StretchProbe probe_stretch(const graph::Graph& g,
                                   std::span<const graph::Edge> hopset,
                                   double eps, int budget,
-                                  std::span<const graph::Vertex> sources) {
-  pram::Ctx cx;
+                                  std::span<const graph::Vertex> sources,
+                                  pram::ThreadPool* pool) {
+  pram::Ctx cx(pool);
   graph::Graph gu = sssp::union_graph(g, hopset);
   StretchProbe out;
   int worst_needed = 0;

@@ -1,6 +1,6 @@
 // parhop_bench — unified driver for the experiment harness (E1–E10 of
-// DESIGN.md §3 plus the PRAM microbenchmarks). Replaces the former
-// one-binary-per-experiment layout.
+// DESIGN.md §3, the e11 thread-scaling study, plus the PRAM
+// microbenchmarks). Replaces the former one-binary-per-experiment layout.
 //
 //   parhop_bench --list
 //   parhop_bench --exp e1            # one experiment
@@ -8,6 +8,7 @@
 //   parhop_bench --exp all          # everything
 //   parhop_bench --exp e1 --tiny    # smoke-test scale (CI / ctest)
 //   parhop_bench --exp e1 --out DIR # where BENCH_<exp>.json lands (default .)
+//   parhop_bench --exp e5 --threads 4  # pool size (0 = PARHOP_THREADS/hw)
 //
 // Each experiment prints its fixed-width tables to stdout (unchanged from the
 // legacy binaries) and additionally emits BENCH_<exp>.json with the envelope
@@ -25,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "pram/thread_pool.hpp"
 #include "registry.hpp"
 #include "util/flags.hpp"
 
@@ -44,7 +46,7 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 void print_usage() {
   std::cout << "usage: parhop_bench --exp <id[,id...]|all> [--tiny] "
-               "[--out DIR]\n       parhop_bench --list\n";
+               "[--out DIR] [--threads N]\n       parhop_bench --list\n";
 }
 
 int run_one(const Experiment& exp, const RunOptions& opt,
@@ -61,6 +63,7 @@ int run_one(const Experiment& exp, const RunOptions& opt,
   doc.set("experiment", exp.name);
   doc.set("title", exp.title);
   doc.set("tiny", opt.tiny);
+  doc.set("threads", opt.threads);
   doc.set("wall_time_s", wall);
   for (const auto& [k, v] : payload.members()) doc.set(k, v);
 
@@ -101,8 +104,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Experiments run on an explicit caller-owned pool, never the silent
+  // global default: --threads N, with N == 0 (explicit or omitted) meaning
+  // PARHOP_THREADS, then hardware concurrency.
+  parhop::pram::ThreadPool pool(
+      parhop::pram::ThreadPool::resolve_threads(flags.get_int("threads", 0)));
+
   RunOptions opt;
   opt.tiny = flags.get_bool("tiny", false);
+  opt.pool = &pool;
+  opt.threads = pool.size();
   const std::string out_dir = flags.get("out", ".");
 
   std::vector<const Experiment*> selected;

@@ -7,10 +7,15 @@
 // can track the perf trajectory.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "util/json.hpp"
+
+namespace parhop::pram {
+class ThreadPool;
+}  // namespace parhop::pram
 
 namespace parhop::bench {
 
@@ -18,6 +23,13 @@ namespace parhop::bench {
 struct RunOptions {
   /// Shrinks sweeps to smoke-test scale (CI and the ctest smoke test).
   bool tiny = false;
+  /// Caller-owned pool every experiment runs its Ctx on (set by main from
+  /// --threads; never null there). Experiments must not fall back to
+  /// ThreadPool::global() — parallelism is an explicit input of every run.
+  pram::ThreadPool* pool = nullptr;
+  /// Actual size of `pool` (worker threads + caller), for reporting and for
+  /// e11's sweep ceiling.
+  std::size_t threads = 0;
 };
 
 /// Picks the full or the tiny sweep depending on the run options.

@@ -6,6 +6,7 @@
 // (metered depth is the max over sources, not the sum).
 //
 //   ./example_landmark_distances [--n=1024] [--landmarks=8] [--eps=0.25]
+#include <algorithm>
 #include <iostream>
 
 #include "graph/generators.hpp"
@@ -18,6 +19,10 @@ using namespace parhop;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  // Caller-owned thread pool: --threads=N, default PARHOP_THREADS env /
+  // hardware concurrency. Results are bit-identical for any pool size.
+  pram::ThreadPool pool(
+      pram::ThreadPool::resolve_threads(flags.get_int("threads", 0)));
   const auto n = static_cast<graph::Vertex>(flags.get_int("n", 1024));
   const auto num_landmarks =
       static_cast<std::size_t>(flags.get_int("landmarks", 8));
@@ -30,7 +35,7 @@ int main(int argc, char** argv) {
 
   hopset::Params params;
   params.epsilon = flags.get_double("eps", 0.25);
-  pram::Ctx ctx;
+  pram::Ctx ctx(&pool);
   hopset::Hopset H = hopset::build_hopset(ctx, g, params);
 
   // Spread landmarks deterministically.
@@ -39,7 +44,7 @@ int main(int argc, char** argv) {
     landmarks.push_back(
         static_cast<graph::Vertex>((i * 2654435761u) % g.num_vertices()));
 
-  pram::Ctx query_ctx;
+  pram::Ctx query_ctx(&pool);
   auto rows = sssp::approx_multi_source(query_ctx, g, H.edges, landmarks,
                                         H.schedule.beta);
   std::cout << "aMSSD query depth (max over sources): "

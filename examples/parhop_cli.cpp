@@ -6,6 +6,10 @@
 //   example_parhop_cli query --graph=g.gr --hopset=g.hopset --source=0 [--target=17]
 //   example_parhop_cli spt   --graph=g.gr --source=0 [--eps ...]
 //   example_parhop_cli info  --graph=g.gr
+//
+// Every command accepts --threads=N to size the thread pool the PRAM
+// primitives run on (default: PARHOP_THREADS env, then hardware
+// concurrency). The output is bit-identical for every pool size.
 #include <iostream>
 
 #include "graph/aspect_ratio.hpp"
@@ -21,6 +25,13 @@
 using namespace parhop;
 
 namespace {
+
+/// Pool size from --threads (0 = PARHOP_THREADS env, then hardware
+/// concurrency). Commands own their pool and hand it to every Ctx —
+/// nothing here relies on the silent ThreadPool::global() default.
+std::size_t threads_from(const util::Flags& flags) {
+  return pram::ThreadPool::resolve_threads(flags.get_int("threads", 0));
+}
 
 hopset::Params params_from(const util::Flags& flags) {
   hopset::Params p;
@@ -49,7 +60,8 @@ int cmd_info(const util::Flags& flags) {
 
 int cmd_build(const util::Flags& flags) {
   graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
-  pram::Ctx ctx;
+  pram::ThreadPool pool(threads_from(flags));
+  pram::Ctx ctx(&pool);
   hopset::Hopset H = hopset::build_hopset(
       ctx, g, params_from(flags), flags.get_bool("paths", false));
   std::cout << "built |H|=" << H.edges.size() << " beta=" << H.schedule.beta
@@ -66,7 +78,8 @@ int cmd_build(const util::Flags& flags) {
 int cmd_query(const util::Flags& flags) {
   graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
   hopset::Hopset H;
-  pram::Ctx ctx;
+  pram::ThreadPool pool(threads_from(flags));
+  pram::Ctx ctx(&pool);
   std::string hopset_path = flags.get("hopset", "");
   if (!hopset_path.empty()) {
     H = hopset::read_hopset_file(hopset_path);
@@ -100,7 +113,8 @@ int cmd_query(const util::Flags& flags) {
 
 int cmd_spt(const util::Flags& flags) {
   graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
-  pram::Ctx ctx;
+  pram::ThreadPool pool(threads_from(flags));
+  pram::Ctx ctx(&pool);
   hopset::Params p = params_from(flags);
   hopset::Hopset H = hopset::build_hopset(ctx, g, p, /*track_paths=*/true);
   auto source = static_cast<graph::Vertex>(flags.get_int("source", 0));
@@ -124,7 +138,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   if (flags.positional().empty()) {
     std::cerr << "usage: parhop_cli <info|build|query|spt> --graph=FILE "
-                 "[options]\n";
+                 "[--threads=N] [options]\n";
     return 2;
   }
   const std::string& cmd = flags.positional()[0];

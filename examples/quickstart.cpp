@@ -14,6 +14,10 @@ using namespace parhop;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  // Caller-owned thread pool: --threads=N, default PARHOP_THREADS env /
+  // hardware concurrency. Results are bit-identical for any pool size.
+  pram::ThreadPool pool(
+      pram::ThreadPool::resolve_threads(flags.get_int("threads", 0)));
   const auto n = static_cast<graph::Vertex>(flags.get_int("n", 512));
 
   // 1. A workload graph: G(n, 4n) with uniform weights in [1, 16].
@@ -29,7 +33,7 @@ int main(int argc, char** argv) {
   params.epsilon = flags.get_double("eps", 0.25);
   params.kappa = static_cast<int>(flags.get_int("kappa", 3));
   params.rho = flags.get_double("rho", 0.45);
-  pram::Ctx ctx;  // meters PRAM work/depth as the algorithms run
+  pram::Ctx ctx(&pool);  // meters PRAM work/depth as the algorithms run
   hopset::Hopset H = hopset::build_hopset(ctx, g, params);
   std::cout << "hopset: |H|=" << H.edges.size()
             << " edges, beta=" << H.schedule.beta

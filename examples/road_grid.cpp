@@ -20,6 +20,10 @@ using namespace parhop;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  // Caller-owned thread pool: --threads=N, default PARHOP_THREADS env /
+  // hardware concurrency. Results are bit-identical for any pool size.
+  pram::ThreadPool pool(
+      pram::ThreadPool::resolve_threads(flags.get_int("threads", 0)));
 
   graph::Graph g;
   if (flags.has("input")) {
@@ -39,7 +43,7 @@ int main(int argc, char** argv) {
 
   // Baseline: plain parallel Bellman–Ford. Its PRAM depth is the hop radius
   // — Θ(√n) on a grid.
-  pram::Ctx plain_ctx;
+  pram::Ctx plain_ctx(&pool);
   auto plain = baselines::plain_bellman_ford(plain_ctx, g, source);
   std::cout << "plain BF:    " << plain.rounds << " rounds, depth "
             << plain_ctx.meter.depth() << ", work "
@@ -50,9 +54,9 @@ int main(int argc, char** argv) {
   params.epsilon = flags.get_double("eps", 0.25);
   params.kappa = 3;
   params.rho = 0.45;
-  pram::Ctx build_ctx;
+  pram::Ctx build_ctx(&pool);
   hopset::Hopset H = hopset::build_hopset(build_ctx, g, params);
-  pram::Ctx query_ctx;
+  pram::Ctx query_ctx(&pool);
   auto approx =
       sssp::approx_sssp(query_ctx, g, H.edges, source, H.schedule.beta);
   std::cout << "hopset:      |H|=" << H.edges.size() << ", build depth "

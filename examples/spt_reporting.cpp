@@ -18,6 +18,10 @@ using namespace parhop;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  // Caller-owned thread pool: --threads=N, default PARHOP_THREADS env /
+  // hardware concurrency. Results are bit-identical for any pool size.
+  pram::ThreadPool pool(
+      pram::ThreadPool::resolve_threads(flags.get_int("threads", 0)));
   const auto n = static_cast<graph::Vertex>(flags.get_int("n", 400));
   const auto source =
       static_cast<graph::Vertex>(flags.get_int("source", 0));
@@ -32,7 +36,7 @@ int main(int argc, char** argv) {
   params.epsilon = flags.get_double("eps", 0.25);
   params.kappa = 3;
   params.rho = 0.45;
-  pram::Ctx ctx;
+  pram::Ctx ctx(&pool);
   // track_paths=true stores a witness path per hopset edge (§4.3's memory
   // property) — the storage the peeling process replays.
   hopset::Hopset H = hopset::build_hopset(ctx, g, params,

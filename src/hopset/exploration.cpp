@@ -83,7 +83,6 @@ ExploreResult explore(pram::Ctx& ctx, const Graph& gk1, const Clustering& P,
   }
 
   std::vector<std::vector<Record>> L(n), L_next(n);
-  std::vector<Record> scratch;
 
   std::size_t max_deg = 0;
   for (Vertex v = 0; v < n; ++v) max_deg = std::max(max_deg, gk1.degree(v));
@@ -92,68 +91,89 @@ ExploreResult explore(pram::Ctx& ctx, const Graph& gk1, const Clustering& P,
 
   auto& m = result.cluster_records;
 
+  // Fixed cluster-chunk grain (thread-count independent, so the chunking —
+  // and with it every result — is deterministic at any pool size): small
+  // enough that skewed per-cluster work still balances, large enough that
+  // a chunk amortizes its scratch buffer.
+  constexpr std::size_t kClusterGrain = 8;
+
   for (int pulse = 1; pulse <= opts.pulses; ++pulse) {
     // --- Distribution: members take the first x records of their cluster.
+    // Clusters are disjoint, so each chunk of clusters touches a disjoint
+    // set of member lists L[v] — safe to run in parallel.
     ctx.charge_work(n * x);
     ctx.charge_depth(1);
-    for (std::size_t c = 0; c < P.size(); ++c) {
-      if (m[c].empty()) continue;
-      const std::size_t take = std::min(x, m[c].size());
-      for (Vertex v : P.members[c]) {
-        L[v].clear();
-        for (std::size_t r = 0; r < take; ++r) {
-          Record rec = m[c][r];
-          if (center_mode) rec.dist += opts.teleport_cost[c];
-          if (rec.dist > opts.dist_limit) continue;
-          rec.pulse_base = rec.dist;  // a fresh pulse budget after teleport
-          if (opts.track_paths) {
-            if (rec.path == nullptr) {
-              // Source-origin record: walk starts at the center and exits
-              // through v (center mode) or starts at v itself (boundary).
-              if (center_mode) {
+    ctx.pool->run_chunks(P.size(), kClusterGrain,
+                         [&](std::size_t cb, std::size_t ce) {
+      for (std::size_t c = cb; c < ce; ++c) {
+        if (m[c].empty()) continue;
+        const std::size_t take = std::min(x, m[c].size());
+        for (Vertex v : P.members[c]) {
+          L[v].clear();
+          for (std::size_t r = 0; r < take; ++r) {
+            Record rec = m[c][r];
+            if (center_mode) rec.dist += opts.teleport_cost[c];
+            if (rec.dist > opts.dist_limit) continue;
+            rec.pulse_base = rec.dist;  // a fresh pulse budget after teleport
+            if (opts.track_paths) {
+              if (rec.path == nullptr) {
+                // Source-origin record: walk starts at the center and exits
+                // through v (center mode) or starts at v itself (boundary).
+                if (center_mode) {
+                  rec.path = from_witness(
+                      opts.cmem->to_center[v].reversed(), nullptr);
+                } else {
+                  rec.path = extend(nullptr, v, 0);
+                }
+              } else if (opts.cmem != nullptr) {
+                // Teleport: arrived at y = head, continue y → r_C → v.
+                Vertex y = rec.path->v;
+                rec.path = from_witness(opts.cmem->to_center[y], rec.path);
                 rec.path = from_witness(
-                    opts.cmem->to_center[v].reversed(), nullptr);
-              } else {
-                rec.path = extend(nullptr, v, 0);
+                    opts.cmem->to_center[v].reversed(), rec.path);
               }
-            } else if (opts.cmem != nullptr) {
-              // Teleport: arrived at y = head, continue y → r_C → v.
-              Vertex y = rec.path->v;
-              rec.path = from_witness(opts.cmem->to_center[y], rec.path);
-              rec.path = from_witness(
-                  opts.cmem->to_center[v].reversed(), rec.path);
             }
+            L[v].push_back(std::move(rec));
           }
-          L[v].push_back(std::move(rec));
+          normalize(L[v], x);
         }
-        normalize(L[v], x);
       }
-    }
+    });
 
     // --- Propagation: synchronous relax steps until fixpoint or budget.
     for (int step = 0; step < opts.hop_limit; ++step) {
       std::atomic<bool> changed{false};
       ctx.charge_work((n + 2 * gk1.num_edges()) * x);
       ctx.charge_depth(step_depth);
-      pram::parallel_for(ctx, n, [&](std::size_t vi) {
-        const Vertex v = static_cast<Vertex>(vi);
-        thread_local std::vector<Record> cand;
-        cand.clear();
-        cand.insert(cand.end(), L[v].begin(), L[v].end());
-        for (const Arc& a : gk1.arcs(v)) {
-          for (const Record& rec : L[a.to]) {
-            Weight nd = rec.dist + a.w;
-            if (nd > opts.dist_limit) continue;
-            if (nd - rec.pulse_base > opts.per_pulse_limit) continue;
-            Record moved{rec.src, nd, rec.pulse_base, nullptr};
-            if (opts.track_paths) moved.path = extend(rec.path, v, a.w);
-            cand.push_back(std::move(moved));
+      // The relax round itself: charged exactly as the parallel_for it
+      // replaces (work n, depth 1), but run through run_chunks directly so
+      // the candidate buffer is reused across a chunk's vertices instead of
+      // living in a worker-lifetime thread_local that would pin witness-path
+      // chains long after explore() returns.
+      ctx.charge_work(n);
+      ctx.charge_depth(1);
+      ctx.pool->run_chunks(n, pram::kGrain, [&](std::size_t b,
+                                                std::size_t e) {
+        std::vector<Record> cand;
+        for (std::size_t vi = b; vi < e; ++vi) {
+          const Vertex v = static_cast<Vertex>(vi);
+          cand.clear();
+          cand.insert(cand.end(), L[v].begin(), L[v].end());
+          for (const Arc& a : gk1.arcs(v)) {
+            for (const Record& rec : L[a.to]) {
+              Weight nd = rec.dist + a.w;
+              if (nd > opts.dist_limit) continue;
+              if (nd - rec.pulse_base > opts.per_pulse_limit) continue;
+              Record moved{rec.src, nd, rec.pulse_base, nullptr};
+              if (opts.track_paths) moved.path = extend(rec.path, v, a.w);
+              cand.push_back(std::move(moved));
+            }
           }
+          normalize(cand, x);
+          if (!same_keys(cand, L[v]))
+            changed.store(true, std::memory_order_relaxed);
+          L_next[v] = cand;
         }
-        normalize(cand, x);
-        if (!same_keys(cand, L[v]))
-          changed.store(true, std::memory_order_relaxed);
-        L_next[v] = cand;
       });
       ++result.total_steps;
       L.swap(L_next);
@@ -161,22 +181,31 @@ ExploreResult explore(pram::Ctx& ctx, const Graph& gk1, const Clustering& P,
     }
 
     // --- Aggregation: clusters merge members' lists (all records kept).
-    bool any_cluster_changed = false;
+    // Parallel over disjoint clusters, like the distribution phase.
+    std::atomic<bool> any_cluster_changed{false};
     ctx.charge_work(n * x * (pram::ceil_log2(n * x) + 1));
     ctx.charge_depth(pram::ceil_log2(n * x) + 1);
-    for (std::size_t c = 0; c < P.size(); ++c) {
-      scratch.clear();
-      scratch.insert(scratch.end(), m[c].begin(), m[c].end());
-      for (Vertex v : P.members[c])
-        scratch.insert(scratch.end(), L[v].begin(), L[v].end());
-      normalize(scratch, scratch.size());
-      if (!same_keys(scratch, m[c])) {
-        any_cluster_changed = true;
-        m[c] = scratch;
+    ctx.pool->run_chunks(P.size(), kClusterGrain,
+                         [&](std::size_t cb, std::size_t ce) {
+      // Per-chunk (not thread_local): records can pin witness-path chains,
+      // and a thread_local would keep the last cluster's alive on pool
+      // workers long after explore() returns; the chunk's clusters share
+      // (and amortize) the buffer.
+      std::vector<Record> scratch;
+      for (std::size_t c = cb; c < ce; ++c) {
+        scratch.clear();
+        scratch.insert(scratch.end(), m[c].begin(), m[c].end());
+        for (Vertex v : P.members[c])
+          scratch.insert(scratch.end(), L[v].begin(), L[v].end());
+        normalize(scratch, scratch.size());
+        if (!same_keys(scratch, m[c])) {
+          any_cluster_changed.store(true, std::memory_order_relaxed);
+          m[c] = scratch;
+        }
       }
-    }
+    });
     result.pulses_run = pulse;
-    if (!any_cluster_changed) break;
+    if (!any_cluster_changed.load()) break;
   }
   return result;
 }

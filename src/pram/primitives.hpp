@@ -84,7 +84,7 @@ T reduce(Ctx& ctx, std::span<const T> xs, T init, Op op) {
 template <typename T, typename Less>
 std::size_t min_index(Ctx& ctx, std::span<const T> xs, Less less) {
   const std::size_t n = xs.size();
-  if (n == 0) return 0;
+  if (n == 0) return n;
   ctx.meter.add_work(2 * n);
   ctx.meter.add_depth(2 * ceil_log2(n));
   const std::size_t chunks = (n + kGrain - 1) / kGrain;
@@ -136,40 +136,46 @@ T scan_exclusive(Ctx& ctx, std::span<const T> xs, std::span<T> out, T init,
 }
 
 /// Stable parallel filter: returns indices i in [0, n) with pred(i), in
-/// increasing order. work 3m, depth 2·ceil(log2 m) + 1.
+/// increasing order. work 3m, depth 2·ceil(log2 m) + 1 — the count pass is
+/// charged like a reduce (2m, 2·ceil(log2 m)) plus one scatter round (m, 1).
+/// pred must be pure: it is evaluated twice per index (count and scatter).
 template <typename Pred>
 std::vector<std::uint32_t> pack_indices(Ctx& ctx, std::size_t n, Pred pred) {
-  std::vector<std::uint32_t> flag(n);
-  ctx.meter.add_work(n);
-  ctx.meter.add_depth(1);
+  if (n == 0) return {};
+  ctx.meter.add_work(3 * n);
+  ctx.meter.add_depth(2 * ceil_log2(n) + 1);
+  const std::size_t chunks = (n + kGrain - 1) / kGrain;
+  std::vector<std::uint32_t> chunk_offset(chunks, 0);
   ctx.pool->run_chunks(n, kGrain, [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) flag[i] = pred(i) ? 1u : 0u;
+    std::uint32_t cnt = 0;
+    for (std::size_t i = b; i < e; ++i) cnt += pred(i) ? 1u : 0u;
+    chunk_offset[b / kGrain] = cnt;
   });
-  std::vector<std::uint32_t> pos(n);
-  std::uint32_t total = scan_exclusive<std::uint32_t>(
-      ctx, flag, pos, 0u, [](std::uint32_t a, std::uint32_t b) { return a + b; });
+  std::uint32_t total = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {  // fixed chunk order
+    std::uint32_t cnt = chunk_offset[c];
+    chunk_offset[c] = total;
+    total += cnt;
+  }
   std::vector<std::uint32_t> out(total);
-  ctx.meter.add_work(n);
-  ctx.meter.add_depth(1);
   ctx.pool->run_chunks(n, kGrain, [&](std::size_t b, std::size_t e) {
+    std::uint32_t pos = chunk_offset[b / kGrain];
     for (std::size_t i = b; i < e; ++i)
-      if (flag[i]) out[pos[i]] = static_cast<std::uint32_t>(i);
+      if (pred(i)) out[pos++] = static_cast<std::uint32_t>(i);
   });
   return out;
 }
 
-/// Deterministic parallel sort. The paper invokes the AKS sorting network
-/// [AKS83] for O(log m)-depth, O(m log m)-work sorts; AKS is galactic, so we
-/// run a deterministic parallel merge sort (fixed chunk boundaries, stable
-/// merges — bit-identical output for any pool size) and charge the AKS cost
-/// (see DESIGN.md §1).
-template <typename T, typename Less>
-void sort(Ctx& ctx, std::span<T> xs, Less less) {
-  const std::size_t n = xs.size();
-  if (n <= 1) return;
-  ctx.meter.add_work(n * ceil_log2(n));
-  ctx.meter.add_depth(ceil_log2(n));
+namespace detail {
 
+/// Deterministic parallel stable merge sort over a caller-owned pool: sorted
+/// runs at fixed boundaries, then pairwise stable merge rounds with the run
+/// width doubling each round. Boundaries are thread-count independent, so the
+/// result is bit-identical for any pool size. Cost charging is the caller's
+/// responsibility (sort / sort_with_ranks charge the AKS bound).
+template <typename T, typename Less>
+void parallel_merge_sort(ThreadPool& pool, std::span<T> xs, Less less) {
+  const std::size_t n = xs.size();
   constexpr std::size_t kSortGrain = 1 << 13;
   if (n <= 2 * kSortGrain) {
     std::stable_sort(xs.begin(), xs.end(), less);
@@ -178,7 +184,7 @@ void sort(Ctx& ctx, std::span<T> xs, Less less) {
 
   // Sorted runs at fixed boundaries, in parallel.
   const std::size_t runs = (n + kSortGrain - 1) / kSortGrain;
-  ctx.pool->run_chunks(runs, 1, [&](std::size_t b, std::size_t e) {
+  pool.run_chunks(runs, 1, [&](std::size_t b, std::size_t e) {
     for (std::size_t r = b; r < e; ++r) {
       std::size_t lo = r * kSortGrain;
       std::size_t hi = std::min(lo + kSortGrain, n);
@@ -186,16 +192,14 @@ void sort(Ctx& ctx, std::span<T> xs, Less less) {
     }
   });
 
-  // Pairwise stable merge rounds; distinct merges run concurrently. The
-  // run width doubles each round, so boundaries are thread-count
-  // independent and the result is deterministic.
+  // Pairwise stable merge rounds; distinct merges run concurrently.
   std::vector<T> buf(n);
   std::span<T> src = xs;
   std::span<T> dst(buf);
   bool in_src = true;
   for (std::size_t width = kSortGrain; width < n; width *= 2) {
     const std::size_t pairs = (n + 2 * width - 1) / (2 * width);
-    ctx.pool->run_chunks(pairs, 1, [&](std::size_t b, std::size_t e) {
+    pool.run_chunks(pairs, 1, [&](std::size_t b, std::size_t e) {
       for (std::size_t p = b; p < e; ++p) {
         std::size_t lo = p * 2 * width;
         std::size_t mid = std::min(lo + width, n);
@@ -210,22 +214,55 @@ void sort(Ctx& ctx, std::span<T> xs, Less less) {
   if (!in_src) std::copy(src.begin(), src.end(), xs.begin());
 }
 
+}  // namespace detail
+
+/// Deterministic parallel sort. The paper invokes the AKS sorting network
+/// [AKS83] for O(log m)-depth, O(m log m)-work sorts; AKS is galactic, so we
+/// run a deterministic parallel merge sort (fixed chunk boundaries, stable
+/// merges — bit-identical output for any pool size) and charge the AKS cost
+/// (see DESIGN.md §1).
+template <typename T, typename Less>
+void sort(Ctx& ctx, std::span<T> xs, Less less) {
+  const std::size_t n = xs.size();
+  if (n <= 1) return;
+  ctx.meter.add_work(n * ceil_log2(n));
+  ctx.meter.add_depth(ceil_log2(n));
+  detail::parallel_merge_sort(*ctx.pool, xs, less);
+}
+
 /// Sorts and additionally returns the permutation applied (for rank lookups).
+/// Runs as a rank sort: the parallel merge sort orders an index permutation,
+/// which is then applied with two data-parallel gather/copy rounds. Charged
+/// at the same AKS bound as sort() — in the model the network moves
+/// (key, rank) pairs, so the permutation rides along for free.
 template <typename T, typename Less>
 std::vector<std::uint32_t> sort_with_ranks(Ctx& ctx, std::span<T> xs,
                                            Less less) {
   const std::size_t n = xs.size();
   std::vector<std::uint32_t> order(n);
-  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  if (n == 0) return order;
   ctx.meter.add_work(n * ceil_log2(n));
   ctx.meter.add_depth(ceil_log2(n));
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return less(xs[a], xs[b]);
-                   });
+  ctx.pool->run_chunks(n, kGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      order[i] = static_cast<std::uint32_t>(i);
+  });
+  // Ties broken toward the lower original index: exactly the permutation the
+  // former std::stable_sort produced, but comparator-total so the result is
+  // independent of the sorting algorithm.
+  detail::parallel_merge_sort(*ctx.pool, std::span<std::uint32_t>(order),
+                              [&](std::uint32_t a, std::uint32_t b) {
+                                if (less(xs[a], xs[b])) return true;
+                                if (less(xs[b], xs[a])) return false;
+                                return a < b;
+                              });
   std::vector<T> tmp(n);
-  for (std::size_t i = 0; i < n; ++i) tmp[i] = xs[order[i]];
-  std::copy(tmp.begin(), tmp.end(), xs.begin());
+  ctx.pool->run_chunks(n, kGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) tmp[i] = xs[order[i]];
+  });
+  ctx.pool->run_chunks(n, kGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) xs[i] = tmp[i];
+  });
   return order;
 }
 

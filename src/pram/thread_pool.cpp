@@ -1,6 +1,8 @@
 #include "pram/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 
 namespace parhop::pram {
 
@@ -23,7 +25,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::drain(Job& job, std::condition_variable* done_cv) {
+void ThreadPool::drain(Job& job, std::condition_variable* done_cv,
+                       std::mutex* mu) {
   for (;;) {
     std::size_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (c >= job.total_chunks) break;
@@ -33,6 +36,11 @@ void ThreadPool::drain(Job& job, std::condition_variable* done_cv) {
     if (job.done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             job.total_chunks &&
         done_cv != nullptr) {
+      // Passing through the mutex before notifying closes the lost-wakeup
+      // race: without it, the final increment can land between the waiter's
+      // predicate check and its block, and the notify would hit an empty
+      // wait queue, hanging run_chunks forever.
+      { std::lock_guard<std::mutex> lock(*mu); }
       done_cv->notify_all();
     }
   }
@@ -51,7 +59,7 @@ void ThreadPool::run_chunks(
     job.n = n;
     job.grain = grain;
     job.total_chunks = chunks;
-    drain(job, nullptr);
+    drain(job, nullptr, nullptr);
     return;
   }
 
@@ -66,7 +74,7 @@ void ThreadPool::run_chunks(
     ++epoch_;
   }
   cv_.notify_all();
-  drain(*job, &done_cv_);
+  drain(*job, &done_cv_, &mu_);
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] {
@@ -90,12 +98,24 @@ void ThreadPool::worker_loop() {
       job = current_;
       seen_epoch = epoch_;
     }
-    drain(*job, &done_cv_);
+    drain(*job, &done_cv_, &mu_);
   }
 }
 
+std::size_t ThreadPool::default_threads() {
+  const char* env = std::getenv("PARHOP_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  try {
+    long v = std::stol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  } catch (...) {
+    // Malformed values fall through to the hardware default.
+  }
+  return 0;
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(default_threads());
   return pool;
 }
 

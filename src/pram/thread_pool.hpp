@@ -40,8 +40,25 @@ class ThreadPool {
   void run_chunks(std::size_t n, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& fn);
 
-  /// Process-wide default pool (lazily constructed).
+  /// Process-wide default pool (lazily constructed with default_threads()
+  /// workers). Library code falls back to it only when the caller did not
+  /// pass a pool of its own; bench and example binaries construct a
+  /// caller-owned pool from --threads instead so parallelism is explicit.
   static ThreadPool& global();
+
+  /// Pool size the global pool is built with: the PARHOP_THREADS environment
+  /// variable when set to a positive integer (CI uses PARHOP_THREADS=1 to
+  /// catch code that silently depends on the global pool's concurrency),
+  /// otherwise 0 (= hardware concurrency).
+  static std::size_t default_threads();
+
+  /// Resolves a --threads command-line value: positive means that many
+  /// threads, anything else falls back to default_threads(). The single
+  /// definition of the flag semantics shared by the bench driver and every
+  /// example binary.
+  static std::size_t resolve_threads(long long flag) {
+    return flag > 0 ? static_cast<std::size_t>(flag) : default_threads();
+  }
 
  private:
   void worker_loop();
@@ -58,7 +75,11 @@ class ThreadPool {
     std::size_t total_chunks = 0;
   };
 
-  static void drain(Job& job, std::condition_variable* done_cv);
+  /// `mu` is the pool mutex guarding the done_cv waiter; the finishing
+  /// thread passes through it before notifying (lost-wakeup prevention).
+  /// Both may be null in the workerless fast path.
+  static void drain(Job& job, std::condition_variable* done_cv,
+                    std::mutex* mu);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;

@@ -6,6 +6,7 @@
 #include "graph/generators.hpp"
 #include "hopset/hopset.hpp"
 #include "hopset/path_reporting.hpp"
+#include "sssp/sssp.hpp"
 #include "test_helpers.hpp"
 
 namespace parhop {
@@ -61,6 +62,40 @@ TEST(Determinism, MeteredCostIdenticalAcrossPools) {
   hopset::build_hopset(c3, g, p);
   EXPECT_EQ(c1.meter.work(), c3.meter.work());
   EXPECT_EQ(c1.meter.depth(), c3.meter.depth());
+}
+
+TEST(Determinism, HopsetAndSsspIdenticalAcrossPoolSizes1248) {
+  // The thread pool's determinism contract, now that pool size is caller-
+  // controlled everywhere: the full hopset (edge set AND weights) and the
+  // SSSP-through-hopset distances are bit-identical for pools of 1, 2, 4,
+  // and 8 threads — including pools larger than the physical core count.
+  graph::GenOptions o;
+  o.seed = 38;
+  Graph g = graph::gnm(160, 640, o);
+  hopset::Params p;
+  p.beta_hint = 8;
+
+  pram::ThreadPool ref_pool(1);
+  pram::Ctx ref_cx(&ref_pool);
+  Hopset ref = hopset::build_hopset(ref_cx, g, p);
+  auto ref_sssp = sssp::approx_sssp(ref_cx, g, ref.edges, 0,
+                                    ref.schedule.beta);
+
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    pram::ThreadPool pool(threads);
+    pram::Ctx cx(&pool);
+    Hopset h = hopset::build_hopset(cx, g, p);
+    ASSERT_EQ(h.edges.size(), ref.edges.size()) << "pool " << threads;
+    for (std::size_t i = 0; i < h.edges.size(); ++i) {
+      EXPECT_EQ(h.edges[i].u, ref.edges[i].u) << "pool " << threads;
+      EXPECT_EQ(h.edges[i].v, ref.edges[i].v) << "pool " << threads;
+      // Bit-identical weights, not approximately equal: floating-point
+      // reductions must combine in fixed chunk order at any pool size.
+      EXPECT_EQ(h.edges[i].w, ref.edges[i].w) << "pool " << threads;
+    }
+    auto s = sssp::approx_sssp(cx, g, h.edges, 0, h.schedule.beta);
+    EXPECT_EQ(s.dist, ref_sssp.dist) << "pool " << threads;
+  }
 }
 
 TEST(Determinism, SptIdenticalAcrossRuns) {

@@ -66,6 +66,39 @@ TEST(DimacsIo, Malformed) {
   EXPECT_THROW(graph::read_dimacs(empty), std::runtime_error);
 }
 
+TEST(DimacsIo, ArcCountMismatchRejected) {
+  // The problem line's m must match the number of arc lines exactly; a
+  // truncated or padded file is corrupt, not "close enough".
+  std::stringstream too_few(
+      "p sp 3 4\n"
+      "a 1 2 5\n"
+      "a 2 1 5\n");
+  EXPECT_THROW(graph::read_dimacs(too_few), std::runtime_error);
+  std::stringstream too_many(
+      "p sp 3 1\n"
+      "a 1 2 5\n"
+      "a 2 3 2\n");
+  EXPECT_THROW(graph::read_dimacs(too_many), std::runtime_error);
+  // Zero declared, zero present: fine (an edgeless graph is valid).
+  std::stringstream none("p sp 2 0\n");
+  Graph g = graph::read_dimacs(none);
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DimacsIo, SelfLoopRejected) {
+  std::stringstream ss(
+      "p sp 3 2\n"
+      "a 1 1 5\n"
+      "a 2 3 2\n");
+  try {
+    graph::read_dimacs(ss);
+    FAIL() << "self-loop accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("self-loop"), std::string::npos);
+  }
+}
+
 TEST(DimacsIo, FileRoundTrip) {
   graph::GenOptions o;
   Graph g = graph::grid2d(5, 5, o);

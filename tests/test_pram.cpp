@@ -88,6 +88,18 @@ TEST(MinIndex, FindsFirstMinimum) {
   EXPECT_EQ(idx, 1u);  // ties toward lower index
 }
 
+TEST(MinIndex, EmptyInputReturnsN) {
+  // Documented contract: "Returns n for empty input" — i.e. the one-past-
+  // the-end sentinel, exactly xs.size().
+  auto cx = testing::ctx();
+  std::vector<double> xs;
+  std::size_t idx = pram::min_index<double>(
+      cx, xs, [](double a, double b) { return a < b; });
+  EXPECT_EQ(idx, xs.size());
+  EXPECT_EQ(cx.meter.work(), 0u);  // empty input is free
+  EXPECT_EQ(cx.meter.depth(), 0u);
+}
+
 TEST(ScanExclusive, MatchesSequentialPrefix) {
   auto cx = testing::ctx();
   util::Xoshiro256 rng(3);
@@ -124,6 +136,25 @@ TEST(PackIndices, EmptyAndFull) {
   EXPECT_EQ(pram::pack_indices(cx, 3, [](std::size_t) { return true; }).size(), 3u);
 }
 
+TEST(PackIndices, CostTableCharge) {
+  // The header cost table promises work 3m, depth 2·ceil(log2 m)+1; the
+  // implementation must charge exactly that (it used to double-charge
+  // through a nested scan: 4m / 2·ceil(log2 m)+2).
+  auto cx = testing::ctx();
+  const std::size_t m = 1 << 12;
+  pram::pack_indices(cx, m, [](std::size_t i) { return i % 2 == 0; });
+  EXPECT_EQ(cx.meter.work(), 3 * m);
+  EXPECT_EQ(cx.meter.depth(), 2u * 12 + 1);
+}
+
+TEST(PackIndices, EmptyInputIsFree) {
+  auto cx = testing::ctx();
+  EXPECT_TRUE(pram::pack_indices(cx, 0, [](std::size_t) { return true; })
+                  .empty());
+  EXPECT_EQ(cx.meter.work(), 0u);
+  EXPECT_EQ(cx.meter.depth(), 0u);
+}
+
 TEST(Sort, SortsAndChargesAks) {
   auto cx = testing::ctx();
   util::Xoshiro256 rng(9);
@@ -144,6 +175,41 @@ TEST(SortWithRanks, PermutationIsConsistent) {
                                      [](int a, int b) { return a < b; });
   EXPECT_EQ(xs, (std::vector<int>{10, 20, 30}));
   for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(orig[order[i]], xs[i]);
+}
+
+TEST(SortWithRanks, LargeInputMatchesStableSortAcrossPools) {
+  // sort_with_ranks runs the parallel merge sort over an index permutation;
+  // 40000 elements exceed the sequential cutoff, so the parallel path is
+  // exercised. The result must equal the stable-sort reference (ties keep
+  // ascending original index) bit-identically for every pool size.
+  util::Xoshiro256 rng(21);
+  std::vector<std::uint32_t> base(40000);
+  for (auto& x : base) x = static_cast<std::uint32_t>(rng.next_below(512));
+
+  std::vector<std::uint32_t> ref_order(base.size());
+  std::iota(ref_order.begin(), ref_order.end(), 0u);
+  std::stable_sort(ref_order.begin(), ref_order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return base[a] < base[b];
+                   });
+
+  for (std::size_t threads : {1u, 4u}) {
+    pram::ThreadPool pool(threads);
+    pram::Ctx cx(&pool);
+    std::vector<std::uint32_t> xs = base;
+    auto order = pram::sort_with_ranks(
+        cx, std::span<std::uint32_t>(xs),
+        [](std::uint32_t a, std::uint32_t b) { return a < b; });
+    ASSERT_EQ(order.size(), base.size());
+    EXPECT_EQ(order, ref_order) << "pool size " << threads;
+    EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      ASSERT_EQ(xs[i], base[order[i]]) << "at " << i;
+    // AKS charge, same as sort(): the permutation rides along for free.
+    EXPECT_EQ(cx.meter.work(),
+              base.size() * pram::ceil_log2(base.size()));
+    EXPECT_EQ(cx.meter.depth(), pram::ceil_log2(base.size()));
+  }
 }
 
 TEST(PointerJump, CollapsesChainToRoot) {
