@@ -1,4 +1,4 @@
-// E10 — ablations of the design choices called out in DESIGN.md §4:
+// E10 — ablations of the design choices called out in ARCHITECTURE.md §5:
 //   (a) ruling-set seeds vs Bernoulli sampling (the derandomization pivot),
 //   (b) exploration hop budget β̂ sweep (smallest budget preserving stretch),
 //   (c) tight witness-length edge weights vs the paper's closed forms,

@@ -1,0 +1,134 @@
+// e12 — large-graph workload pipeline: recipe → DIMACS .gr → read-back →
+// hopset build, at the scales where the constructions are meant to pay off.
+//
+// For every workload recipe in the sweep the experiment (1) materializes the
+// graph from workloads::build_recipe, (2) writes it to a DIMACS .gr file and
+// reads it back — so every row also exercises the exact file path
+// example_parhop_cli streams (`gen` then `build`) including the reader's
+// validation — and (3) builds the hopset on the re-read graph, recording
+// build wall time, the process peak-RSS high-water mark, hopset size and the
+// metered PRAM work/depth.
+//
+// The full sweep runs road/geo/gnm at n = 50k and 100k plus gnm-500k (the
+// largest recipe whose hop diameter keeps a single-host run in minutes);
+// road-500k and geo-500k exist in the registry and stream through
+// example_parhop_cli for multi-hour runs. --tiny runs the three 2k recipes.
+// Rows execute smallest-first, so the monotone peak_rss_mb column reads as
+// "high-water mark after this row".
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common.hpp"
+#include "graph/io.hpp"
+#include "registry.hpp"
+#include "workloads/workloads.hpp"
+
+namespace parhop {
+namespace {
+
+/// Process peak RSS in MiB; 0 where the platform offers no getrusage.
+/// (ru_maxrss is KiB on Linux, bytes on macOS.)
+double peak_rss_mb() {
+#if defined(__APPLE__)
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#elif defined(__unix__)
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#else
+  return 0.0;
+#endif
+}
+
+util::Json run_e12(const bench::RunOptions& opt) {
+  const std::vector<std::string> names =
+      opt.tiny ? std::vector<std::string>{"road-2k", "geo-2k", "gnm-2k"}
+               : std::vector<std::string>{"road-50k", "geo-50k", "gnm-50k",
+                                          "road-100k", "geo-100k",
+                                          "gnm-100k", "gnm-500k"};
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "parhop_e12";
+  std::filesystem::create_directories(dir);
+
+  util::Json rows = util::Json::array();
+  util::Table t({"recipe", "n", "m", "gr_MB", "write_s", "read_s",
+                 "build_s", "|H|", "beta", "rss_MB"});
+  for (const std::string& name : names) {
+    const workloads::Recipe* r = workloads::find_recipe(name);
+    if (!r) throw std::runtime_error("e12: unknown recipe " + name);
+
+    bench::Timer gen_timer;
+    graph::Graph g = workloads::build_recipe(*r);
+    const double gen_s = gen_timer.seconds();
+    const graph::Vertex gen_n = g.num_vertices();
+    const std::size_t gen_m = g.num_edges();
+
+    const std::filesystem::path gr = dir / (name + ".gr");
+    bench::Timer write_timer;
+    graph::write_dimacs_file(gr.string(), g);
+    const double write_s = write_timer.seconds();
+    const auto gr_bytes =
+        static_cast<std::uint64_t>(std::filesystem::file_size(gr));
+    g = {};  // the build runs on the re-read copy; don't double the peak RSS
+
+    bench::Timer read_timer;
+    graph::Graph g2 = graph::read_dimacs_file(gr.string());
+    const double read_s = read_timer.seconds();
+    std::filesystem::remove(gr);
+    if (g2.num_vertices() != gen_n || g2.num_edges() != gen_m)
+      throw std::runtime_error("e12: .gr round-trip mismatch for " + name);
+
+    hopset::Params p;  // library defaults: κ=4, ρ=0.25, ε=0.25
+    pram::Ctx cx(opt.pool);
+    bench::Timer build_timer;
+    hopset::Hopset H = hopset::build_hopset(cx, g2, p);
+    const double build_s = build_timer.seconds();
+    const double rss = peak_rss_mb();
+
+    t.add_row({name, std::to_string(g2.num_vertices()),
+               std::to_string(g2.num_edges()),
+               util::format("%.1f", gr_bytes / 1048576.0),
+               util::format("%.2f", write_s), util::format("%.2f", read_s),
+               util::format("%.1f", build_s),
+               std::to_string(H.edges.size()),
+               std::to_string(H.schedule.beta),
+               util::format("%.0f", rss)});
+
+    util::Json row = util::Json::object();
+    row.set("recipe", name);
+    row.set("family", r->family);
+    row.set("seed", r->seed);
+    row.set("n", g2.num_vertices());
+    row.set("m", g2.num_edges());
+    row.set("gr_bytes", gr_bytes);
+    row.set("gen_s", gen_s);
+    row.set("write_s", write_s);
+    row.set("read_s", read_s);
+    row.set("build_wall_s", build_s);
+    row.set("hopset_edges", H.edges.size());
+    row.set("beta", H.schedule.beta);
+    row.set("scales", H.scales.size());
+    row.set("work", H.build_cost.work);
+    row.set("depth", H.build_cost.depth);
+    row.set("peak_rss_mb", rss);
+    rows.push_back(row);
+  }
+  t.print(std::cout);
+
+  util::Json payload = util::Json::object();
+  payload.set("rows", rows);
+  return payload;
+}
+
+PARHOP_REGISTER_EXPERIMENT(
+    "e12", "large-graph workload pipeline: recipe -> .gr -> build", run_e12);
+
+}  // namespace
+}  // namespace parhop

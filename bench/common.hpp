@@ -1,6 +1,7 @@
-// Shared experiment-harness utilities for the bench binaries (experiments
-// E1–E10 of DESIGN.md §3). Every binary prints fixed-width tables via
-// util::Table so EXPERIMENTS.md can record paper-bound vs measured rows.
+// Shared experiment-harness utilities for the bench experiments (e1–e12 of
+// ARCHITECTURE.md §6). Every experiment prints fixed-width tables via
+// util::Table beside its machine-readable BENCH_<exp>.json payload, whose
+// schema is documented in docs/bench-schema.md.
 #pragma once
 
 #include <chrono>
@@ -22,7 +23,7 @@
 namespace parhop::bench {
 
 /// Wall-clock helper (sanity series only; the headline metrics are the
-/// metered PRAM work/depth — see DESIGN.md §1).
+/// metered PRAM work/depth — see ARCHITECTURE.md §2.2).
 class Timer {
  public:
   Timer() : start_(std::chrono::steady_clock::now()) {}

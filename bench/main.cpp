@@ -1,6 +1,7 @@
-// parhop_bench — unified driver for the experiment harness (E1–E10 of
-// DESIGN.md §3, the e11 thread-scaling study, plus the PRAM
-// microbenchmarks). Replaces the former one-binary-per-experiment layout.
+// parhop_bench — unified driver for the experiment harness (e1–e12 of
+// ARCHITECTURE.md §6 plus the PRAM microbenchmarks; per-file JSON schema in
+// docs/bench-schema.md). Replaces the former one-binary-per-experiment
+// layout.
 //
 //   parhop_bench --list
 //   parhop_bench --exp e1            # one experiment

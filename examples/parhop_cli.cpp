@@ -2,10 +2,18 @@
 // graphs. This is the adoption-shaped entry point: preprocess once, persist
 // the hopset, answer distance queries from services or scripts.
 //
+//   example_parhop_cli gen   --recipe=road-100k --out=g.gr [--integral]
+//   example_parhop_cli gen   --list
 //   example_parhop_cli build --graph=g.gr --out=g.hopset [--eps --kappa --rho]
 //   example_parhop_cli query --graph=g.gr --hopset=g.hopset --source=0 [--target=17]
 //   example_parhop_cli spt   --graph=g.gr --source=0 [--eps ...]
 //   example_parhop_cli info  --graph=g.gr
+//
+// `gen` materializes a named large-graph workload recipe (workloads/) as a
+// DIMACS .gr file, so big instances stream through the same build/query
+// pipeline as external road networks:
+//   example_parhop_cli gen --recipe=gnm-500k --out=g.gr
+//   example_parhop_cli build --graph=g.gr --out=g.hopset
 //
 // Every command accepts --threads=N to size the thread pool the PRAM
 // primitives run on (default: PARHOP_THREADS env, then hardware
@@ -14,6 +22,7 @@
 
 #include "graph/aspect_ratio.hpp"
 #include "graph/io.hpp"
+#include "workloads/workloads.hpp"
 #include "hopset/hopset.hpp"
 #include "hopset/path_reporting.hpp"
 #include "hopset/serialize.hpp"
@@ -40,6 +49,26 @@ hopset::Params params_from(const util::Flags& flags) {
   p.rho = flags.get_double("rho", 0.45);
   p.beta_hint = static_cast<int>(flags.get_int("beta", 0));
   return p;
+}
+
+int cmd_gen(const util::Flags& flags) {
+  if (flags.get_bool("list", false)) {
+    for (const workloads::Recipe& r : workloads::recipes())
+      std::cout << r.name << "\t" << r.notes << "\n";
+    return 0;
+  }
+  const std::string name = flags.get("recipe", "");
+  const std::string out = flags.get("out", "");
+  if (name.empty() || out.empty()) {
+    std::cerr << "usage: example_parhop_cli gen --recipe=NAME --out=FILE "
+                 "[--integral] | gen --list\n";
+    return 2;
+  }
+  graph::Graph g = workloads::build_recipe(name);
+  graph::write_dimacs_file(out, g, flags.get_bool("integral", false));
+  std::cout << "wrote " << out << ": n=" << g.num_vertices()
+            << " m=" << g.num_edges() << "\n";
+  return 0;
 }
 
 int cmd_info(const util::Flags& flags) {
@@ -137,12 +166,13 @@ int cmd_spt(const util::Flags& flags) {
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   if (flags.positional().empty()) {
-    std::cerr << "usage: parhop_cli <info|build|query|spt> --graph=FILE "
+    std::cerr << "usage: parhop_cli <gen|info|build|query|spt> --graph=FILE "
                  "[--threads=N] [options]\n";
     return 2;
   }
   const std::string& cmd = flags.positional()[0];
   try {
+    if (cmd == "gen") return cmd_gen(flags);
     if (cmd == "info") return cmd_info(flags);
     if (cmd == "build") return cmd_build(flags);
     if (cmd == "query") return cmd_query(flags);

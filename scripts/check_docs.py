@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Doc-rot gate: intra-repo markdown links and source-comment doc citations.
+
+Two checks, both of which fail the build (exit 1) on any finding:
+
+1. Markdown links. Every relative link target in the repo's markdown files
+   (README.md, ROADMAP.md, ARCHITECTURE.md, CHANGES.md, ISSUE.md, PAPER*.md,
+   docs/*.md, .github/**/*.md) must exist on disk. External links
+   (scheme://, mailto:) and pure in-page anchors (#...) are skipped; an
+   existing file with an anchor suffix is accepted without anchor
+   resolution.
+
+2. Source citations. Comments in C++ sources and build files may cite
+   documents by name ("see ARCHITECTURE.md §5"). Any *.md token mentioned in
+   src/, bench/, examples/, tests/, CMakeLists.txt that does not exist in
+   the repo is doc rot — exactly the failure mode this repo once had with
+   citations of a phantom design document. Section references into
+   ARCHITECTURE.md ("ARCHITECTURE.md §N") must also point at a section
+   heading that exists.
+
+Run from anywhere: paths resolve relative to the repository root (the
+parent of this script's directory).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+MD_GLOBS = ["*.md", "docs/*.md", ".github/**/*.md"]
+SOURCE_GLOBS = [
+    "src/**/*.hpp", "src/**/*.cpp",
+    "bench/**/*.hpp", "bench/**/*.cpp",
+    "examples/**/*.cpp", "tests/**/*.hpp", "tests/**/*.cpp",
+    "CMakeLists.txt", "CMakePresets.json",
+    ".github/workflows/*.yml", "scripts/*.py",
+]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+MD_TOKEN_RE = re.compile(r"\b([A-Za-z0-9_\-./]+\.md)\b")
+ARCH_SECTION_RE = re.compile(r"ARCHITECTURE\.md\s+§(\d+(?:\.\d+)?)")
+
+
+def md_files():
+    out = []
+    for pattern in MD_GLOBS:
+        out.extend(sorted(ROOT.glob(pattern)))
+    return out
+
+
+def source_files():
+    out = []
+    for pattern in SOURCE_GLOBS:
+        out.extend(sorted(ROOT.glob(pattern)))
+    return out
+
+
+def check_markdown_links(errors):
+    for md in md_files():
+        text = md.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for target in LINK_RE.findall(line):
+                if "://" in target or target.startswith(("mailto:", "#")):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (md.parent / path).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{md.relative_to(ROOT)}:{lineno}: broken link "
+                        f"-> {target}"
+                    )
+
+
+def architecture_sections():
+    arch = ROOT / "ARCHITECTURE.md"
+    if not arch.exists():
+        return set()
+    sections = set()
+    for line in arch.read_text(encoding="utf-8").splitlines():
+        m = re.match(r"#+\s*§(\d+(?:\.\d+)?)\b", line)
+        if m:
+            sections.add(m.group(1))
+    # §N implies its parent §N.M headings and vice versa; accept a §N.M
+    # citation when the §N heading exists but subsections are inline.
+    for s in list(sections):
+        sections.add(s.split(".", 1)[0])
+    return sections
+
+
+def check_source_citations(errors):
+    known_md = {
+        str(p.relative_to(ROOT)) for p in md_files()
+    } | {p.name for p in md_files()}
+    sections = architecture_sections()
+    for src in source_files():
+        text = src.read_text(encoding="utf-8")
+        rel = src.relative_to(ROOT)
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for token in MD_TOKEN_RE.findall(line):
+                name = token.lstrip("./")
+                if name in known_md or (ROOT / name).exists():
+                    continue
+                errors.append(
+                    f"{rel}:{lineno}: cites nonexistent document '{token}'"
+                )
+            for sec in ARCH_SECTION_RE.findall(line):
+                if sec not in sections and sec.split(".", 1)[0] not in sections:
+                    errors.append(
+                        f"{rel}:{lineno}: cites ARCHITECTURE.md §{sec}, "
+                        "which has no such heading"
+                    )
+
+
+def main():
+    errors = []
+    check_markdown_links(errors)
+    check_source_citations(errors)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)")
+        for e in errors:
+            print("  " + e)
+        return 1
+    n_md = len(md_files())
+    n_src = len(source_files())
+    print(f"check_docs: OK ({n_md} markdown files, {n_src} sources checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

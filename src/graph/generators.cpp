@@ -95,16 +95,58 @@ Graph geometric(Vertex n, double radius, const GenOptions& opts,
     y[v] = rng.next_double();
   }
   Builder b(n);
+  // Cell-bucketed neighbor search: expected O(n) for the usual
+  // radius ≈ c/√n regimes, where the former all-pairs scan was Θ(n²) and
+  // made the n ≥ 50k workload recipes infeasible. Pairs are visited in the
+  // same canonical (u, then ascending v > u) order as the all-pairs loop,
+  // so non-Euclidean weight draws consume the RNG in the same sequence —
+  // the output graph is identical either way.
+  const double safe_radius = std::max(radius, 1e-12);
+  const std::size_t gw = std::max<std::size_t>(
+      1, std::min<std::size_t>(
+             static_cast<std::size_t>(std::floor(1.0 / safe_radius)),
+             static_cast<std::size_t>(
+                 std::ceil(std::sqrt(static_cast<double>(n) + 1.0)))));
+  auto cell_of = [&](double c) {
+    return std::min(gw - 1, static_cast<std::size_t>(c * gw));
+  };
+  // Counting-sort vertices into cells (CSR layout).
+  std::vector<std::uint32_t> cell_start(gw * gw + 1, 0);
+  std::vector<Vertex> cell_items(n);
+  for (Vertex v = 0; v < n; ++v)
+    ++cell_start[cell_of(x[v]) * gw + cell_of(y[v]) + 1];
+  for (std::size_t c = 1; c < cell_start.size(); ++c)
+    cell_start[c] += cell_start[c - 1];
+  {
+    std::vector<std::uint32_t> fill(cell_start.begin(),
+                                    cell_start.end() - 1);
+    for (Vertex v = 0; v < n; ++v)
+      cell_items[fill[cell_of(x[v]) * gw + cell_of(y[v])]++] = v;
+  }
+  std::vector<std::pair<Vertex, double>> nbrs;
   for (Vertex u = 0; u < n; ++u) {
-    for (Vertex v = u + 1; v < n; ++v) {
-      double dx = x[u] - x[v], dy = y[u] - y[v];
-      double d = std::sqrt(dx * dx + dy * dy);
-      if (d <= radius) {
-        Weight w = euclidean_weights
-                       ? 1.0 + (d / radius) * (opts.max_weight - 1.0)
-                       : draw_weight(rng, opts);
-        b.add_edge(u, v, w);
+    nbrs.clear();
+    const std::size_t cx = cell_of(x[u]), cy = cell_of(y[u]);
+    for (std::size_t ax = cx == 0 ? 0 : cx - 1;
+         ax <= std::min(gw - 1, cx + 1); ++ax) {
+      for (std::size_t ay = cy == 0 ? 0 : cy - 1;
+           ay <= std::min(gw - 1, cy + 1); ++ay) {
+        const std::size_t c = ax * gw + ay;
+        for (std::uint32_t i = cell_start[c]; i < cell_start[c + 1]; ++i) {
+          const Vertex v = cell_items[i];
+          if (v <= u) continue;
+          double dx = x[u] - x[v], dy = y[u] - y[v];
+          double d = std::sqrt(dx * dx + dy * dy);
+          if (d <= radius) nbrs.emplace_back(v, d);
+        }
       }
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    for (const auto& [v, d] : nbrs) {
+      Weight w = euclidean_weights
+                     ? 1.0 + (d / radius) * (opts.max_weight - 1.0)
+                     : draw_weight(rng, opts);
+      b.add_edge(u, v, w);
     }
   }
   if (opts.ensure_connected) add_connecting_tree(b, n, rng, opts);

@@ -1,10 +1,12 @@
 // Deterministic (seeded) workload generators.
 //
 // These provide the graph families used throughout the tests and the
-// experiment harness (DESIGN.md §3): Erdős–Rényi G(n,m), 2-D grids and tori
-// (road-network proxies with Θ(√n) hop diameter), random geometric graphs,
-// Barabási–Albert preferential attachment (power-law proxies), and the
-// elementary families (path, cycle, star, complete) used for edge cases.
+// experiment harness (ARCHITECTURE.md §6): Erdős–Rényi G(n,m), 2-D grids and
+// tori (road-network proxies with Θ(√n) hop diameter), random geometric
+// graphs (cell-bucketed, expected O(n) construction), Barabási–Albert
+// preferential attachment (power-law proxies), and the elementary families
+// (path, cycle, star, complete) used for edge cases. The workloads/ layer
+// wraps these into the named large-graph recipes.
 // All weights are strictly positive; weight modes cover unit, uniform and
 // exponentially-spread ("high aspect ratio") regimes.
 #pragma once

@@ -21,7 +21,8 @@ Graph read_dimacs(std::istream& in);
 Graph read_dimacs_file(const std::string& path);
 
 /// Writes DIMACS .gr (weights rounded to nearest integer ≥ 1 when `integral`,
-/// otherwise printed with full precision as an extension).
+/// otherwise printed in shortest round-trip form as an extension — re-reading
+/// yields bit-identical weights).
 void write_dimacs(std::ostream& out, const Graph& g, bool integral = false);
 
 void write_dimacs_file(const std::string& path, const Graph& g,

@@ -5,7 +5,7 @@
 // radius[c] is the *measured* upper bound R̂(C) on d_{G_{k-1}}(r_C, v) over
 // members v — the implementation's tight counterpart of the closed-form R_i
 // bound of Lemma 2.2 (every update follows a real witness walk, so
-// R̂(C) ≤ R_i always; see DESIGN.md §1 on tight weights).
+// R̂(C) ≤ R_i always; see ARCHITECTURE.md §5 on tight weights).
 #pragma once
 
 #include <cstdint>

@@ -6,38 +6,191 @@
 
 namespace parhop::hopset {
 
-namespace {
+namespace detail {
 
+namespace {
 using graph::Arc;
 using graph::Graph;
+}  // namespace
 
-/// Algorithm 3: sort by source (ties by distance), drop duplicate sources
-/// keeping the closest, re-sort by (distance, source), truncate to x.
-void normalize(std::vector<Record>& recs, std::size_t x) {
-  std::stable_sort(recs.begin(), recs.end(),
-                   [](const Record& a, const Record& b) {
-                     if (a.src != b.src) return a.src < b.src;
-                     return a.dist < b.dist;
-                   });
-  recs.erase(std::unique(recs.begin(), recs.end(),
-                         [](const Record& a, const Record& b) {
-                           return a.src == b.src;
-                         }),
-             recs.end());
-  std::stable_sort(recs.begin(), recs.end(),
-                   [](const Record& a, const Record& b) {
-                     if (a.dist != b.dist) return a.dist < b.dist;
-                     return a.src < b.src;
-                   });
-  if (recs.size() > x) recs.resize(x);
+/// POD record held in the default-mode arenas. Same fields as the public
+/// Record minus the witness-path pointer, so steady-state pulses of a
+/// non-path build move plain bytes and never touch the allocator.
+struct PlainRec {
+  std::uint32_t src = kNoCluster;
+  Weight dist = 0;
+  Weight pulse_base = 0;
+};
+
+template <typename Rec>
+inline constexpr bool kTracksPaths = std::is_same_v<Rec, Record>;
+
+/// One sorted input run of a normalize merge: records ordered by (dist, src)
+/// with distinct sources, read with `add` added to every distance (the arc
+/// weight into the relaxing vertex; 0 for unmodified runs).
+template <typename Rec>
+struct MergeRun {
+  const Rec* p = nullptr;
+  const Rec* end = nullptr;
+  Weight add = 0;
+};
+
+struct HeapEntry {
+  Weight dist;
+  std::uint32_t src;
+  std::uint32_t run;
+};
+
+/// Min-heap ordering on (dist, src, run): the run index is the insertion
+/// order of the former concatenate-and-sort normalize, so ties resolve to
+/// exactly the record it kept.
+inline bool heap_after(const HeapEntry& a, const HeapEntry& b) {
+  if (a.dist != b.dist) return a.dist > b.dist;
+  if (a.src != b.src) return a.src > b.src;
+  return a.run > b.run;
 }
 
-/// (src, dist) key equality — the state that drives fixpoints.
-bool same_keys(const std::vector<Record>& a, const std::vector<Record>& b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i)
-    if (a[i].src != b[i].src || a[i].dist != b[i].dist) return false;
-  return true;
+/// Per-chunk merge scratch (chunk index = begin / grain, so concurrent
+/// chunks never share and every buffer is reused across steps, pulses and
+/// explore() calls): the run table, the merge heap, an epoch-stamped
+/// open-addressing set of already-emitted sources, and the aggregation
+/// output staging.
+template <typename Rec>
+struct ChunkScratch {
+  std::vector<MergeRun<Rec>> runs;
+  std::vector<HeapEntry> heap;
+  std::vector<Rec> gathered;
+  std::vector<std::uint32_t> set_key;
+  std::vector<std::uint64_t> set_stamp;
+  std::uint64_t epoch = 0;
+
+  /// Ensures the set can hold `want` keys under 0.5 load.
+  void set_reserve(std::size_t want) {
+    std::size_t cap = 8;
+    while (cap < 2 * want) cap <<= 1;
+    if (set_key.size() < cap) {
+      set_key.assign(cap, 0);
+      set_stamp.assign(cap, 0);
+    }
+  }
+
+  /// Inserts key; false if already present this epoch.
+  bool set_insert(std::uint32_t key) {
+    const std::size_t mask = set_key.size() - 1;
+    std::size_t h = (key * 2654435761u) & mask;
+    while (set_stamp[h] == epoch) {
+      if (set_key[h] == key) return false;
+      h = (h + 1) & mask;
+    }
+    set_stamp[h] = epoch;
+    set_key[h] = key;
+    return true;
+  }
+};
+
+/// Flat double-buffered record arenas plus the per-chunk scratch, for one
+/// record representation. Slot capacity is uniform (cap per vertex), offsets
+/// are CSR-style v·cap; len[v] is the live record count of v's row. Rows
+/// hold Algorithm 3-normalized lists: sorted by (dist, src), sources
+/// distinct — the invariant the merge-based normalize relies on.
+template <typename Rec>
+struct ArenaSet {
+  std::vector<Rec> slots[2];
+  std::vector<std::uint32_t> len[2];
+  /// dirty[b][v] — v's row in buffer b differs from its row one step
+  /// earlier. A vertex with a clean (closed) neighborhood recomputes to its
+  /// own current row, so propagation skips it and copies the row across —
+  /// frontier-sized work per step instead of n-sized, identical results.
+  std::vector<std::uint8_t> dirty[2];
+  std::size_t cap = 0;
+  std::vector<ChunkScratch<Rec>> chunks;
+
+  void prepare(std::size_t n, std::size_t new_cap, std::size_t num_chunks) {
+    cap = new_cap;
+    for (int b = 0; b < 2; ++b) {
+      if constexpr (kTracksPaths<Rec>) {
+        // Reassign rather than resize: stale slots may pin witness-path
+        // chains from a previous call.
+        slots[b].assign(n * cap, Rec{});
+      } else {
+        slots[b].resize(n * cap);
+      }
+      len[b].assign(n, 0);
+      dirty[b].assign(n, 0);
+    }
+    if (chunks.size() < num_chunks) chunks.resize(num_chunks);
+  }
+
+  void release() {
+    for (int b = 0; b < 2; ++b) {
+      slots[b] = {};
+      len[b] = {};
+      dirty[b] = {};
+    }
+    chunks = {};
+    cap = 0;
+  }
+
+  Rec* row(int buf, graph::Vertex v) { return slots[buf].data() + v * cap; }
+};
+
+/// Both instantiations; explore() picks one per call, so a workspace can be
+/// shared between path-tracking and plain explorations.
+struct ExploreBuffers {
+  ArenaSet<PlainRec> plain;
+  ArenaSet<Record> paths;
+};
+
+namespace {
+
+/// Algorithm 3 as a k-way merge. Every input run is sorted by (dist, src)
+/// with distinct sources, so per-source minima surface in global (dist, src)
+/// order and the first max_out of them are exactly the former
+/// sort → dedup → sort → truncate normalize of the concatenated runs. Emits
+/// through emit(rec, transformed_dist, run_index) and stops early once
+/// max_out records are out — for x = 1 explorations (ruling set, supercluster
+/// BFS) that is a single pop. The distance/pulse filters are applied during
+/// the merge; a run is abandoned at its first over-limit distance (runs
+/// ascend in dist, so the rest of the run is over the limit too).
+template <typename Rec, typename Emit>
+std::size_t merge_runs(ChunkScratch<Rec>& ck, const ExploreOptions& opts,
+                       std::size_t max_out, Emit&& emit) {
+  auto& runs = ck.runs;
+  auto& heap = ck.heap;
+  heap.clear();
+  ++ck.epoch;
+  auto advance = [&](std::uint32_t ri) {
+    MergeRun<Rec>& r = runs[ri];
+    while (r.p != r.end) {
+      const Weight nd = r.p->dist + r.add;
+      if (nd > opts.dist_limit) {
+        r.p = r.end;
+        break;
+      }
+      if (nd - r.p->pulse_base > opts.per_pulse_limit) {
+        ++r.p;
+        continue;
+      }
+      heap.push_back({nd, r.p->src, ri});
+      std::push_heap(heap.begin(), heap.end(), heap_after);
+      break;
+    }
+  };
+  for (std::uint32_t ri = 0; ri < runs.size(); ++ri) advance(ri);
+  std::size_t out = 0;
+  while (out < max_out && !heap.empty()) {
+    const HeapEntry top = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), heap_after);
+    heap.pop_back();
+    const Rec* rec = runs[top.run].p;
+    ++runs[top.run].p;
+    advance(top.run);
+    if (ck.set_insert(top.src)) {
+      emit(*rec, top.dist, top.run);
+      ++out;
+    }
+  }
+  return out;
 }
 
 PathPtr extend(const PathPtr& p, Vertex v, Weight w) {
@@ -55,67 +208,74 @@ PathPtr from_witness(const WitnessPath& wp, PathPtr base) {
   return cur;
 }
 
-}  // namespace
+// Fixed cluster-chunk grain (thread-count independent, so the chunking —
+// and with it every result — is deterministic at any pool size): small
+// enough that skewed per-cluster work still balances, large enough that
+// a chunk amortizes its scratch buffer.
+constexpr std::size_t kClusterGrain = 8;
 
-WitnessPath materialize(const PathPtr& p) {
-  WitnessPath out;
-  for (const PathLink* l = p.get(); l != nullptr; l = l->prev.get())
-    out.steps.push_back({l->v, l->w});
-  std::reverse(out.steps.begin(), out.steps.end());
-  if (!out.steps.empty()) out.steps.front().w = 0;
-  return out;
-}
-
-ExploreResult explore(pram::Ctx& ctx, const Graph& gk1, const Clustering& P,
-                      std::span<const std::uint32_t> sources,
-                      const ExploreOptions& opts) {
+template <typename Rec>
+void explore_impl(pram::Ctx& ctx, const Graph& gk1, const Clustering& P,
+                  std::span<const std::uint32_t> sources,
+                  const ExploreOptions& opts, ArenaSet<Rec>& ar,
+                  ExploreResult& result) {
   const Vertex n = gk1.num_vertices();
   const std::size_t x = std::max<std::uint32_t>(1, opts.max_records);
   const bool center_mode = !opts.teleport_cost.empty();
   assert(!center_mode || opts.teleport_cost.size() == P.size());
   assert(!(opts.track_paths && center_mode) || opts.cmem != nullptr);
 
-  ExploreResult result;
-  result.cluster_records.assign(P.size(), {});
+  // Cluster record lists (normalized: sorted by (dist, src), sources
+  // distinct). A vertex row holds at most one record per distinct source and
+  // sources are cluster indices, so min(x, |P|) slots per vertex always
+  // suffice.
+  std::vector<std::vector<Rec>> m(P.size());
   for (std::uint32_t c : sources) {
     assert(c < P.size());
-    result.cluster_records[c].push_back({c, 0, 0, nullptr});
+    if (!m[c].empty()) continue;  // duplicate source ids seed one record,
+                                  // as the old normalize's dedup ensured
+    if constexpr (kTracksPaths<Rec>) {
+      m[c].push_back({c, 0, 0, nullptr});
+    } else {
+      m[c].push_back({c, 0, 0});
+    }
   }
 
-  std::vector<std::vector<Record>> L(n), L_next(n);
+  const std::size_t cap = std::min<std::size_t>(x, P.size());
+  const std::size_t vertex_chunks = (n + pram::kGrain - 1) / pram::kGrain;
+  const std::size_t cluster_chunks =
+      (P.size() + kClusterGrain - 1) / kClusterGrain;
+  ar.prepare(n, cap, std::max(vertex_chunks, cluster_chunks));
+  int cur = 0;  // arena buffer propagation reads; 1 - cur is written
 
   std::size_t max_deg = 0;
   for (Vertex v = 0; v < n; ++v) max_deg = std::max(max_deg, gk1.degree(v));
-  const std::uint64_t step_depth =
-      pram::ceil_log2((max_deg + 1) * x) + 1;
-
-  auto& m = result.cluster_records;
-
-  // Fixed cluster-chunk grain (thread-count independent, so the chunking —
-  // and with it every result — is deterministic at any pool size): small
-  // enough that skewed per-cluster work still balances, large enough that
-  // a chunk amortizes its scratch buffer.
-  constexpr std::size_t kClusterGrain = 8;
+  const std::uint64_t step_depth = pram::ceil_log2((max_deg + 1) * x) + 1;
 
   for (int pulse = 1; pulse <= opts.pulses; ++pulse) {
     // --- Distribution: members take the first x records of their cluster.
-    // Clusters are disjoint, so each chunk of clusters touches a disjoint
-    // set of member lists L[v] — safe to run in parallel.
+    // m[c] is normalized and the teleport shift is uniform, so the
+    // transformed prefix is already normalized — it is staged, compared
+    // against the member's current row, and written (marking the row dirty
+    // to seed the propagation frontier) only when the (src, dist) keys
+    // actually changed. Clusters are disjoint, so each chunk of clusters
+    // touches a disjoint set of member rows — safe to run in parallel.
     ctx.charge_work(n * x);
     ctx.charge_depth(1);
     ctx.pool->run_chunks(P.size(), kClusterGrain,
                          [&](std::size_t cb, std::size_t ce) {
+      ChunkScratch<Rec>& ck = ar.chunks[cb / kClusterGrain];
       for (std::size_t c = cb; c < ce; ++c) {
         if (m[c].empty()) continue;
         const std::size_t take = std::min(x, m[c].size());
         for (Vertex v : P.members[c]) {
-          L[v].clear();
+          ck.gathered.clear();
           for (std::size_t r = 0; r < take; ++r) {
-            Record rec = m[c][r];
+            Rec rec = m[c][r];
             if (center_mode) rec.dist += opts.teleport_cost[c];
             if (rec.dist > opts.dist_limit) continue;
-            rec.pulse_base = rec.dist;  // a fresh pulse budget after teleport
-            if (opts.track_paths) {
+            rec.pulse_base = rec.dist;  // fresh pulse budget after teleport
+            if constexpr (kTracksPaths<Rec>) {
               if (rec.path == nullptr) {
                 // Source-origin record: walk starts at the center and exits
                 // through v (center mode) or starts at v itself (boundary).
@@ -133,9 +293,28 @@ ExploreResult explore(pram::Ctx& ctx, const Graph& gk1, const Clustering& P,
                     opts.cmem->to_center[v].reversed(), rec.path);
               }
             }
-            L[v].push_back(std::move(rec));
+            ck.gathered.push_back(std::move(rec));
           }
-          normalize(L[v], x);
+          // Skip the write only when the staged row is bitwise-identical in
+          // every behavior-relevant field — src and dist (the keys) plus
+          // pulse_base (the per-pulse budget the old unconditional overwrite
+          // would have reset). track_paths rows always rewrite: the staged
+          // records carry freshly spliced witness walks.
+          if constexpr (!kTracksPaths<Rec>) {
+            const Rec* row = ar.row(cur, v);
+            const std::uint32_t old_len = ar.len[cur][v];
+            bool same = ck.gathered.size() == old_len;
+            for (std::size_t j = 0; same && j < old_len; ++j)
+              same = ck.gathered[j].src == row[j].src &&
+                     ck.gathered[j].dist == row[j].dist &&
+                     ck.gathered[j].pulse_base == row[j].pulse_base;
+            if (same) continue;
+          }
+          assert(ck.gathered.size() <= cap);
+          std::copy_n(std::make_move_iterator(ck.gathered.begin()),
+                      ck.gathered.size(), ar.row(cur, v));
+          ar.len[cur][v] = static_cast<std::uint32_t>(ck.gathered.size());
+          ar.dirty[cur][v] = 1;
         }
       }
     });
@@ -146,66 +325,184 @@ ExploreResult explore(pram::Ctx& ctx, const Graph& gk1, const Clustering& P,
       ctx.charge_work((n + 2 * gk1.num_edges()) * x);
       ctx.charge_depth(step_depth);
       // The relax round itself: charged exactly as the parallel_for it
-      // replaces (work n, depth 1), but run through run_chunks directly so
-      // the candidate buffer is reused across a chunk's vertices instead of
-      // living in a worker-lifetime thread_local that would pin witness-path
-      // chains long after explore() returns.
+      // replaces (work n, depth 1). Reads buffer `cur`, writes the other;
+      // every write lands in the writer's own row, so chunks are disjoint.
       ctx.charge_work(n);
       ctx.charge_depth(1);
+      const int nxt = 1 - cur;
       ctx.pool->run_chunks(n, pram::kGrain, [&](std::size_t b,
                                                 std::size_t e) {
-        std::vector<Record> cand;
+        ChunkScratch<Rec>& ck = ar.chunks[b / pram::kGrain];
+        ck.set_reserve(cap);
         for (std::size_t vi = b; vi < e; ++vi) {
           const Vertex v = static_cast<Vertex>(vi);
-          cand.clear();
-          cand.insert(cand.end(), L[v].begin(), L[v].end());
-          for (const Arc& a : gk1.arcs(v)) {
-            for (const Record& rec : L[a.to]) {
-              Weight nd = rec.dist + a.w;
-              if (nd > opts.dist_limit) continue;
-              if (nd - rec.pulse_base > opts.per_pulse_limit) continue;
-              Record moved{rec.src, nd, rec.pulse_base, nullptr};
-              if (opts.track_paths) moved.path = extend(rec.path, v, a.w);
-              cand.push_back(std::move(moved));
+          const Rec* own = ar.row(cur, v);
+          const std::uint32_t own_len = ar.len[cur][v];
+          // Frontier test: if neither v's row nor any neighbor's row changed
+          // in the previous step, the merge would reproduce v's current row
+          // — carry it over instead of recomputing. Flags are deterministic,
+          // so the skip pattern (and every result) is pool-size independent.
+          bool in_frontier = ar.dirty[cur][v] != 0;
+          if (!in_frontier) {
+            for (const Arc& a : gk1.arcs(v)) {
+              if (ar.dirty[cur][a.to] != 0) {
+                in_frontier = true;
+                break;
+              }
             }
           }
-          normalize(cand, x);
-          if (!same_keys(cand, L[v]))
-            changed.store(true, std::memory_order_relaxed);
-          L_next[v] = cand;
+          if (!in_frontier) {
+            std::copy_n(own, own_len, ar.row(nxt, v));
+            ar.len[nxt][v] = own_len;
+            ar.dirty[nxt][v] = 0;
+            continue;
+          }
+          ck.runs.clear();
+          // Run 0 is the vertex's own row (records survive unchanged);
+          // then one transformed run per arc, in adjacency order — the
+          // insertion order of the former concatenated candidate list.
+          ck.runs.push_back({own, own + own_len, 0});
+          for (const Arc& a : gk1.arcs(v)) {
+            const std::uint32_t nb_len = ar.len[cur][a.to];
+            if (nb_len == 0) continue;
+            const Rec* nb = ar.row(cur, a.to);
+            ck.runs.push_back({nb, nb + nb_len, a.w});
+          }
+          if (ck.runs.size() == 1 && own_len == 0) {
+            // Nothing in sight: the row stays empty, nothing changed.
+            ar.len[nxt][v] = 0;
+            ar.dirty[nxt][v] = 0;
+            continue;
+          }
+          Rec* const row_out = ar.row(nxt, v);
+          std::size_t j = 0;
+          bool keys_differ = false;
+          const std::size_t kept =
+              merge_runs(ck, opts, x,
+                         [&](const Rec& rec, Weight nd, std::uint32_t ri) {
+            assert(j < cap);
+            Rec& dst = row_out[j];
+            if (ri == 0) {
+              dst = rec;
+            } else {
+              dst.src = rec.src;
+              dst.dist = nd;
+              dst.pulse_base = rec.pulse_base;
+              if constexpr (kTracksPaths<Rec>) {
+                // Witness chains extend only for records that survive the
+                // normalize — discarded candidates never allocate.
+                dst.path = extend(rec.path, v, ck.runs[ri].add);
+              }
+            }
+            if (j >= own_len || own[j].src != dst.src ||
+                own[j].dist != dst.dist)
+              keys_differ = true;
+            ++j;
+          });
+          const bool row_changed = kept != own_len || keys_differ;
+          if (row_changed) changed.store(true, std::memory_order_relaxed);
+          ar.len[nxt][v] = static_cast<std::uint32_t>(kept);
+          ar.dirty[nxt][v] = row_changed ? 1 : 0;
         }
       });
       ++result.total_steps;
-      L.swap(L_next);
+      cur = nxt;
       if (!changed.load()) break;
     }
 
-    // --- Aggregation: clusters merge members' lists (all records kept).
+    // --- Aggregation: clusters merge members' rows (all records kept).
     // Parallel over disjoint clusters, like the distribution phase.
     std::atomic<bool> any_cluster_changed{false};
     ctx.charge_work(n * x * (pram::ceil_log2(n * x) + 1));
     ctx.charge_depth(pram::ceil_log2(n * x) + 1);
     ctx.pool->run_chunks(P.size(), kClusterGrain,
                          [&](std::size_t cb, std::size_t ce) {
-      // Per-chunk (not thread_local): records can pin witness-path chains,
-      // and a thread_local would keep the last cluster's alive on pool
-      // workers long after explore() returns; the chunk's clusters share
-      // (and amortize) the buffer.
-      std::vector<Record> scratch;
+      ChunkScratch<Rec>& ck = ar.chunks[cb / kClusterGrain];
       for (std::size_t c = cb; c < ce; ++c) {
-        scratch.clear();
-        scratch.insert(scratch.end(), m[c].begin(), m[c].end());
-        for (Vertex v : P.members[c])
-          scratch.insert(scratch.end(), L[v].begin(), L[v].end());
-        normalize(scratch, scratch.size());
-        if (!same_keys(scratch, m[c])) {
+        ck.runs.clear();
+        std::size_t total = m[c].size();
+        ck.runs.push_back({m[c].data(), m[c].data() + m[c].size(), 0});
+        for (Vertex v : P.members[c]) {
+          const std::uint32_t l = ar.len[cur][v];
+          if (l == 0) continue;
+          const Rec* row = ar.row(cur, v);
+          ck.runs.push_back({row, row + l, 0});
+          total += l;
+        }
+        ck.set_reserve(total);
+        ck.gathered.clear();
+        bool keys_differ = false;
+        const std::size_t kept =
+            merge_runs(ck, opts, total,
+                       [&](const Rec& rec, Weight, std::uint32_t) {
+          if (ck.gathered.size() >= m[c].size() ||
+              m[c][ck.gathered.size()].src != rec.src ||
+              m[c][ck.gathered.size()].dist != rec.dist)
+            keys_differ = true;
+          ck.gathered.push_back(rec);
+        });
+        if (kept != m[c].size() || keys_differ) {
           any_cluster_changed.store(true, std::memory_order_relaxed);
-          m[c] = scratch;
+          m[c].swap(ck.gathered);
         }
       }
     });
     result.pulses_run = pulse;
     if (!any_cluster_changed.load()) break;
+  }
+
+  // Hand the cluster records out in the public representation.
+  if constexpr (kTracksPaths<Rec>) {
+    result.cluster_records = std::move(m);
+  } else {
+    result.cluster_records.resize(P.size());
+    for (std::size_t c = 0; c < P.size(); ++c) {
+      result.cluster_records[c].reserve(m[c].size());
+      for (const Rec& r : m[c])
+        result.cluster_records[c].push_back(
+            {r.src, r.dist, r.pulse_base, nullptr});
+    }
+  }
+}
+
+}  // namespace
+
+}  // namespace detail
+
+ExploreWorkspace::ExploreWorkspace()
+    : impl_(std::make_unique<detail::ExploreBuffers>()) {}
+ExploreWorkspace::~ExploreWorkspace() = default;
+ExploreWorkspace::ExploreWorkspace(ExploreWorkspace&&) noexcept = default;
+ExploreWorkspace& ExploreWorkspace::operator=(ExploreWorkspace&&) noexcept =
+    default;
+
+void ExploreWorkspace::clear() {
+  impl_->plain.release();
+  impl_->paths.release();
+}
+
+WitnessPath materialize(const PathPtr& p) {
+  WitnessPath out;
+  for (const PathLink* l = p.get(); l != nullptr; l = l->prev.get())
+    out.steps.push_back({l->v, l->w});
+  std::reverse(out.steps.begin(), out.steps.end());
+  if (!out.steps.empty()) out.steps.front().w = 0;
+  return out;
+}
+
+ExploreResult explore(pram::Ctx& ctx, const graph::Graph& gk1,
+                      const Clustering& P,
+                      std::span<const std::uint32_t> sources,
+                      const ExploreOptions& opts, ExploreWorkspace* ws) {
+  ExploreResult result;
+  ExploreWorkspace local;
+  detail::ExploreBuffers& bufs = (ws ? *ws : local).buffers();
+  if (opts.track_paths) {
+    detail::explore_impl<Record>(ctx, gk1, P, sources, opts, bufs.paths,
+                                 result);
+  } else {
+    detail::explore_impl<detail::PlainRec>(ctx, gk1, P, sources, opts,
+                                           bufs.plain, result);
   }
   return result;
 }

@@ -27,6 +27,16 @@
 // With track_paths, every record carries the witness walk itself (the paper's
 // message lists L_P, L_dist of §4.3), spliced through cluster memory at
 // teleports; witness lengths never exceed the record's distance.
+//
+// Storage (ARCHITECTURE.md §4): per-vertex record lists live in flat
+// double-buffered arenas — one slab of capacity min(x, |P|) slots per vertex,
+// indexed CSR-style at v·cap — not in per-vertex vectors. Pulses alternate
+// between the two slabs, so the steady state of a default (no-paths) build
+// moves only POD records and allocates nothing; witness-path shared_ptr
+// chains exist only in the track_paths instantiation. Callers that run many
+// explorations over the same graph (single_scale's phases, the ruling set's
+// knock-out rounds) pass an ExploreWorkspace so the slabs are reused across
+// calls, not just across pulses.
 #pragma once
 
 #include <memory>
@@ -85,10 +95,38 @@ struct ExploreResult {
   int total_steps = 0;  ///< propagation steps summed over pulses
 };
 
-/// Runs the exploration from `sources` (cluster indices into P).
+namespace detail {
+struct ExploreBuffers;  // the arenas (exploration.cpp)
+}  // namespace detail
+
+/// Reusable exploration buffers: the double-buffered record arenas plus the
+/// per-chunk normalize scratch. One workspace may serve any sequence of
+/// explore() calls (sizes adapt; buffers only grow). Passing one is purely a
+/// performance feature — results are identical with or without it.
+class ExploreWorkspace {
+ public:
+  ExploreWorkspace();
+  ~ExploreWorkspace();
+  ExploreWorkspace(ExploreWorkspace&&) noexcept;
+  ExploreWorkspace& operator=(ExploreWorkspace&&) noexcept;
+
+  /// Drops every held buffer (memory back to the allocator).
+  void clear();
+
+  /// The arenas; never null.
+  detail::ExploreBuffers& buffers() { return *impl_; }
+
+ private:
+  std::unique_ptr<detail::ExploreBuffers> impl_;
+};
+
+/// Runs the exploration from `sources` (cluster indices into P). `ws` may be
+/// null (a call-local workspace is used); callers issuing repeated
+/// explorations should pass one so arena slabs are reused across calls.
 ExploreResult explore(pram::Ctx& ctx, const graph::Graph& gk1,
                       const Clustering& P,
                       std::span<const std::uint32_t> sources,
-                      const ExploreOptions& opts);
+                      const ExploreOptions& opts,
+                      ExploreWorkspace* ws = nullptr);
 
 }  // namespace parhop::hopset

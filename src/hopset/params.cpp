@@ -80,7 +80,7 @@ Schedule make_schedule(const Params& p, std::uint64_t n, int log_lambda) {
     // Self-consistent default: the per-scale hopbound h_ℓ of eq. (18). A
     // budget of n rounds makes Bellman–Ford exact, so larger values add
     // nothing; every hop-limited loop exits early at its fixpoint, so this
-    // is a cap, not a cost (DESIGN.md §1).
+    // is a cap, not a cost (ARCHITECTURE.md §5).
     s.beta = static_cast<int>(std::min<double>(
         static_cast<double>(n), std::ceil(s.hopbound_formula)));
     s.beta = std::max(s.beta, 4);

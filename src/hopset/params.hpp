@@ -7,7 +7,7 @@
 //   beta_hint — practical exploration hop budget β̂ (0 = auto). The paper's β
 //      (eq. 2) is reported but is astronomically large for feasible n; every
 //      hop-limited loop in the library terminates early at its fixpoint, so
-//      β̂ only caps worst-case round counts. DESIGN.md §1 documents this
+//      β̂ only caps worst-case round counts. ARCHITECTURE.md §5 documents this
 //      substitution; the E3 experiment measures the empirical hopbound.
 //
 // Derived schedule (per graph):
@@ -33,7 +33,7 @@ struct Params {
   /// Practical exploration hop budget β̂; 0 = auto (see Schedule::beta).
   int beta_hint = 0;
   /// Fraction of ε consumed by each phase's distance threshold base ε̂
-  /// (practical counterpart of the §3.4 rescaling; see DESIGN.md §6).
+  /// (practical counterpart of the §3.4 rescaling; see ARCHITECTURE.md §5).
   double eps_hat_factor = 0.5;
   /// true  — hopset edge weights are lengths of actual witness paths
   ///         measured during construction ("tight"; default);
@@ -42,7 +42,7 @@ struct Params {
   bool tight_weights = true;
   /// Use G ∪ H_{k0..k-1} (cumulative) rather than only G ∪ H_{k-1} when
   /// constructing H_k. Cumulative is a superset, never shortens distances
-  /// below d_G, and is empirically safer with small β̂ (DESIGN.md §1).
+  /// below d_G, and is empirically safer with small β̂ (ARCHITECTURE.md §5).
   bool cumulative_scales = true;
 };
 

@@ -10,7 +10,8 @@ std::vector<std::uint32_t> ruling_set(pram::Ctx& ctx,
                                       const graph::Graph& gk1,
                                       const Clustering& P,
                                       std::span<const std::uint32_t> W,
-                                      const RulingSetOptions& opts) {
+                                      const RulingSetOptions& opts,
+                                      ExploreWorkspace* ws) {
   if (W.empty()) return {};
   if (W.size() == 1) return {W[0]};
 
@@ -42,7 +43,7 @@ std::vector<std::uint32_t> ruling_set(pram::Ctx& ctx,
     }
     if (sources.empty() || !any_ones) continue;
 
-    ExploreResult res = explore(ctx, gk1, P, sources, ex);
+    ExploreResult res = explore(ctx, gk1, P, sources, ex, ws);
 
     // Knock out detected bit-1 survivors (detections may cross recursion-tree
     // invocations; only bit-1 clusters are ever removed).

@@ -23,17 +23,21 @@
 
 namespace parhop::hopset {
 
+class ExploreWorkspace;
+
 struct RulingSetOptions {
   graph::Weight dist_limit = graph::kInfWeight;  ///< (1+ε)δ_i — defines G̃_i
   int hop_limit = 1;                             ///< 2β+1
 };
 
 /// Computes a (3, 2·⌈log n⌉)-ruling set for the clusters `W` (indices into
-/// P) w.r.t. G̃_i. Returned indices are a subset of W, sorted.
+/// P) w.r.t. G̃_i. Returned indices are a subset of W, sorted. `ws` (may be
+/// null) is the exploration workspace the knock-out BFS rounds reuse.
 std::vector<std::uint32_t> ruling_set(pram::Ctx& ctx,
                                       const graph::Graph& gk1,
                                       const Clustering& P,
                                       std::span<const std::uint32_t> W,
-                                      const RulingSetOptions& opts);
+                                      const RulingSetOptions& opts,
+                                      ExploreWorkspace* ws = nullptr);
 
 }  // namespace parhop::hopset

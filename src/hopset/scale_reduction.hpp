@@ -14,7 +14,7 @@
 // Appendix D's path reporting requires. The final hopset maps every node-
 // graph hopset edge to the corresponding pair of centers and adds the stars.
 //
-// Deviation noted in DESIGN.md: we keep all scales of each G_k's hopset
+// Deviation noted in ARCHITECTURE.md §5: we keep all scales of each G_k's hopset
 // rather than only its top scale, which is sound (no edge is ever shorter
 // than a real distance) and costs one extra log factor in size — the size
 // actually achieved is what experiment E9 measures.

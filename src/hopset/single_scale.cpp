@@ -38,6 +38,11 @@ SingleScaleResult build_single_scale(pram::Ctx& ctx, const Graph& gk1, int k,
   const Vertex n = gk1.num_vertices();
   SingleScaleResult out;
 
+  // One workspace for the whole scale: every exploration this scale issues
+  // (detection and supercluster BFS of each phase, the ruling set's
+  // knock-out rounds) reuses the same record-arena slabs.
+  ExploreWorkspace ws;
+
   Clustering P = Clustering::singletons(n);
   ClusterMemory cmem =
       track_paths ? ClusterMemory::singletons(n) : ClusterMemory{};
@@ -87,7 +92,7 @@ SingleScaleResult build_single_scale(pram::Ctx& ctx, const Graph& gk1, int k,
     std::vector<std::uint32_t> all_ids(P.size());
     for (std::size_t c = 0; c < P.size(); ++c)
       all_ids[c] = static_cast<std::uint32_t>(c);
-    ExploreResult det_res = explore(ctx, gk1, P, all_ids, det);
+    ExploreResult det_res = explore(ctx, gk1, P, all_ids, det, &ws);
     ps.detect_steps = det_res.total_steps;
 
     // Popular: at least deg_i neighbors besides itself.
@@ -109,7 +114,7 @@ SingleScaleResult build_single_scale(pram::Ctx& ctx, const Graph& gk1, int k,
       rs.dist_limit = limit;
       rs.hop_limit = hop_limit;
       ruling = seeds ? seeds(ctx, gk1, P, popular, rs, deg_i)
-                     : ruling_set(ctx, gk1, P, popular, rs);
+                     : ruling_set(ctx, gk1, P, popular, rs, &ws);
       ps.ruling = ruling.size();
 
       // --- Supercluster-growing BFS to depth 2·log n in G̃_i, center mode:
@@ -125,7 +130,7 @@ SingleScaleResult build_single_scale(pram::Ctx& ctx, const Graph& gk1, int k,
       sc.track_paths = track_paths;
       sc.cmem = track_paths ? &cmem : nullptr;
       sc.teleport_cost = teleport;
-      sc_res = explore(ctx, gk1, P, ruling, sc);
+      sc_res = explore(ctx, gk1, P, ruling, sc, &ws);
       ps.bfs_pulses = sc_res.pulses_run;
 
       for (std::size_t c = 0; c < P.size(); ++c) {

@@ -15,7 +15,7 @@
 //   tight — the length bound of an actual witness walk assembled during the
 //           exploration (record distance + measured cluster radii R̂); always
 //           ≤ the paper's closed-form weight and ≥ d_G, so both directions of
-//           the hopset inequality (1) are preserved (DESIGN.md §1);
+//           the hopset inequality (1) are preserved (ARCHITECTURE.md §5);
 //   paper — the closed forms 2((1+ε)δ_i + 2R_i)·log n (superclustering) and
 //           d^{(2β+1)}(C,C′) + 2R_i (interconnection) of §2.1.1–2.1.2.
 //

@@ -220,7 +220,7 @@ void parallel_merge_sort(ThreadPool& pool, std::span<T> xs, Less less) {
 /// [AKS83] for O(log m)-depth, O(m log m)-work sorts; AKS is galactic, so we
 /// run a deterministic parallel merge sort (fixed chunk boundaries, stable
 /// merges — bit-identical output for any pool size) and charge the AKS cost
-/// (see DESIGN.md §1).
+/// (see ARCHITECTURE.md §5).
 template <typename T, typename Less>
 void sort(Ctx& ctx, std::span<T> xs, Less less) {
   const std::size_t n = xs.size();

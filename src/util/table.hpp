@@ -1,5 +1,6 @@
 // Fixed-width ASCII table printer used by the experiment harness so that every
-// bench binary emits the same row/series format recorded in EXPERIMENTS.md.
+// bench driver prints these tables beside the BENCH_<exp>.json payloads
+// documented in docs/bench-schema.md.
 #pragma once
 
 #include <iosfwd>

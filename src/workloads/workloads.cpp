@@ -1,0 +1,84 @@
+#include "workloads/workloads.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace parhop::workloads {
+
+namespace {
+
+std::string human_n(graph::Vertex n) {
+  if (n % 1000 == 0) return std::to_string(n / 1000) + "k";
+  return std::to_string(n);
+}
+
+std::vector<Recipe> make_registry() {
+  std::vector<Recipe> out;
+  for (graph::Vertex n : {2'000u, 50'000u, 100'000u, 500'000u}) {
+    const std::string size = human_n(n);
+    out.push_back({"road-" + size, "road", n, 11,
+                   "perturbed-weight grid, ~" + size + " vertices"});
+    out.push_back({"geo-" + size, "geo", n, 12,
+                   "geometric avg-deg-8, n=" + size});
+    out.push_back({"gnm-" + size, "gnm", n, 13, "G(n,4n), n=" + size});
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Recipe>& recipes() {
+  static const std::vector<Recipe> reg = make_registry();
+  return reg;
+}
+
+const Recipe* find_recipe(const std::string& name) {
+  for (const Recipe& r : recipes())
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+graph::Graph build_recipe(const Recipe& r) {
+  if (r.family == "road") return road_like_grid(r.n, r.seed);
+  if (r.family == "geo") return geometric_cloud(r.n, r.seed);
+  if (r.family == "gnm") return uniform_gnm(r.n, r.seed);
+  throw std::invalid_argument("unknown recipe family: " + r.family);
+}
+
+graph::Graph build_recipe(const std::string& name) {
+  const Recipe* r = find_recipe(name);
+  if (!r) throw std::invalid_argument("unknown recipe: " + name);
+  return build_recipe(*r);
+}
+
+graph::Graph road_like_grid(graph::Vertex n, std::uint64_t seed) {
+  const auto side = static_cast<graph::Vertex>(
+      std::max(2.0, std::floor(std::sqrt(static_cast<double>(n)))));
+  graph::GenOptions o;
+  o.seed = seed;
+  o.weights = graph::WeightMode::kUniform;
+  o.max_weight = 1.5;  // road segments: near-unit, perturbed
+  return graph::grid2d(side, side, o);
+}
+
+graph::Graph geometric_cloud(graph::Vertex n, std::uint64_t seed) {
+  graph::GenOptions o;
+  o.seed = seed;
+  o.max_weight = 16.0;
+  // Expected degree nπr² ≈ 8.
+  const double r =
+      std::sqrt(8.0 / (3.14159265358979323846 *
+                       std::max<graph::Vertex>(1, n)));
+  return graph::geometric(n, r, o, /*euclidean_weights=*/true);
+}
+
+graph::Graph uniform_gnm(graph::Vertex n, std::uint64_t seed) {
+  graph::GenOptions o;
+  o.seed = seed;
+  o.max_weight = 16.0;
+  return graph::gnm(n, 4 * static_cast<std::size_t>(n), o);
+}
+
+}  // namespace parhop::workloads

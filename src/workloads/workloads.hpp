@@ -1,0 +1,66 @@
+// Large-graph workload recipes (ARCHITECTURE.md §6).
+//
+// A Recipe is a named, seeded specification of a benchmark graph — the
+// bridge between the graph::generators families (which tests exercise at
+// n ≲ 2k) and the scales where the paper's asymptotics start to pay off
+// (Elkin–Neiman arXiv:1607.08337, Elkin–Matar arXiv:1907.10895 both target
+// n two orders of magnitude above the committed small-n trajectory). Every
+// recipe is deterministic in its seed, builds through the same generator
+// code paths the tests cover, and round-trips through DIMACS .gr via
+// graph::write_dimacs / read_dimacs so the same instance can be streamed
+// through example_parhop_cli (`gen` command), the e12 bench, or external
+// tools.
+//
+// Families:
+//   road — √n×√n 2-D lattice with perturbed near-unit weights (road-network
+//          proxy: Θ(√n) hop diameter, low degree, mild weight spread);
+//   geo  — random geometric graph bucketed to O(n) construction, Euclidean
+//          weights, average degree ≈ 8 (local topology, medium diameter);
+//   gnm  — Erdős–Rényi G(n, 4n) with uniform weights in [1, 16]
+//          (logarithmic hop diameter, the generators' default regime).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parhop::workloads {
+
+/// One named, seeded large-graph recipe.
+struct Recipe {
+  std::string name;    ///< registry key, e.g. "road-100k"
+  std::string family;  ///< "road" | "geo" | "gnm"
+  graph::Vertex n = 0;  ///< target vertex count (road rounds to a square)
+  std::uint64_t seed = 0;
+  std::string notes;   ///< one-line description for listings
+};
+
+/// The registry: road/geo/gnm at n ∈ {50k, 100k, 500k} plus 2k tiny
+/// variants (bench --tiny mode and tests). Ordered by n ascending, then
+/// road/geo/gnm within each size.
+const std::vector<Recipe>& recipes();
+
+/// nullptr when no recipe has that name.
+const Recipe* find_recipe(const std::string& name);
+
+/// Materializes the recipe's graph (deterministic in the recipe's seed).
+graph::Graph build_recipe(const Recipe& r);
+
+/// Builds by registry name; throws std::invalid_argument when unknown.
+graph::Graph build_recipe(const std::string& name);
+
+/// Road-like grid: ⌊√n⌋×⌊√n⌋ lattice, weights uniform in [1, 1.5]
+/// (perturbed near-unit road segments).
+graph::Graph road_like_grid(graph::Vertex n, std::uint64_t seed);
+
+/// Random geometric graph with radius sized for average degree ≈ 8 and
+/// Euclidean edge weights scaled to [1, 16]. O(n) via graph::geometric's
+/// cell bucketing.
+graph::Graph geometric_cloud(graph::Vertex n, std::uint64_t seed);
+
+/// G(n, 4n), weights uniform in [1, 16].
+graph::Graph uniform_gnm(graph::Vertex n, std::uint64_t seed);
+
+}  // namespace parhop::workloads

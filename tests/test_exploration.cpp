@@ -227,6 +227,77 @@ TEST(Exploration, EarlyTerminationReportsRounds) {
   EXPECT_LE(res.total_steps, 5);
 }
 
+TEST(Exploration, WorkspaceReuseMatchesFreshWorkspace) {
+  // A workspace carried across calls with different graphs, record bounds
+  // and modes (plain and track_paths share one workspace) must never change
+  // results vs call-local buffers.
+  graph::GenOptions o;
+  o.seed = 31;
+  Graph g1 = graph::gnm(48, 140, o);
+  o.seed = 77;
+  Graph g2 = graph::grid2d(8, 9, o);
+  auto cx = testing::ctx();
+  hopset::ExploreWorkspace ws;
+
+  int case_id = 0;
+  for (const Graph* g : {&g1, &g2}) {
+    Clustering P = Clustering::singletons(g->num_vertices());
+    hopset::ClusterMemory cmem =
+        hopset::ClusterMemory::singletons(g->num_vertices());
+    for (std::uint32_t x : {1u, 3u, 64u}) {
+      for (bool paths : {false, true}) {
+        ExploreOptions opts;
+        opts.dist_limit = 20;
+        opts.per_pulse_limit = 10;
+        opts.hop_limit = 4;
+        opts.pulses = 2;
+        opts.max_records = x;
+        opts.track_paths = paths;
+        opts.cmem = paths ? &cmem : nullptr;
+        auto with_ws = hopset::explore(cx, *g, P, all_ids(P), opts, &ws);
+        auto fresh = hopset::explore(cx, *g, P, all_ids(P), opts);
+        ASSERT_EQ(with_ws.cluster_records.size(),
+                  fresh.cluster_records.size());
+        EXPECT_EQ(with_ws.pulses_run, fresh.pulses_run) << case_id;
+        EXPECT_EQ(with_ws.total_steps, fresh.total_steps) << case_id;
+        for (std::size_t c = 0; c < fresh.cluster_records.size(); ++c) {
+          ASSERT_EQ(with_ws.cluster_records[c].size(),
+                    fresh.cluster_records[c].size())
+              << "case " << case_id << " cluster " << c;
+          for (std::size_t i = 0; i < fresh.cluster_records[c].size(); ++i) {
+            EXPECT_EQ(with_ws.cluster_records[c][i].src,
+                      fresh.cluster_records[c][i].src);
+            EXPECT_EQ(with_ws.cluster_records[c][i].dist,
+                      fresh.cluster_records[c][i].dist);
+            if (paths) {
+              auto a = hopset::materialize(with_ws.cluster_records[c][i].path);
+              auto b = hopset::materialize(fresh.cluster_records[c][i].path);
+              ASSERT_EQ(a.steps.size(), b.steps.size());
+              for (std::size_t s = 0; s < a.steps.size(); ++s) {
+                EXPECT_EQ(a.steps[s].v, b.steps[s].v);
+                EXPECT_EQ(a.steps[s].w, b.steps[s].w);
+              }
+            }
+          }
+        }
+        ++case_id;
+      }
+    }
+  }
+  ws.clear();  // releasing buffers mid-sequence must be safe
+  Clustering P = Clustering::singletons(g1.num_vertices());
+  ExploreOptions opts;
+  opts.max_records = 2;
+  opts.hop_limit = 3;
+  auto after_clear = hopset::explore(cx, g1, P, all_ids(P), opts, &ws);
+  auto reference = hopset::explore(cx, g1, P, all_ids(P), opts);
+  ASSERT_EQ(after_clear.cluster_records.size(),
+            reference.cluster_records.size());
+  for (std::size_t c = 0; c < reference.cluster_records.size(); ++c)
+    EXPECT_EQ(after_clear.cluster_records[c].size(),
+              reference.cluster_records[c].size());
+}
+
 TEST(Exploration, DeterministicAcrossThreadPools) {
   graph::GenOptions o;
   o.seed = 23;

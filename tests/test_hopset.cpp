@@ -119,7 +119,7 @@ TEST(HopsetBuild, CumulativeVsSingleScaleMode) {
   o.seed = 40;
   Graph g = graph::gnm(128, 512, o);
   // κρ schedule with ℓ=2 keeps δ_0 = ε̂²·2^{k0+1} above the minimum edge
-  // weight at β̂=16, so the machinery genuinely engages (see DESIGN.md §6).
+  // weight at β̂=16, so the machinery genuinely engages (ARCHITECTURE.md §5).
   Params cum;
   cum.kappa = 3;
   cum.rho = 0.45;

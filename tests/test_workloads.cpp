@@ -1,0 +1,171 @@
+// Workload recipes (src/workloads) and the DIMACS writer they stream
+// through: registry sanity, write→read round-trips, and the PR 2 reader
+// validation rules (no self-loops, arc-count match) applied to writer
+// output — first rejected when tampered with, then accepted verbatim.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/io.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+TEST(Workloads, RegistryCoversFamiliesAndSizes) {
+  const auto& reg = workloads::recipes();
+  // 3 families × {2k, 50k, 100k, 500k}.
+  EXPECT_EQ(reg.size(), 12u);
+  std::size_t road = 0, geo = 0, gnm = 0, large = 0;
+  for (const auto& r : reg) {
+    EXPECT_EQ(workloads::find_recipe(r.name), &r);  // names unique
+    EXPECT_FALSE(r.notes.empty());
+    if (r.family == "road") ++road;
+    if (r.family == "geo") ++geo;
+    if (r.family == "gnm") ++gnm;
+    if (r.n >= 100'000) ++large;
+  }
+  EXPECT_EQ(road, 4u);
+  EXPECT_EQ(geo, 4u);
+  EXPECT_EQ(gnm, 4u);
+  EXPECT_EQ(large, 6u);  // 100k and 500k per family
+  EXPECT_EQ(workloads::find_recipe("no-such"), nullptr);
+  EXPECT_THROW(workloads::build_recipe("no-such"), std::invalid_argument);
+}
+
+TEST(Workloads, TinyRecipesBuildDeterministicConnectedGraphs) {
+  for (const char* name : {"road-2k", "geo-2k", "gnm-2k"}) {
+    Graph a = workloads::build_recipe(name);
+    Graph b = workloads::build_recipe(name);
+    EXPECT_EQ(a, b) << name;  // deterministic in the recipe seed
+    EXPECT_GE(a.num_vertices(), 1900u) << name;
+    EXPECT_GT(a.num_edges(), a.num_vertices() / 2) << name;
+    auto cx = testing::ctx();
+    EXPECT_EQ(graph::connected_components(cx, a).count, 1u) << name;
+    auto [wmin, wmax] = a.weight_range();
+    EXPECT_GE(wmin, 1.0) << name;
+    EXPECT_LE(wmax, 16.0) << name;
+  }
+}
+
+TEST(Workloads, RoadGridWeightsArePerturbedNearUnit) {
+  Graph g = workloads::road_like_grid(2'000, 11);
+  auto [wmin, wmax] = g.weight_range();
+  EXPECT_GE(wmin, 1.0);
+  EXPECT_LE(wmax, 1.5);
+  EXPECT_GT(wmax, wmin);  // genuinely perturbed, not unit
+}
+
+// The cell-bucketed geometric generator must agree exactly with the
+// quadratic reference scan it replaced: same positions and edge set in
+// Euclidean mode, and — the stricter claim — the same per-(u, ascending v)
+// RNG consumption order when weights are drawn, so non-Euclidean graphs
+// come out bit-identical too.
+TEST(Workloads, BucketedGeometricMatchesQuadraticReference) {
+  const Vertex n = 500;
+  const double radius = 0.06;
+  for (bool euclidean : {true, false}) {
+    graph::GenOptions o;
+    o.seed = 12;
+    o.weights = graph::WeightMode::kUniform;
+    o.ensure_connected = false;  // isolate the pair enumeration
+    Graph fast = graph::geometric(n, radius, o, euclidean);
+
+    util::Xoshiro256 rng(o.seed);
+    std::vector<double> x(n), y(n);
+    for (Vertex v = 0; v < n; ++v) {
+      x[v] = rng.next_double();
+      y[v] = rng.next_double();
+    }
+    graph::Builder b(n);
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u + 1; v < n; ++v) {
+        double dx = x[u] - x[v], dy = y[u] - y[v];
+        double d = std::sqrt(dx * dx + dy * dy);
+        if (d <= radius) {
+          double w = euclidean
+                         ? 1.0 + (d / radius) * (o.max_weight - 1.0)
+                         : 1.0 + rng.next_double() * (o.max_weight - 1.0);
+          b.add_edge(u, v, w);
+        }
+      }
+    }
+    Graph ref = b.build();
+    EXPECT_EQ(fast, ref) << (euclidean ? "euclidean" : "drawn weights");
+  }
+}
+
+TEST(DimacsWriter, RoundTripPreservesGraphExactly) {
+  Graph g = workloads::build_recipe("gnm-2k");
+  std::stringstream ss;
+  graph::write_dimacs(ss, g);
+  Graph back = graph::read_dimacs(ss);
+  // n, m, and every weight bit-exact (operator== compares the full CSR).
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back, g);
+}
+
+TEST(DimacsWriter, IntegralModeRoundsWeightsToAtLeastOne) {
+  graph::Builder b(3);
+  b.add_edge(0, 1, 0.2);   // rounds up to 1
+  b.add_edge(1, 2, 2.71);  // rounds to 3
+  Graph g = b.build();
+  std::stringstream ss;
+  graph::write_dimacs(ss, g, /*integral=*/true);
+  Graph back = graph::read_dimacs(ss);
+  EXPECT_DOUBLE_EQ(back.edge_weight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(back.edge_weight(1, 2), 3.0);
+}
+
+// The PR 2 validation rules must reject tampered writer output and accept
+// the genuine article: corrupting the declared arc count, or injecting a
+// self-loop (fixing up the count so only the loop offends), both throw;
+// the untouched text parses.
+TEST(DimacsWriter, OutputRejectedWhenTamperedThenAccepted) {
+  Graph g = workloads::road_like_grid(64, 3);
+  std::stringstream ss;
+  graph::write_dimacs(ss, g);
+  const std::string text = ss.str();
+
+  // Tamper 1: declared arc count off by one.
+  {
+    std::string bad = text;
+    const std::string decl = "p sp " + std::to_string(g.num_vertices()) +
+                             " " + std::to_string(2 * g.num_edges());
+    const auto pos = bad.find(decl);
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, decl.size(),
+                "p sp " + std::to_string(g.num_vertices()) + " " +
+                    std::to_string(2 * g.num_edges() + 1));
+    std::stringstream in(bad);
+    EXPECT_THROW(graph::read_dimacs(in), std::runtime_error);
+  }
+
+  // Tamper 2: rewrite the first arc line into a self-loop (arc count
+  // stays consistent, so the self-loop rule is what fires).
+  {
+    std::string bad = text;
+    const auto pos = bad.find("\na ");
+    ASSERT_NE(pos, std::string::npos);
+    const auto eol = bad.find('\n', pos + 1);
+    bad.replace(pos, eol - pos, "\na 1 1 2.5");
+    std::stringstream in(bad);
+    EXPECT_THROW(graph::read_dimacs(in), std::runtime_error);
+  }
+
+  // Untampered: accepted, and identical to the source graph.
+  std::stringstream in(text);
+  EXPECT_EQ(graph::read_dimacs(in), g);
+}
+
+}  // namespace
+}  // namespace parhop
