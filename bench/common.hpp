@@ -1,4 +1,4 @@
-// Shared experiment-harness utilities for the bench experiments (e1–e12 of
+// Shared experiment-harness utilities for the bench experiments (e1–e13 of
 // ARCHITECTURE.md §6). Every experiment prints fixed-width tables via
 // util::Table beside its machine-readable BENCH_<exp>.json payload, whose
 // schema is documented in docs/bench-schema.md.

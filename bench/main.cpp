@@ -1,4 +1,4 @@
-// parhop_bench — unified driver for the experiment harness (e1–e12 of
+// parhop_bench — unified driver for the experiment harness (e1–e13 of
 // ARCHITECTURE.md §6 plus the PRAM microbenchmarks; per-file JSON schema in
 // docs/bench-schema.md). Replaces the former one-binary-per-experiment
 // layout.

@@ -4,21 +4,30 @@
 //
 //   example_parhop_cli gen   --recipe=road-100k --out=g.gr [--integral]
 //   example_parhop_cli gen   --list
-//   example_parhop_cli build --graph=g.gr --out=g.hopset [--eps --kappa --rho]
-//   example_parhop_cli query --graph=g.gr --hopset=g.hopset --source=0 [--target=17]
+//   example_parhop_cli build --graph=g.gr --save=g.phs [--eps --kappa --rho]
+//   example_parhop_cli query --graph=g.gr --hopset=g.phs --source=0 [--target=17]
+//   example_parhop_cli query --graph=g.gr --hopset=g.phs --batch=256 [--hops=N]
 //   example_parhop_cli spt   --graph=g.gr --source=0 [--eps ...]
 //   example_parhop_cli info  --graph=g.gr
 //
 // `gen` materializes a named large-graph workload recipe (workloads/) as a
 // DIMACS .gr file, so big instances stream through the same build/query
-// pipeline as external road networks:
-//   example_parhop_cli gen --recipe=gnm-500k --out=g.gr
-//   example_parhop_cli build --graph=g.gr --out=g.hopset
+// pipeline as external road networks. The serving loop is build-once /
+// query-many (docs/query-engine.md): `build --save` persists the hopset as
+// a checksummed `.phs` file, `query --hopset` reloads it into a
+// query::QueryEngine (merged G ∪ H CSR materialized once) and answers any
+// number of queries without rebuilding:
+//   example_parhop_cli gen   --recipe=gnm-500k --out=g.gr
+//   example_parhop_cli build --graph=g.gr --save=g.phs
+//   example_parhop_cli query --graph=g.gr --hopset=g.phs --batch=1024
 //
 // Every command accepts --threads=N to size the thread pool the PRAM
 // primitives run on (default: PARHOP_THREADS env, then hardware
 // concurrency). The output is bit-identical for every pool size.
+#include <chrono>
+#include <filesystem>
 #include <iostream>
+#include <stdexcept>
 
 #include "graph/aspect_ratio.hpp"
 #include "graph/io.hpp"
@@ -26,10 +35,13 @@
 #include "hopset/hopset.hpp"
 #include "hopset/path_reporting.hpp"
 #include "hopset/serialize.hpp"
+#include "query/query_engine.hpp"
 #include "sssp/dijkstra.hpp"
-#include "sssp/oracle.hpp"
 #include "sssp/spt.hpp"
+
 #include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
 
 using namespace parhop;
 
@@ -87,39 +99,89 @@ int cmd_info(const util::Flags& flags) {
   return 0;
 }
 
+using util::seconds_since;
+
 int cmd_build(const util::Flags& flags) {
   graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
   pram::ThreadPool pool(threads_from(flags));
   pram::Ctx ctx(&pool);
+  const auto start = std::chrono::steady_clock::now();
   hopset::Hopset H = hopset::build_hopset(
       ctx, g, params_from(flags), flags.get_bool("paths", false));
+  const double build_s = seconds_since(start);
   std::cout << "built |H|=" << H.edges.size() << " beta=" << H.schedule.beta
             << " work=" << H.build_cost.work
-            << " depth=" << H.build_cost.depth << "\n";
-  std::string out = flags.get("out", "");
+            << " depth=" << H.build_cost.depth << " wall=" << build_s
+            << "s\n";
+  // --save is the serving-loop spelling; --out stays as an alias.
+  std::string out = flags.get("save", flags.get("out", ""));
   if (!out.empty()) {
     hopset::write_hopset_file(out, H);
-    std::cout << "wrote " << out << "\n";
+    std::cout << "wrote " << out << " ("
+              << std::filesystem::file_size(out) << " bytes)\n";
   }
   return 0;
 }
 
 int cmd_query(const util::Flags& flags) {
-  graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
-  hopset::Hopset H;
   pram::ThreadPool pool(threads_from(flags));
   pram::Ctx ctx(&pool);
-  std::string hopset_path = flags.get("hopset", "");
+
+  auto start = std::chrono::steady_clock::now();
+  graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
+  const double graph_s = seconds_since(start);
+
+  // Build-once / query-many: load the persisted hopset when given (the
+  // serving path), otherwise build in memory for this run only.
+  hopset::Hopset H;
+  const std::string hopset_path = flags.get("hopset", "");
+  start = std::chrono::steady_clock::now();
   if (!hopset_path.empty()) {
     H = hopset::read_hopset_file(hopset_path);
+    hopset::check_graph_identity(H, g, hopset_path);
+    std::cout << "graph " << graph_s << "s; loaded " << hopset_path << " ("
+              << std::filesystem::file_size(hopset_path) << " bytes, |H|="
+              << H.edges.size() << ") in " << seconds_since(start) << "s\n";
   } else {
     H = hopset::build_hopset(ctx, g, params_from(flags));
+    std::cout << "graph " << graph_s << "s; built |H|=" << H.edges.size()
+              << " in " << seconds_since(start)
+              << "s (use build --save + query --hopset to pay this once)\n";
   }
-  sssp::Oracle oracle(g, H.edges, H.schedule.beta);
+
+  query::QueryEngine engine(g, H.edges, H.schedule.beta);
+  std::cout << "merged G u H CSR: " << engine.num_union_edges()
+            << " edges, prepared in " << engine.stats().prep_s << "s\n";
+  if (flags.has("hops"))
+    engine.set_hop_budget(static_cast<int>(flags.get_int("hops", 0)));
+
+  const auto batch_size = flags.get_int("batch", 0);
+  if (batch_size > 0) {
+    // Deterministic spread of point-to-point queries; answers are
+    // bit-identical at any --threads (docs/query-engine.md §3).
+    std::vector<query::PointQuery> queries = query::spread_queries(
+        static_cast<std::size_t>(batch_size), engine.num_vertices());
+    std::vector<query::QueryWorkspace> slots;
+    start = std::chrono::steady_clock::now();
+    query::BatchResult r = engine.run_batch(&pool, queries, slots);
+    const double wall = seconds_since(start);
+    auto lat = util::summarize(r.latency_s);
+    std::cout << "batch " << batch_size << ": " << (batch_size / wall)
+              << " queries/s  p50=" << lat.p50 * 1e3
+              << "ms p99=" << lat.p99 * 1e3 << "ms  (hop budget "
+              << engine.hop_budget() << ", " << pool.size() << " threads)\n";
+    return 0;
+  }
+
+  query::QueryWorkspace ws;
   auto source = static_cast<graph::Vertex>(flags.get_int("source", 0));
-  auto dist = oracle.distances(ctx, source);
+  auto dist = engine.single_source(ctx, ws, source);
   if (flags.has("target")) {
     auto target = static_cast<graph::Vertex>(flags.get_int("target", 0));
+    if (target >= dist.size())
+      throw std::out_of_range("query target " + std::to_string(target) +
+                              " out of range (graph has " +
+                              std::to_string(dist.size()) + " vertices)");
     std::cout << "d(" << source << "," << target << ") ~ " << dist[target]
               << "\n";
   } else {

@@ -14,9 +14,18 @@ Two checks, both of which fail the build (exit 1) on any finding:
    documents by name ("see ARCHITECTURE.md §5"). Any *.md token mentioned in
    src/, bench/, examples/, tests/, CMakeLists.txt that does not exist in
    the repo is doc rot — exactly the failure mode this repo once had with
-   citations of a phantom design document. Section references into
-   ARCHITECTURE.md ("ARCHITECTURE.md §N") must also point at a section
-   heading that exists.
+   citations of a phantom design document.
+
+3. Cross-file section references. A citation of the form "<doc>.md §N"
+   (anywhere: C++ sources, build files, or the markdown files themselves)
+   must point at a §-numbered heading that exists in that document. This
+   covers every markdown file with §-headings (ARCHITECTURE.md,
+   docs/query-engine.md, ...), not just ARCHITECTURE.md; citing a section
+   into a document that has no §-headings at all is also an error, and so
+   is a markdown-prose §-citation of a document that does not exist.
+   CHANGES.md and ISSUE.md are exempt from the §-citation checks — they
+   are history logs that quote citations (documents and section numbers
+   alike) from past states of the tree.
 
 Run from anywhere: paths resolve relative to the repository root (the
 parent of this script's directory).
@@ -39,7 +48,8 @@ SOURCE_GLOBS = [
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 MD_TOKEN_RE = re.compile(r"\b([A-Za-z0-9_\-./]+\.md)\b")
-ARCH_SECTION_RE = re.compile(r"ARCHITECTURE\.md\s+§(\d+(?:\.\d+)?)")
+DOC_SECTION_RE = re.compile(r"([A-Za-z0-9_\-./]+\.md)\s+§(\d+(?:\.\d+)?)")
+SECTION_HEADING_RE = re.compile(r"#+\s*§(\d+(?:\.\d+)?)\b")
 
 
 def md_files():
@@ -74,27 +84,51 @@ def check_markdown_links(errors):
                     )
 
 
-def architecture_sections():
-    arch = ROOT / "ARCHITECTURE.md"
-    if not arch.exists():
-        return set()
-    sections = set()
-    for line in arch.read_text(encoding="utf-8").splitlines():
-        m = re.match(r"#+\s*§(\d+(?:\.\d+)?)\b", line)
-        if m:
-            sections.add(m.group(1))
-    # §N implies its parent §N.M headings and vice versa; accept a §N.M
-    # citation when the §N heading exists but subsections are inline.
-    for s in list(sections):
-        sections.add(s.split(".", 1)[0])
+def doc_sections():
+    """Maps every markdown file (basename and repo-relative path) to the set
+    of §-numbers its headings define. Files without §-headings map to an
+    empty set, so citing a section into them is reported."""
+    sections = {}
+    for md in md_files():
+        found = set()
+        for line in md.read_text(encoding="utf-8").splitlines():
+            m = SECTION_HEADING_RE.match(line)
+            if m:
+                found.add(m.group(1))
+        # §N implies its parent §N.M headings and vice versa; accept a §N.M
+        # citation when the §N heading exists but subsections are inline.
+        for s in list(found):
+            found.add(s.split(".", 1)[0])
+        rel = str(md.relative_to(ROOT))
+        sections[rel] = sections.get(rel, set()) | found
+        if md.name != rel:  # basename key: union over same-named files
+            sections[md.name] = sections.get(md.name, set()) | found
     return sections
 
 
-def check_source_citations(errors):
+def check_section_citations(errors, rel, lineno, line, sections,
+                            report_missing_doc=False):
+    for doc, sec in DOC_SECTION_RE.findall(line):
+        known = sections.get(doc.lstrip("./"))
+        if known is None:
+            # Source files: the MD-token pass already reported the phantom
+            # document. Markdown prose has no such pass, so report it here.
+            if report_missing_doc:
+                errors.append(
+                    f"{rel}:{lineno}: cites nonexistent document '{doc}'"
+                )
+            continue
+        if sec not in known and sec.split(".", 1)[0] not in known:
+            errors.append(
+                f"{rel}:{lineno}: cites {doc} §{sec}, "
+                "which has no such heading"
+            )
+
+
+def check_source_citations(errors, sections):
     known_md = {
         str(p.relative_to(ROOT)) for p in md_files()
     } | {p.name for p in md_files()}
-    sections = architecture_sections()
     for src in source_files():
         text = src.read_text(encoding="utf-8")
         rel = src.relative_to(ROOT)
@@ -106,18 +140,32 @@ def check_source_citations(errors):
                 errors.append(
                     f"{rel}:{lineno}: cites nonexistent document '{token}'"
                 )
-            for sec in ARCH_SECTION_RE.findall(line):
-                if sec not in sections and sec.split(".", 1)[0] not in sections:
-                    errors.append(
-                        f"{rel}:{lineno}: cites ARCHITECTURE.md §{sec}, "
-                        "which has no such heading"
-                    )
+            check_section_citations(errors, rel, lineno, line, sections)
+
+
+def check_markdown_citations(errors, sections):
+    """Cross-file §-references between the markdown files themselves.
+
+    A §-citation of a document that does not exist is reported too.
+    CHANGES.md and ISSUE.md are exempt from both checks entirely: they are
+    historical logs that legitimately quote citations (documents and
+    section numbers alike) from past states of the tree."""
+    for md in md_files():
+        if md.name in ("CHANGES.md", "ISSUE.md"):
+            continue
+        rel = md.relative_to(ROOT)
+        text = md.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), 1):
+            check_section_citations(errors, rel, lineno, line, sections,
+                                    report_missing_doc=True)
 
 
 def main():
     errors = []
+    sections = doc_sections()
     check_markdown_links(errors)
-    check_source_citations(errors)
+    check_source_citations(errors, sections)
+    check_markdown_citations(errors, sections)
     if errors:
         print(f"check_docs: {len(errors)} problem(s)")
         for e in errors:

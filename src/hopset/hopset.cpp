@@ -4,6 +4,7 @@
 
 #include "graph/aspect_ratio.hpp"
 #include "graph/builder.hpp"
+#include "hopset/serialize.hpp"
 
 namespace parhop::hopset {
 
@@ -27,6 +28,9 @@ Hopset build_hopset(pram::Ctx& ctx, const Graph& g, const Params& params,
                     bool track_paths, const SeedSelector& seeds) {
   Hopset H;
   const graph::Vertex n = g.num_vertices();
+  H.graph_n = n;
+  H.graph_m = g.num_edges();
+  H.graph_hash = graph_fingerprint(g);
   if (n < 2 || g.num_edges() == 0) return H;
 
   // §1.5 normalizes the minimum weight to 1; rescaling doubles round-trips

@@ -10,6 +10,7 @@
 // (pram/thread_pool.hpp), so repeated runs produce identical hopsets.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -34,6 +35,14 @@ struct Hopset {
   Schedule schedule;
   std::vector<ScaleStats> scales;
   pram::Cost build_cost;          ///< metered PRAM work/depth of the build
+  /// Identity of the graph the hopset was built for: n, m, and an FNV-1a
+  /// fingerprint of the CSR content (hopset::graph_fingerprint) — same n/m
+  /// is not same graph. Serialized into `.phs` files so a loader can reject
+  /// a hopset paired with the wrong graph; 0 means unknown provenance
+  /// (hand-built Hopset).
+  graph::Vertex graph_n = 0;
+  std::size_t graph_m = 0;
+  std::uint64_t graph_hash = 0;
   /// The distance unit (minimum edge weight) the scale bands were shifted
   /// by; weights themselves are never rescaled (see Schedule::unit).
   double weight_scale = 1.0;

@@ -1,76 +1,289 @@
 #include "hopset/serialize.hpp"
 
+#include <algorithm>
+#include <charconv>
+#include <cstring>
 #include <fstream>
-#include <iomanip>
-#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <string_view>
+#include <system_error>
 
 namespace parhop::hopset {
 
-void write_hopset(std::ostream& out, const Hopset& h) {
-  out << std::setprecision(std::numeric_limits<double>::max_digits10);
-  out << "parhop-hopset 1\n";
-  out << "params " << h.schedule.eps_hat << ' ' << h.schedule.ell << ' '
-      << h.schedule.beta << ' ' << h.schedule.k0 << ' ' << h.schedule.lambda
-      << ' ' << h.schedule.unit << '\n';
-  out << "edges " << h.detailed.size() << '\n';
-  for (const HopsetEdge& e : h.detailed) {
-    out << "e " << e.u << ' ' << e.v << ' ' << e.w << ' ' << e.scale << ' '
-        << e.phase << ' ' << (e.superclustering ? 1 : 0) << ' '
-        << e.witness.steps.size() << '\n';
-    if (!e.witness.steps.empty()) {
-      out << "w";
-      for (const PathStep& s : e.witness.steps)
-        out << ' ' << s.v << ' ' << s.w;
-      out << '\n';
+namespace {
+
+// FNV-1a 64-bit over the serialized bytes; cheap, dependency-free, and more
+// than enough to catch the failure mode it guards (truncation, disk/transfer
+// corruption, concatenated files) — this is an integrity check, not an
+// authentication tag.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& what) {
+  throw std::runtime_error("hopset: " + what + " at line " +
+                           std::to_string(lineno));
+}
+
+std::uint64_t parse_hex16(const std::string& hex) {
+  std::uint64_t v = 0;
+  const auto res =
+      std::from_chars(hex.data(), hex.data() + hex.size(), v, 16);
+  if (res.ec != std::errc{} || res.ptr != hex.data() + hex.size()) return 0;
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t graph_fingerprint(const graph::Graph& g) {
+  std::uint64_t h = kFnvOffset;
+  auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= kFnvPrime;
+    }
+  };
+  mix(g.num_vertices());
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const graph::Arc& a : g.arcs(v)) {
+      std::uint64_t wbits = 0;
+      static_assert(sizeof(wbits) == sizeof(a.w));
+      std::memcpy(&wbits, &a.w, sizeof(wbits));
+      mix(a.to);
+      mix(wbits);
     }
   }
+  return h;
+}
+
+void write_hopset(std::ostream& out, const Hopset& h) {
+  // Buffered std::to_chars formatting (shortest round-trip doubles), hashed
+  // as written so the trailing checksum line covers every payload byte.
+  std::uint64_t hash = kFnvOffset;
+  std::string buf;
+  buf.reserve(1 << 16);
+  char num[64];
+  auto append = [&](std::string_view s) {
+    hash = fnv1a(hash, s);
+    buf.append(s);
+    if (buf.size() >= (1 << 16) - 512) {
+      out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+      buf.clear();
+    }
+  };
+  auto append_num = [&](auto value) {
+    auto [p, ec] = std::to_chars(num, num + sizeof(num), value);
+    if (ec != std::errc{})
+      throw std::runtime_error("hopset: value not representable");
+    append(std::string_view(num, static_cast<std::size_t>(p - num)));
+  };
+
+  append("parhop-hopset ");
+  append_num(kHopsetFormatVersion);
+  append("\ngraph ");
+  append_num(h.graph_n);
+  append(" ");
+  append_num(static_cast<std::uint64_t>(h.graph_m));
+  append(" ");
+  append(hex16(h.graph_hash));
+  append("\nparams ");
+  append_num(h.schedule.eps_hat);
+  append(" ");
+  append_num(h.schedule.ell);
+  append(" ");
+  append_num(h.schedule.beta);
+  append(" ");
+  append_num(h.schedule.k0);
+  append(" ");
+  append_num(h.schedule.lambda);
+  append(" ");
+  append_num(h.schedule.unit);
+  append("\nedges ");
+  append_num(static_cast<std::uint64_t>(h.detailed.size()));
+  append("\n");
+  for (const HopsetEdge& e : h.detailed) {
+    append("e ");
+    append_num(e.u);
+    append(" ");
+    append_num(e.v);
+    append(" ");
+    append_num(e.w);
+    append(" ");
+    append_num(static_cast<int>(e.scale));
+    append(" ");
+    append_num(static_cast<int>(e.phase));
+    append(e.superclustering ? " 1 " : " 0 ");
+    append_num(static_cast<std::uint64_t>(e.witness.steps.size()));
+    append("\n");
+    if (!e.witness.steps.empty()) {
+      append("w");
+      for (const PathStep& s : e.witness.steps) {
+        append(" ");
+        append_num(s.v);
+        append(" ");
+        append_num(s.w);
+      }
+      append("\n");
+    }
+  }
+  append("end\n");
+  // The checksum line is not part of the hashed content.
+  buf += "checksum " + hex16(hash) + "\n";
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
 void write_hopset_file(const std::string& path, const Hopset& h) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open " + path);
   write_hopset(out, h);
+  out.flush();
+  if (!out) throw std::runtime_error("hopset: write to " + path + " failed");
 }
 
 Hopset read_hopset(std::istream& in) {
+  std::uint64_t hash = kFnvOffset;
+  std::size_t lineno = 0;
+  std::string line;
+
+  // Every payload line is hashed (content + '\n') as it is consumed, so a
+  // checksum mismatch pinpoints corruption that still parses cleanly;
+  // structural damage fails earlier with the line number in hand.
+  auto next_line = [&](const std::string& what) {
+    if (!std::getline(in, line))
+      fail(lineno + 1, "truncated file — expected " + what);
+    ++lineno;
+    hash = fnv1a(hash, line);
+    hash = fnv1a(hash, "\n");
+  };
+
+  next_line("'parhop-hopset <version>' header");
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    int version = 0;
+    ls >> tag >> version;
+    if (!ls || tag != "parhop-hopset")
+      fail(lineno, "bad magic — expected 'parhop-hopset <version>'");
+    if (version != kHopsetFormatVersion)
+      fail(lineno, "unsupported format version " + std::to_string(version) +
+                       " (this build reads version " +
+                       std::to_string(kHopsetFormatVersion) +
+                       "; rebuild and re-save the hopset)");
+  }
+
   Hopset h;
-  std::string tag;
-  int version = 0;
-  in >> tag >> version;
-  if (!in || tag != "parhop-hopset" || version != 1)
-    throw std::runtime_error("hopset: bad magic/version");
-  in >> tag;
-  if (tag != "params") throw std::runtime_error("hopset: expected params");
-  in >> h.schedule.eps_hat >> h.schedule.ell >> h.schedule.beta >>
-      h.schedule.k0 >> h.schedule.lambda >> h.schedule.unit;
+  next_line("graph identity line");
+  {
+    std::istringstream ls(line);
+    std::string tag, hex;
+    ls >> tag >> h.graph_n >> h.graph_m >> hex;
+    if (!ls || tag != "graph" || hex.size() != 16)
+      fail(lineno, "expected 'graph <n> <m> <16-hex fingerprint>' line");
+    h.graph_hash = parse_hex16(hex);
+  }
+
+  next_line("params line");
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag >> h.schedule.eps_hat >> h.schedule.ell >> h.schedule.beta >>
+        h.schedule.k0 >> h.schedule.lambda >> h.schedule.unit;
+    if (!ls || tag != "params") fail(lineno, "expected params line");
+  }
+
   std::size_t count = 0;
-  in >> tag >> count;
-  if (!in || tag != "edges") throw std::runtime_error("hopset: expected edges");
-  h.detailed.reserve(count);
-  h.edges.reserve(count);
+  next_line("edges count");
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag >> count;
+    if (!ls || tag != "edges") fail(lineno, "expected edges count");
+  }
+
+  // Cap the up-front reservation: a corrupted count must produce the
+  // truncation error below, not an allocation failure.
+  const std::size_t reserve = std::min(count, std::size_t{1} << 22);
+  h.detailed.reserve(reserve);
+  h.edges.reserve(reserve);
   for (std::size_t i = 0; i < count; ++i) {
-    in >> tag;
-    if (tag != "e") throw std::runtime_error("hopset: expected edge line");
+    next_line("edge " + std::to_string(i + 1) + " of " +
+              std::to_string(count));
+    std::istringstream ls(line);
+    std::string tag;
     HopsetEdge e;
     int sc = 0, ph = 0, super = 0;
     std::size_t wit = 0;
-    in >> e.u >> e.v >> e.w >> sc >> ph >> super >> wit;
-    if (!in) throw std::runtime_error("hopset: truncated edge");
+    ls >> tag >> e.u >> e.v >> e.w >> sc >> ph >> super >> wit;
+    if (!ls || tag != "e") fail(lineno, "malformed edge line");
     e.scale = static_cast<std::int16_t>(sc);
     e.phase = static_cast<std::int16_t>(ph);
     e.superclustering = super != 0;
     if (wit > 0) {
-      in >> tag;
-      if (tag != "w") throw std::runtime_error("hopset: expected witness");
+      next_line("witness of edge " + std::to_string(i + 1));
+      std::istringstream ws(line);
+      ws >> tag;
+      if (!ws || tag != "w") fail(lineno, "expected witness line");
+      // All `wit` steps sit on this one line and each needs ≥ 4 bytes
+      // ("v w" plus a separator), so a corrupted count must fail here —
+      // not as an allocation blow-up in the resize below (same reasoning
+      // as the capped edges reserve above).
+      if (wit > line.size() / 4 + 1)
+        fail(lineno, "witness count " + std::to_string(wit) +
+                         " cannot fit on its line (corrupted count)");
       e.witness.steps.resize(wit);
-      for (auto& s : e.witness.steps) in >> s.v >> s.w;
-      if (!in) throw std::runtime_error("hopset: truncated witness");
+      for (auto& s : e.witness.steps) ws >> s.v >> s.w;
+      if (!ws) fail(lineno, "truncated witness (expected " +
+                                std::to_string(wit) + " steps)");
     }
     h.edges.push_back({e.u, e.v, e.w});
     h.detailed.push_back(std::move(e));
   }
+
+  next_line("end marker");
+  if (line != "end")
+    fail(lineno, "expected end marker, found '" + line +
+                     "' — edge count mismatch or truncated file");
+  const std::uint64_t content_hash = hash;
+
+  if (!std::getline(in, line))
+    fail(lineno + 1, "truncated file — expected checksum line");
+  ++lineno;
+  {
+    std::istringstream ls(line);
+    std::string tag, hex;
+    ls >> tag >> hex;
+    if (!ls || tag != "checksum" || hex.size() != 16)
+      fail(lineno, "expected 'checksum <16-hex>' line");
+    if (hex != hex16(content_hash))
+      fail(lineno, "checksum mismatch — file says " + hex +
+                       ", content hashes to " + hex16(content_hash) +
+                       " (corrupted or hand-edited file)");
+  }
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty())
+      fail(lineno, "trailing garbage after checksum line");
+  }
+
   h.weight_scale = h.schedule.unit;
   return h;
 }
@@ -79,6 +292,27 @@ Hopset read_hopset_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
   return read_hopset(in);
+}
+
+void check_graph_identity(const Hopset& h, const graph::Graph& g,
+                          const std::string& context) {
+  if (h.graph_n == 0) return;
+  if (h.graph_n != g.num_vertices() || h.graph_m != g.num_edges())
+    throw std::runtime_error(
+        context + ": hopset was built for a graph with n=" +
+        std::to_string(h.graph_n) + " m=" + std::to_string(h.graph_m) +
+        ", but the supplied graph has n=" + std::to_string(g.num_vertices()) +
+        " m=" + std::to_string(g.num_edges()));
+  // Same shape is not same graph: a regenerated or re-weighted graph keeps
+  // n/m but changes the CSR content, and serving a hopset against it voids
+  // the (1+eps) guarantee silently. The fingerprint catches that.
+  if (h.graph_hash != 0 && h.graph_hash != graph_fingerprint(g))
+    throw std::runtime_error(
+        context + ": graph content fingerprint mismatch — the supplied "
+                  "graph has the n/m the hopset was built for, but "
+                  "different edges or weights (fingerprint " +
+        hex16(graph_fingerprint(g)) + ", hopset expects " +
+        hex16(h.graph_hash) + ")");
 }
 
 }  // namespace parhop::hopset

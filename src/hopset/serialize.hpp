@@ -1,15 +1,23 @@
-// Hopset (de)serialization: a plain text format so a built hopset (the
-// expensive one-time product) can be stored beside its graph and reloaded by
-// query services. Witness paths are included when present, so a reloaded
-// hopset still supports SPT retrieval.
+// Hopset (de)serialization: the `.phs` format — a line-oriented text format
+// so a built hopset (the expensive one-time product) can be stored beside
+// its graph and reloaded by query services (query::QueryEngine). Witness
+// paths are included when present, so a reloaded hopset still supports SPT
+// retrieval. Full format spec: docs/query-engine.md §1.
 //
-// Format (line-oriented, '#' comments):
-//   parhop-hopset 1
-//   params <epsilon> <kappa> <rho> <beta> <k0> <lambda> <unit>
+// Format version 2 (versioned header, end marker, content checksum):
+//   parhop-hopset 2
+//   graph <n> <m> <16-hex fingerprint> # identity of the graph it was built for
+//   params <eps_hat> <ell> <beta> <k0> <lambda> <unit>
 //   edges <count>
 //   e <u> <v> <w> <scale> <phase> <superclustering 0/1> <witness_len>
 //   [w <v0> <w0> <v1> <w1> ...]        # one line per edge with witness_len>0
-// Weights use max_digits10 so round-trips are bit-exact.
+//   end
+//   checksum <16-hex FNV-1a 64 of every byte up to and including "end\n">
+// Weights print in shortest round-trip form (std::to_chars), so re-reads are
+// bit-exact. The reader rejects truncated files (missing end/checksum),
+// unknown magic, version mismatches, and content corruption (checksum) with
+// line-numbered errors; it does not read version-1 files (which had neither
+// end marker nor checksum — rebuild and re-save).
 #pragma once
 
 #include <iosfwd>
@@ -19,14 +27,32 @@
 
 namespace parhop::hopset {
 
+/// Current `.phs` format version written by write_hopset.
+inline constexpr int kHopsetFormatVersion = 2;
+
 /// Writes the hopset (detailed edges + schedule essentials).
 void write_hopset(std::ostream& out, const Hopset& h);
 void write_hopset_file(const std::string& path, const Hopset& h);
 
-/// Reads a hopset written by write_hopset. Throws std::runtime_error on
-/// malformed input. The schedule carries only the serialized fields (β, k0,
-/// λ, ε̂-independent parts); deg/δ schedules are not needed after building.
+/// Reads a hopset written by write_hopset. Throws std::runtime_error with a
+/// line-numbered message on malformed, truncated, or corrupted input. The
+/// schedule carries only the serialized fields (β, k0, λ, ε̂-independent
+/// parts); deg/δ schedules are not needed after building.
 Hopset read_hopset(std::istream& in);
 Hopset read_hopset_file(const std::string& path);
+
+/// FNV-1a 64 fingerprint of a graph's CSR content (n plus every arc's
+/// endpoint and weight bits) — the identity a `.phs` file records so a
+/// hopset can't be served against a same-shape-but-different graph.
+std::uint64_t graph_fingerprint(const graph::Graph& g);
+
+/// Rejects (std::runtime_error, naming both sides) a hopset whose recorded
+/// graph identity (n, m, content fingerprint) does not match `g` — a
+/// structurally valid .phs paired with the wrong graph would otherwise
+/// serve garbage silently. `context` prefixes the message (typically the
+/// .phs path). graph_n == 0 marks unknown provenance (hand-built Hopset)
+/// and passes.
+void check_graph_identity(const Hopset& h, const graph::Graph& g,
+                          const std::string& context);
 
 }  // namespace parhop::hopset

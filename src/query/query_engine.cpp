@@ -1,0 +1,167 @@
+#include "query/query_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+#include "graph/io.hpp"
+#include "hopset/serialize.hpp"
+#include "util/timer.hpp"
+
+namespace parhop::query {
+
+using graph::Vertex;
+using graph::Weight;
+using util::seconds_since;
+
+namespace {
+
+void check_vertex(Vertex v, Vertex n, const char* what) {
+  if (v >= n)
+    throw std::out_of_range(std::string("query ") + what + " " +
+                            std::to_string(v) + " out of range (graph has " +
+                            std::to_string(n) + " vertices)");
+}
+
+}  // namespace
+
+std::vector<PointQuery> spread_queries(std::size_t k, Vertex n) {
+  std::vector<PointQuery> queries(k);
+  // n == 0: leave the {0, 0} defaults — run_batch rejects them with the
+  // usual out_of_range instead of this loop dividing by zero.
+  if (n == 0) return queries;
+  for (std::size_t i = 0; i < k; ++i) {
+    queries[i].source = static_cast<Vertex>((i * 2654435761u) % n);
+    queries[i].target = static_cast<Vertex>((i * 2654435761u + 1013904223u) % n);
+  }
+  return queries;
+}
+
+QueryEngine::QueryEngine(const graph::Graph& g,
+                         std::span<const graph::Edge> hopset_edges, int beta)
+    : beta_(beta), hop_budget_(beta) {
+  const auto start = std::chrono::steady_clock::now();
+  gu_ = sssp::union_graph(g, hopset_edges);
+  // The per-round depth charge is a function of the merged CSR only;
+  // computing it here keeps the per-query work free of the O(n) degree scan
+  // while charging exactly what the one-shot kernel derives itself.
+  std::size_t max_deg = 0;
+  for (Vertex v = 0; v < gu_.num_vertices(); ++v)
+    max_deg = std::max(max_deg, gu_.degree(v));
+  round_depth_ = pram::ceil_log2(max_deg) + 1;
+  stats_.prep_s = seconds_since(start);
+  stats_.hopset_edges = hopset_edges.size();
+}
+
+QueryEngine QueryEngine::load(const std::string& graph_path,
+                              const std::string& hopset_path) {
+  auto start = std::chrono::steady_clock::now();
+  graph::Graph g = graph::read_dimacs_file(graph_path);
+  const double graph_s = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  hopset::Hopset h = hopset::read_hopset_file(hopset_path);
+  const double hopset_s = seconds_since(start);
+
+  hopset::check_graph_identity(h, g, hopset_path);
+
+  QueryEngine e(g, h.edges, h.schedule.beta);
+  e.stats_.graph_load_s = graph_s;
+  e.stats_.hopset_load_s = hopset_s;
+  return e;
+}
+
+std::span<const Weight> QueryEngine::single_source(pram::Ctx& ctx,
+                                                   QueryWorkspace& ws,
+                                                   Vertex source) const {
+  check_vertex(source, gu_.num_vertices(), "source");
+  Vertex srcs[1] = {source};
+  sssp::bellman_ford_reuse(ctx, gu_, srcs, hop_budget_, ws.bf_, nullptr,
+                           round_depth_);
+  ++ws.served_;
+  return ws.bf_.dist();
+}
+
+std::vector<std::vector<Weight>> QueryEngine::multi_source(
+    pram::Ctx& ctx, QueryWorkspace& ws,
+    std::span<const Vertex> sources) const {
+  std::vector<std::vector<Weight>> rows;
+  rows.reserve(sources.size());
+  std::uint64_t max_depth = 0;
+  for (Vertex s : sources) {
+    pram::Ctx sub(ctx.pool);
+    auto dist = single_source(sub, ws, s);
+    rows.emplace_back(dist.begin(), dist.end());
+    pram::Cost c = sub.meter.snapshot();
+    ctx.charge_work(c.work);
+    max_depth = std::max(max_depth, c.depth);
+  }
+  ctx.charge_depth(max_depth);
+  return rows;
+}
+
+Weight QueryEngine::point_to_point(pram::Ctx& ctx, QueryWorkspace& ws,
+                                   Vertex s, Vertex t) const {
+  check_vertex(t, gu_.num_vertices(), "target");
+  return single_source(ctx, ws, s)[t];
+}
+
+BatchResult QueryEngine::run_batch(pram::ThreadPool* pool,
+                                   std::span<const PointQuery> queries,
+                                   std::vector<QueryWorkspace>& slots) const {
+  BatchResult out;
+  const std::size_t k = queries.size();
+  out.answers.assign(k, graph::kInfWeight);
+  out.latency_s.assign(k, 0.0);
+  if (k == 0) return out;
+
+  // Validate the whole batch before any work runs: a bad id must not surface
+  // as an out-of-bounds slab access mid-batch on a worker thread.
+  for (const PointQuery& q : queries) {
+    check_vertex(q.source, gu_.num_vertices(), "source");
+    check_vertex(q.target, gu_.num_vertices(), "target");
+  }
+
+  // One contiguous strip per workspace slot: at most pool->size() strips, so
+  // every claimed slot index is in range and each strip's queries share one
+  // warm workspace. Which slot serves which strip is scheduling-dependent;
+  // the answers are not (queries are independent and run sequentially).
+  const std::size_t strips = std::min(pool->size(), k);
+  if (slots.size() < strips) slots.resize(strips);
+  const std::size_t grain = (k + strips - 1) / strips;
+
+  // Per-query metered cost, reduced after the run under the parallel
+  // composition rule (Σ work, max depth) so the batch charge is identical at
+  // every pool size.
+  std::vector<std::uint64_t> work(k, 0), depth(k, 0);
+  std::atomic<std::size_t> next_slot{0};
+
+  pool->run_chunks(k, grain, [&](std::size_t b, std::size_t e) {
+    QueryWorkspace& ws = slots[next_slot.fetch_add(1)];
+    // A workerless pool: every per-query primitive runs inline on this
+    // worker thread (run_chunks is not reentrant on the outer pool).
+    pram::ThreadPool seq(1);
+    for (std::size_t i = b; i < e; ++i) {
+      pram::Ctx cx(&seq);
+      const auto start = std::chrono::steady_clock::now();
+      Vertex srcs[1] = {queries[i].source};
+      sssp::bellman_ford_reuse(cx, gu_, srcs, hop_budget_, ws.bf_, nullptr,
+                               round_depth_);
+      out.answers[i] = ws.bf_.dist()[queries[i].target];
+      out.latency_s[i] = seconds_since(start);
+      ++ws.served_;
+      pram::Cost c = cx.meter.snapshot();
+      work[i] = c.work;
+      depth[i] = c.depth;
+    }
+  });
+
+  for (std::size_t i = 0; i < k; ++i) {
+    out.cost.work += work[i];
+    out.cost.depth = std::max(out.cost.depth, depth[i]);
+  }
+  return out;
+}
+
+}  // namespace parhop::query

@@ -1,0 +1,152 @@
+// Build-once / query-many hopset serving engine (ARCHITECTURE.md §7,
+// docs/query-engine.md).
+//
+// The paper's object is an index: pay the construction cost once
+// (Theorem 3.7), then answer (1+ε)-approximate distance queries forever
+// after with a β-bounded Bellman–Ford over G ∪ H (Theorem 3.8).
+// QueryEngine is that deployment shape: it loads a graph (.gr) and a
+// serialized hopset (.phs, hopset/serialize.hpp), materializes the merged
+// G ∪ H CSR once, precomputes the per-round depth charge, and serves
+// single-source / multi-source / point-to-point queries through reusable
+// QueryWorkspaces — epoch-stamped distance slabs (sssp::BfWorkspace), so a
+// batch of k queries costs O(k·β·(m+|H|)/p) work with zero per-query
+// allocations once warm.
+//
+// Determinism contract (docs/query-engine.md §3): queries are independent.
+// run_batch partitions the batch into contiguous strips, one per workspace
+// slot, and every individual query runs sequentially inside one worker, so
+// per-query answers are bit-identical at any pool size, any strip
+// assignment, and any workspace reuse history. Latency percentiles are the
+// only machine-dependent output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pram/primitives.hpp"
+#include "sssp/bellman_ford.hpp"
+
+namespace parhop::query {
+
+/// Per-caller reusable query state: the epoch-stamped distance slabs plus a
+/// served-query counter. Not thread-safe — use one per concurrent caller
+/// (run_batch claims one slot per strip).
+class QueryWorkspace {
+ public:
+  std::uint64_t queries_served() const { return served_; }
+
+ private:
+  friend class QueryEngine;
+  sssp::BfWorkspace bf_;
+  std::uint64_t served_ = 0;
+};
+
+/// One point-to-point request of a batch.
+struct PointQuery {
+  graph::Vertex source = 0;
+  graph::Vertex target = 0;
+};
+
+/// Deterministic hash-spread batch of k point-to-point queries over n
+/// vertices: query i is ((i·2654435761) mod n, (i·2654435761 + 1013904223)
+/// mod n). The one generator shared by `parhop_cli query --batch` and bench
+/// e13, so the CLI demo and the committed baseline measure the same
+/// workload.
+std::vector<PointQuery> spread_queries(std::size_t k, graph::Vertex n);
+
+/// Outcome of QueryEngine::run_batch.
+struct BatchResult {
+  std::vector<graph::Weight> answers;  ///< answers[i] serves queries[i]
+  std::vector<double> latency_s;       ///< per-query wall latency, seconds
+  /// Metered cost of the batch under parallel composition: work summed over
+  /// queries, depth the max over queries — pool-size independent.
+  pram::Cost cost;
+};
+
+/// Prepared build-once / query-many serving engine over G ∪ H.
+class QueryEngine {
+ public:
+  /// Prepares the engine from in-memory parts; the merged G ∪ H CSR is
+  /// materialized here, once. `beta` is the hopset's hop budget β̂ and the
+  /// default serving budget.
+  QueryEngine(const graph::Graph& g,
+              std::span<const graph::Edge> hopset_edges, int beta);
+
+  /// Loads a DIMACS graph and a `.phs` hopset and prepares the engine;
+  /// per-phase load timings land in stats(). Throws std::runtime_error on
+  /// unreadable or corrupted files (hopset/serialize.hpp rejects truncation,
+  /// bad magic, version mismatch, and checksum failures).
+  static QueryEngine load(const std::string& graph_path,
+                          const std::string& hopset_path);
+
+  /// Load/prep timings of the one-time setup (zero for the in-memory ctor
+  /// except prep_s).
+  struct Stats {
+    double graph_load_s = 0;   ///< read_dimacs_file wall
+    double hopset_load_s = 0;  ///< read_hopset_file wall
+    double prep_s = 0;         ///< union CSR + depth precompute wall
+    std::size_t hopset_edges = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  graph::Vertex num_vertices() const { return gu_.num_vertices(); }
+  /// Edges of the merged G ∪ H (lightest parallel edge kept).
+  std::size_t num_union_edges() const { return gu_.num_edges(); }
+  const graph::Graph& merged() const { return gu_; }
+  int beta() const { return beta_; }
+
+  /// Serving hop budget for subsequent queries. Defaults to β̂; serving
+  /// deployments typically lower it to the measured empirical hopbound
+  /// (e3 / e13) — every run still exits early at its fixpoint. Throws
+  /// std::invalid_argument on hops < 1: a zero-round budget would silently
+  /// serve +inf for every query.
+  void set_hop_budget(int hops) {
+    if (hops < 1)
+      throw std::invalid_argument("hop budget must be >= 1, got " +
+                                  std::to_string(hops));
+    hop_budget_ = hops;
+  }
+  int hop_budget() const { return hop_budget_; }
+
+  /// (1+ε)-approximate distances from `source`, parallel across ctx.pool.
+  /// The returned view lives in `ws` — valid until its next query.
+  /// Queries index raw distance slabs, so vertex ids are validated at this
+  /// boundary: single_source / point_to_point / run_batch throw
+  /// std::out_of_range on a source or target ≥ num_vertices().
+  std::span<const graph::Weight> single_source(pram::Ctx& ctx,
+                                               QueryWorkspace& ws,
+                                               graph::Vertex source) const;
+
+  /// S × V rows (aMSSD); `ws` is reused across all |S| runs. Charges work
+  /// summed and depth maxed over the runs (parallel composition).
+  std::vector<std::vector<graph::Weight>> multi_source(
+      pram::Ctx& ctx, QueryWorkspace& ws,
+      std::span<const graph::Vertex> sources) const;
+
+  /// Approximate s–t distance (one source query; batch many pairs through
+  /// run_batch instead).
+  graph::Weight point_to_point(pram::Ctx& ctx, QueryWorkspace& ws,
+                               graph::Vertex s, graph::Vertex t) const;
+
+  /// Batched serving: splits `queries` into contiguous strips, one per
+  /// claimed workspace slot (at most pool->size() strips), and runs every
+  /// query sequentially inside its worker. `slots` is caller-owned so
+  /// workspaces persist across batches; it is grown to the strip count when
+  /// short. Answers are bit-identical at any pool size.
+  BatchResult run_batch(pram::ThreadPool* pool,
+                        std::span<const PointQuery> queries,
+                        std::vector<QueryWorkspace>& slots) const;
+
+ private:
+  graph::Graph gu_;
+  int beta_ = 1;
+  int hop_budget_ = 1;
+  std::uint64_t round_depth_ = 1;  ///< per-round depth charge, precomputed
+  Stats stats_;
+};
+
+}  // namespace parhop::query

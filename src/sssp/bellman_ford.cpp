@@ -12,47 +12,99 @@ using graph::kNoVertex;
 using graph::Vertex;
 using graph::Weight;
 
-BellmanFordResult bellman_ford(
-    pram::Ctx& ctx, const Graph& g, std::span<const Vertex> sources, int hops,
-    const std::function<void(int, std::span<const Weight>)>& on_round) {
+void BfWorkspace::ensure(graph::Vertex n) {
+  if (dist_.size() == n && parent_.size() == n) return;
+  dist_.assign(n, kInfWeight);
+  next_dist_.assign(n, kInfWeight);
+  parent_.assign(n, kNoVertex);
+  next_parent_.assign(n, kNoVertex);
+  stamp_.assign(n, 0);
+  epoch_ = 0;
+}
+
+int bellman_ford_reuse(pram::Ctx& ctx, const Graph& g,
+                       std::span<const Vertex> sources, int hops,
+                       BfWorkspace& ws, const RoundHook& on_round,
+                       std::uint64_t round_depth) {
   const Vertex n = g.num_vertices();
-  BellmanFordResult r;
-  r.dist.assign(n, kInfWeight);
-  r.parent.assign(n, kNoVertex);
-  for (Vertex s : sources) r.dist[s] = 0;
+  ws.ensure(n);
+  ++ws.epoch_;
+  const std::uint64_t epoch = ws.epoch_;
+  for (Vertex s : sources) {
+    ws.dist_[s] = 0;
+    ws.stamp_[s] = epoch;
+  }
 
-  std::vector<Weight> next_dist(n);
-  std::vector<Vertex> next_parent(n);
-  std::size_t max_deg = 0;
-  for (Vertex v = 0; v < n; ++v) max_deg = std::max(max_deg, g.degree(v));
-  const std::uint64_t round_depth = pram::ceil_log2(max_deg) + 1;
+  if (round_depth == 0) {
+    std::size_t max_deg = 0;
+    for (Vertex v = 0; v < n; ++v) max_deg = std::max(max_deg, g.degree(v));
+    round_depth = pram::ceil_log2(max_deg) + 1;
+  }
 
+  // Before round 1 an entry is live only when its stamp matches the current
+  // epoch (everything else belongs to an earlier run); from round 2 on the
+  // previous gather has written every slot, so reads are plain.
+  auto dist0 = [&](Vertex u) {
+    return ws.stamp_[u] == epoch ? ws.dist_[u] : kInfWeight;
+  };
+  auto gather = [&](auto read_dist, auto read_parent,
+                    std::atomic<bool>& changed) {
+    pram::parallel_for(ctx, n, [&](std::size_t v) {
+      const Weight prev = read_dist(static_cast<Vertex>(v));
+      Weight best = prev;
+      Vertex arg = read_parent(static_cast<Vertex>(v));
+      for (const Arc& a : g.arcs(static_cast<Vertex>(v))) {
+        Weight cand = read_dist(a.to) + a.w;
+        if (cand < best || (cand == best && arg != kNoVertex && a.to < arg)) {
+          best = cand;
+          arg = a.to;
+        }
+      }
+      ws.next_dist_[v] = best;
+      ws.next_parent_[v] = arg;
+      if (best < prev) changed.store(true, std::memory_order_relaxed);
+    });
+  };
+
+  int rounds_run = 0;
   for (int h = 1; h <= hops; ++h) {
     std::atomic<bool> changed{false};
     // Vertex-parallel gather; reads only the previous round's arrays, so the
     // result is the exact h-hop-bounded distance and fully deterministic.
     ctx.charge_work(2 * g.num_edges());
     ctx.charge_depth(round_depth);
-    pram::parallel_for(ctx, n, [&](std::size_t v) {
-      Weight best = r.dist[v];
-      Vertex arg = r.parent[v];
-      for (const Arc& a : g.arcs(static_cast<Vertex>(v))) {
-        Weight cand = r.dist[a.to] + a.w;
-        if (cand < best || (cand == best && arg != kNoVertex && a.to < arg)) {
-          best = cand;
-          arg = a.to;
-        }
-      }
-      next_dist[v] = best;
-      next_parent[v] = arg;
-      if (best < r.dist[v]) changed.store(true, std::memory_order_relaxed);
-    });
-    r.dist.swap(next_dist);
-    r.parent.swap(next_parent);
-    r.rounds_run = h;
-    if (on_round) on_round(h, r.dist);
+    if (h == 1) {
+      gather(dist0, [](Vertex) { return kNoVertex; }, changed);
+    } else {
+      gather([&](Vertex u) { return ws.dist_[u]; },
+             [&](Vertex u) { return ws.parent_[u]; }, changed);
+    }
+    ws.dist_.swap(ws.next_dist_);
+    ws.parent_.swap(ws.next_parent_);
+    rounds_run = h;
+    if (on_round) on_round(h, std::span<const Weight>(ws.dist_));
     if (!changed.load()) break;
   }
+
+  if (rounds_run == 0) {
+    // hops < 1: no gather densified the slabs — materialize the initial
+    // state so dist()/parent() are valid regardless.
+    for (Vertex v = 0; v < n; ++v) {
+      ws.dist_[v] = dist0(v);
+      ws.parent_[v] = kNoVertex;
+    }
+  }
+  return rounds_run;
+}
+
+BellmanFordResult bellman_ford(pram::Ctx& ctx, const Graph& g,
+                               std::span<const Vertex> sources, int hops,
+                               const RoundHook& on_round) {
+  BfWorkspace ws;
+  BellmanFordResult r;
+  r.rounds_run = bellman_ford_reuse(ctx, g, sources, hops, ws, on_round);
+  r.dist = ws.take_dist();
+  r.parent = ws.take_parent();
   return r;
 }
 
@@ -72,9 +124,18 @@ std::vector<std::vector<Weight>> multi_source_bellman_ford(
   std::vector<std::vector<Weight>> rows;
   rows.reserve(sources.size());
   std::uint64_t max_depth = 0;
+  BfWorkspace ws;
+  // The per-round depth charge is a function of the graph only — derive it
+  // once instead of letting every run rescan all n degrees.
+  std::size_t max_deg = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    max_deg = std::max(max_deg, g.degree(v));
+  const std::uint64_t round_depth = pram::ceil_log2(max_deg) + 1;
   for (Vertex s : sources) {
     pram::Ctx sub(ctx.pool);
-    rows.push_back(bellman_ford(sub, g, s, hops).dist);
+    Vertex srcs[1] = {s};
+    bellman_ford_reuse(sub, g, srcs, hops, ws, nullptr, round_depth);
+    rows.emplace_back(ws.dist().begin(), ws.dist().end());
     pram::Cost c = sub.meter.snapshot();
     ctx.charge_work(c.work);
     max_depth = std::max(max_depth, c.depth);

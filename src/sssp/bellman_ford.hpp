@@ -10,8 +10,17 @@
 //
 // PRAM charges per round: work O(n + m), depth O(log Δ) (balanced min tree
 // over each vertex's ≤ Δ incident arcs).
+//
+// Serving path: back-to-back queries reuse a BfWorkspace — flat distance
+// slabs with an epoch stamp per vertex, so starting a query costs O(|S|)
+// stamping instead of the O(n) array reinitialization (and zero allocations
+// once warm). The one-shot bellman_ford() wrappers below run on a fresh
+// workspace and are bit-identical to the pre-workspace kernel, charges
+// included. query::QueryEngine layers batching on top
+// (ARCHITECTURE.md §7, docs/query-engine.md §2).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -21,6 +30,46 @@
 
 namespace parhop::sssp {
 
+/// Per-round observer: on_round(h, dist) after round h (used by the hopbound
+/// experiment and serving-budget probes).
+using RoundHook = std::function<void(int, std::span<const graph::Weight>)>;
+
+/// Reusable storage for hop-limited runs. Owns the double-buffered
+/// dist/parent slabs plus an epoch stamp per vertex: a new query bumps the
+/// epoch and stamps only its sources; the first gather round maps entries
+/// carrying a stale stamp to +inf / kNoVertex, and every later round reads
+/// plainly (the gather writes all n slots each round, so the slabs are dense
+/// after round 1). Results are bit-identical to a fresh run regardless of
+/// what was served before — pinned by tests/test_query_engine.cpp.
+class BfWorkspace {
+ public:
+  /// Hop-limited runs served by this workspace so far.
+  std::uint64_t runs() const { return epoch_; }
+
+  /// Views of the last run's result; valid until the next run against this
+  /// workspace (or a take_*() call). Dense: every vertex has a value.
+  std::span<const graph::Weight> dist() const { return dist_; }
+  std::span<const graph::Vertex> parent() const { return parent_; }
+
+  /// Moves the result out (the one-shot bellman_ford() path). The workspace
+  /// re-initializes itself on its next run.
+  std::vector<graph::Weight> take_dist() { return std::move(dist_); }
+  std::vector<graph::Vertex> take_parent() { return std::move(parent_); }
+
+ private:
+  friend int bellman_ford_reuse(pram::Ctx&, const graph::Graph&,
+                                std::span<const graph::Vertex>, int,
+                                BfWorkspace&, const RoundHook&,
+                                std::uint64_t);
+
+  void ensure(graph::Vertex n);
+
+  std::vector<graph::Weight> dist_, next_dist_;
+  std::vector<graph::Vertex> parent_, next_parent_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 0;
+};
+
 /// Result of a hop-limited run from one source set.
 struct BellmanFordResult {
   std::vector<graph::Weight> dist;    ///< d^{(h)}(S, v); +inf if unreached
@@ -28,21 +77,31 @@ struct BellmanFordResult {
   int rounds_run = 0;                 ///< may stop early on fixpoint
 };
 
-/// Runs `hops` rounds from the (multi-)source set. Stops early when a round
-/// changes nothing. `on_round(h, dist)` is invoked after each round when
-/// provided (used by the hopbound experiment).
-BellmanFordResult bellman_ford(
-    pram::Ctx& ctx, const graph::Graph& g,
-    std::span<const graph::Vertex> sources, int hops,
-    const std::function<void(int, std::span<const graph::Weight>)>& on_round =
-        nullptr);
+/// The workspace-reusing kernel: runs `hops` rounds from the (multi-)source
+/// set into `ws` and returns the rounds run (early exit on fixpoint). After
+/// the call ws.dist()/ws.parent() hold the result. `round_depth` is the
+/// per-round depth charge (0 = derive ceil(log2 max_deg)+1 from g — callers
+/// serving many queries precompute it once; the charge is identical either
+/// way). Results and metered costs are bit-identical to bellman_ford().
+int bellman_ford_reuse(pram::Ctx& ctx, const graph::Graph& g,
+                       std::span<const graph::Vertex> sources, int hops,
+                       BfWorkspace& ws, const RoundHook& on_round = nullptr,
+                       std::uint64_t round_depth = 0);
+
+/// Runs `hops` rounds from the (multi-)source set on a fresh workspace.
+/// Stops early when a round changes nothing. `on_round(h, dist)` is invoked
+/// after each round when provided (used by the hopbound experiment).
+BellmanFordResult bellman_ford(pram::Ctx& ctx, const graph::Graph& g,
+                               std::span<const graph::Vertex> sources,
+                               int hops, const RoundHook& on_round = nullptr);
 
 /// Single-source convenience.
 BellmanFordResult bellman_ford(pram::Ctx& ctx, const graph::Graph& g,
                                graph::Vertex source, int hops);
 
 /// S × V distances via |S| independent hop-limited explorations, as in
-/// Theorem 3.8's aMSSD. Row i is the distance vector of sources[i].
+/// Theorem 3.8's aMSSD. Row i is the distance vector of sources[i]. One
+/// workspace is reused across all |S| runs.
 std::vector<std::vector<graph::Weight>> multi_source_bellman_ford(
     pram::Ctx& ctx, const graph::Graph& g,
     std::span<const graph::Vertex> sources, int hops);

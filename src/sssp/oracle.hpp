@@ -1,10 +1,12 @@
 // Distance oracle: a prepared (G ∪ H, β) pair answering repeated
 // (1+ε)-approximate queries without rebuilding the union graph.
 //
-// This is the deployment shape of Theorem 3.8: the hopset is built once
+// This is the in-memory shape of Theorem 3.8: the hopset is built once
 // (O~((|E|+n^{1+1/κ})n^ρ) work), then every query is a β-round hop-limited
 // Bellman–Ford — polylog depth, O~(β·|E ∪ H|) work, amortized across as many
-// sources as desired.
+// sources as desired. The full serving stack (persisted .phs hopsets,
+// reusable workspaces, batching) is query::QueryEngine
+// (ARCHITECTURE.md §7).
 #pragma once
 
 #include <optional>

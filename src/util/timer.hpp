@@ -1,0 +1,17 @@
+// Wall-clock helper shared by anything that times phases against
+// std::chrono::steady_clock (the query engine's load/prep stats, the CLI's
+// per-phase prints). Bench-side code uses bench::Timer instead, which is not
+// visible from src/ or examples/.
+#pragma once
+
+#include <chrono>
+
+namespace parhop::util {
+
+inline double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace parhop::util

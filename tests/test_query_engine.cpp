@@ -1,0 +1,412 @@
+// Tests for the build-once / query-many serving subsystem: the `.phs`
+// serialize format (round-trip exactness, corruption rejection), the
+// epoch-stamped BfWorkspace reuse path, and query::QueryEngine batching
+// (determinism across pool sizes and workspace histories —
+// docs/query-engine.md §3).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "hopset/hopset.hpp"
+#include "hopset/serialize.hpp"
+#include "query/query_engine.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/sssp.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+using graph::Weight;
+
+hopset::Hopset build_small(const Graph& g, bool track_paths = false) {
+  hopset::Params p;
+  auto cx = testing::ctx();
+  return hopset::build_hopset(cx, g, p, track_paths);
+}
+
+Graph graph_full() {
+  graph::GenOptions o;
+  o.seed = 81;
+  return graph::gnm(1024, 4096, o);
+}
+
+Graph graph_tiny() {
+  graph::GenOptions o;
+  o.seed = 82;
+  return graph::gnm(24, 60, o);
+}
+
+void expect_exact_roundtrip(const hopset::Hopset& H) {
+  std::stringstream ss;
+  hopset::write_hopset(ss, H);
+  hopset::Hopset H2 = hopset::read_hopset(ss);
+  ASSERT_EQ(H.edges.size(), H2.edges.size());
+  for (std::size_t i = 0; i < H.edges.size(); ++i) {
+    EXPECT_EQ(H.edges[i].u, H2.edges[i].u);
+    EXPECT_EQ(H.edges[i].v, H2.edges[i].v);
+    // Bit-exact weights: shortest-round-trip printing must re-read to the
+    // same double.
+    EXPECT_EQ(H.edges[i].w, H2.edges[i].w);
+  }
+  ASSERT_EQ(H.detailed.size(), H2.detailed.size());
+  for (std::size_t i = 0; i < H.detailed.size(); ++i) {
+    EXPECT_EQ(H.detailed[i].scale, H2.detailed[i].scale);
+    EXPECT_EQ(H.detailed[i].phase, H2.detailed[i].phase);
+    EXPECT_EQ(H.detailed[i].superclustering, H2.detailed[i].superclustering);
+    ASSERT_EQ(H.detailed[i].witness.steps.size(),
+              H2.detailed[i].witness.steps.size());
+    for (std::size_t s = 0; s < H.detailed[i].witness.steps.size(); ++s) {
+      EXPECT_EQ(H.detailed[i].witness.steps[s].v,
+                H2.detailed[i].witness.steps[s].v);
+      EXPECT_EQ(H.detailed[i].witness.steps[s].w,
+                H2.detailed[i].witness.steps[s].w);
+    }
+  }
+  EXPECT_EQ(H.graph_n, H2.graph_n);
+  EXPECT_EQ(H.graph_m, H2.graph_m);
+  EXPECT_EQ(H.graph_hash, H2.graph_hash);
+  EXPECT_EQ(H.schedule.beta, H2.schedule.beta);
+  EXPECT_EQ(H.schedule.k0, H2.schedule.k0);
+  EXPECT_EQ(H.schedule.lambda, H2.schedule.lambda);
+  EXPECT_EQ(H.schedule.eps_hat, H2.schedule.eps_hat);
+  EXPECT_EQ(H.schedule.unit, H2.schedule.unit);
+}
+
+TEST(PhsFormat, RoundTripExactTiny) {
+  expect_exact_roundtrip(build_small(graph_tiny()));
+}
+
+TEST(PhsFormat, RoundTripExactFull) {
+  expect_exact_roundtrip(build_small(graph_full()));
+}
+
+TEST(PhsFormat, RoundTripExactWithWitnesses) {
+  expect_exact_roundtrip(build_small(graph_tiny(), /*track_paths=*/true));
+}
+
+std::string serialized_tiny() {
+  std::stringstream ss;
+  hopset::write_hopset(ss, build_small(graph_tiny()));
+  return ss.str();
+}
+
+void expect_rejected(const std::string& text, const std::string& needle) {
+  std::stringstream ss(text);
+  try {
+    hopset::read_hopset(ss);
+    FAIL() << "expected rejection (" << needle << ")";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual error: " << e.what();
+  }
+}
+
+TEST(PhsFormat, RejectsBadMagic) {
+  expect_rejected("not-a-hopset 2\n", "bad magic");
+}
+
+TEST(PhsFormat, RejectsVersionMismatch) {
+  expect_rejected("parhop-hopset 1\n", "unsupported format version 1");
+  expect_rejected("parhop-hopset 9\n", "unsupported format version 9");
+}
+
+TEST(PhsFormat, RejectsTruncatedFile) {
+  const std::string good = serialized_tiny();
+  // Cut mid-file at a line boundary: structural truncation must name the
+  // line that was expected next.
+  const auto cut = good.find('\n', good.size() / 2);
+  ASSERT_NE(cut, std::string::npos);
+  expect_rejected(good.substr(0, cut + 1), "truncated file");
+  // Cut just the checksum line off.
+  const auto tail = good.rfind("checksum");
+  expect_rejected(good.substr(0, tail), "expected checksum line");
+}
+
+TEST(PhsFormat, RejectsCorruptedContent) {
+  std::string bad = serialized_tiny();
+  // Flip the leading digit of eps_hat in the params line; the structure
+  // still parses cleanly, so only the checksum can catch it.
+  const auto pos = bad.find("params ") + 7;
+  ASSERT_LT(pos, bad.size());
+  bad[pos] = bad[pos] == '1' ? '2' : '1';
+  expect_rejected(bad, "checksum mismatch");
+}
+
+TEST(PhsFormat, RejectsCorruptedEdgeLine) {
+  // A graph big enough that the hopset is non-empty, so the corruption test
+  // also covers edge lines.
+  std::stringstream ss;
+  hopset::Hopset H = build_small(graph_full());
+  ASSERT_FALSE(H.edges.empty());
+  hopset::write_hopset(ss, H);
+  std::string bad = ss.str();
+  const auto pos = bad.find("\ne ");
+  ASSERT_NE(pos, std::string::npos);
+  bad[pos + 3] = bad[pos + 3] == '1' ? '2' : '1';
+  expect_rejected(bad, "checksum mismatch");
+}
+
+TEST(PhsFormat, RejectsEdgeCountMismatch) {
+  std::string bad = serialized_tiny();
+  // Declaring one extra edge makes the end marker arrive early.
+  const auto pos = bad.find("edges ");
+  ASSERT_NE(pos, std::string::npos);
+  std::size_t count = 0;
+  std::sscanf(bad.c_str() + pos, "edges %zu", &count);
+  bad.replace(pos, bad.find('\n', pos) - pos,
+              "edges " + std::to_string(count + 1));
+  expect_rejected(bad, "malformed edge line");
+}
+
+TEST(PhsFormat, RejectsTrailingGarbage) {
+  expect_rejected(serialized_tiny() + "extra\n", "trailing garbage");
+}
+
+TEST(PhsFormat, RejectsWrongGraphPairing) {
+  Graph tiny = graph_tiny();
+  hopset::Hopset H = build_small(tiny);
+  ASSERT_EQ(H.graph_n, tiny.num_vertices());
+  ASSERT_EQ(H.graph_m, tiny.num_edges());
+  ASSERT_EQ(H.graph_hash, hopset::graph_fingerprint(tiny));
+  EXPECT_NO_THROW(hopset::check_graph_identity(H, tiny, "h.phs"));
+  // A structurally valid hopset against the wrong graph must fail by name,
+  // not serve garbage (or die deep in union_graph).
+  try {
+    hopset::check_graph_identity(H, graph_full(), "h.phs");
+    FAIL() << "expected graph-identity rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("built for a graph"),
+              std::string::npos)
+        << "actual error: " << e.what();
+  }
+  // Same n/m is not same graph: one perturbed weight keeps the shape but
+  // the content fingerprint must still reject the pairing.
+  std::vector<graph::Edge> edges = tiny.edge_list();
+  ASSERT_FALSE(edges.empty());
+  edges[0].w += 0.5;
+  Graph reweighted = Graph::from_edges(tiny.num_vertices(), edges);
+  ASSERT_EQ(reweighted.num_vertices(), tiny.num_vertices());
+  ASSERT_EQ(reweighted.num_edges(), tiny.num_edges());
+  try {
+    hopset::check_graph_identity(H, reweighted, "h.phs");
+    FAIL() << "expected fingerprint rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint mismatch"),
+              std::string::npos)
+        << "actual error: " << e.what();
+  }
+  // Unknown provenance (hand-built Hopset) skips the check.
+  H.graph_n = 0;
+  EXPECT_NO_THROW(hopset::check_graph_identity(H, graph_full(), "h.phs"));
+}
+
+TEST(PhsFormat, RejectsOversizedWitnessCount) {
+  std::stringstream ss;
+  hopset::Hopset H = build_small(graph_full(), /*track_paths=*/true);
+  hopset::write_hopset(ss, H);
+  std::string bad = ss.str();
+  // Blow up the witness-count field (the last token of the edge line that
+  // precedes the first witness line): the reader must reject the count
+  // before sizing the steps vector to it, not die in the allocation.
+  const auto wpos = bad.find("\nw ");
+  ASSERT_NE(wpos, std::string::npos) << "need a witness edge";
+  const auto last_space = bad.rfind(' ', wpos);
+  ASSERT_NE(last_space, std::string::npos);
+  bad.replace(last_space + 1, wpos - last_space - 1, "987654321987654321");
+  expect_rejected(bad, "cannot fit on its line");
+}
+
+// ---------------------------------------------------------------- kernel --
+
+TEST(BfWorkspace, ReuseBitIdenticalToFreshRuns) {
+  Graph g = graph_tiny();
+  hopset::Hopset H = build_small(g);
+  Graph gu = sssp::union_graph(g, H.edges);
+  auto cx = testing::ctx();
+
+  sssp::BfWorkspace reused;
+  for (Vertex s : {0u, 5u, 17u, 5u}) {  // repeats exercise stale stamps
+    Vertex srcs[1] = {s};
+    pram::Ctx fresh_cx(cx.pool);
+    auto fresh = sssp::bellman_ford(fresh_cx, gu, srcs, H.schedule.beta);
+    pram::Ctx reuse_cx(cx.pool);
+    int rounds = sssp::bellman_ford_reuse(reuse_cx, gu, srcs,
+                                          H.schedule.beta, reused);
+    EXPECT_EQ(rounds, fresh.rounds_run);
+    ASSERT_EQ(reused.dist().size(), fresh.dist.size());
+    for (std::size_t v = 0; v < fresh.dist.size(); ++v) {
+      EXPECT_EQ(reused.dist()[v], fresh.dist[v]) << "vertex " << v;
+      EXPECT_EQ(reused.parent()[v], fresh.parent[v]) << "vertex " << v;
+    }
+    // The metered charge must not depend on the workspace history.
+    EXPECT_EQ(reuse_cx.meter.work(), fresh_cx.meter.work());
+    EXPECT_EQ(reuse_cx.meter.depth(), fresh_cx.meter.depth());
+  }
+}
+
+TEST(BfWorkspace, ZeroHopsMaterializesInitialState) {
+  Graph g = graph_tiny();
+  auto cx = testing::ctx();
+  Vertex srcs[1] = {3};
+  auto r = sssp::bellman_ford(cx, g, srcs, 0);
+  EXPECT_EQ(r.rounds_run, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.dist[v], v == 3 ? 0 : graph::kInfWeight);
+    EXPECT_EQ(r.parent[v], graph::kNoVertex);
+  }
+}
+
+// ---------------------------------------------------------------- engine --
+
+TEST(QueryEngine, SingleSourceMeetsStretchTarget) {
+  graph::GenOptions o;
+  o.seed = 83;
+  Graph g = graph::gnm(200, 700, o);
+  hopset::Params p;
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, p);
+  query::QueryEngine engine(g, H.edges, H.schedule.beta);
+  query::QueryWorkspace ws;
+  auto view = engine.single_source(cx, ws, 5);
+  // Copy out: the view lives in ws and the next query overwrites it.
+  std::vector<Weight> d(view.begin(), view.end());
+  auto exact = sssp::dijkstra_distances(g, 5);
+  EXPECT_LE(sssp::max_stretch(d, exact), 1 + p.epsilon + 1e-9);
+  EXPECT_EQ(engine.point_to_point(cx, ws, 5, 100), d[100])
+      << "p2p must rerun the same query";
+  EXPECT_EQ(ws.queries_served(), 2u);
+}
+
+TEST(QueryEngine, MultiSourceMatchesApproxMultiSourceWithCharges) {
+  graph::GenOptions o;
+  o.seed = 84;
+  Graph g = graph::grid2d(12, 12, o);
+  hopset::Hopset H = build_small(g);
+  query::QueryEngine engine(g, H.edges, H.schedule.beta);
+  std::vector<Vertex> S = {0, 71, 143};
+
+  pram::Ctx ref_cx(&pram::ThreadPool::global());
+  auto ref = sssp::approx_multi_source(ref_cx, g, H.edges, S,
+                                       H.schedule.beta);
+  pram::Ctx eng_cx(&pram::ThreadPool::global());
+  query::QueryWorkspace ws;
+  auto rows = engine.multi_source(eng_cx, ws, S);
+  ASSERT_EQ(rows.size(), ref.size());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_EQ(rows[i], ref[i]) << "source " << S[i];
+  // The engine's merged CSR and the sssp driver's union graph are the same
+  // graph, so the metered query cost must agree exactly.
+  EXPECT_EQ(eng_cx.meter.work(), ref_cx.meter.work());
+  EXPECT_EQ(eng_cx.meter.depth(), ref_cx.meter.depth());
+}
+
+TEST(QueryEngine, BatchReuseBitIdenticalAcrossPools1248) {
+  graph::GenOptions o;
+  o.seed = 85;
+  Graph g = graph::gnm(256, 900, o);
+  hopset::Hopset H = build_small(g);
+  query::QueryEngine engine(g, H.edges, H.schedule.beta);
+
+  std::vector<query::PointQuery> queries(37);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    queries[i].source =
+        static_cast<Vertex>((i * 2654435761u) % g.num_vertices());
+    queries[i].target =
+        static_cast<Vertex>((i * 7 + 13) % g.num_vertices());
+  }
+
+  // Reference: every query on its own fresh workspace.
+  std::vector<Weight> ref;
+  {
+    pram::ThreadPool pool(1);
+    pram::Ctx cx(&pool);
+    for (const auto& q : queries) {
+      query::QueryWorkspace fresh;
+      ref.push_back(engine.point_to_point(cx, fresh, q.source, q.target));
+    }
+  }
+
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    pram::ThreadPool pool(threads);
+    std::vector<query::QueryWorkspace> slots;
+    // Two consecutive batches through the SAME slots: the second runs
+    // entirely on warm epoch-stamped workspaces and must not drift.
+    auto first = engine.run_batch(&pool, queries, slots);
+    auto second = engine.run_batch(&pool, queries, slots);
+    ASSERT_EQ(first.answers.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(first.answers[i], ref[i])
+          << "pool " << threads << " query " << i;
+      EXPECT_EQ(second.answers[i], ref[i])
+          << "pool " << threads << " warm batch, query " << i;
+    }
+    // Metered batch cost is pool-size independent (Σ work, max depth).
+    EXPECT_EQ(first.cost.work, second.cost.work);
+    EXPECT_EQ(first.cost.depth, second.cost.depth);
+  }
+}
+
+TEST(QueryEngine, RejectsOutOfRangeVertices) {
+  Graph g = graph_tiny();
+  hopset::Hopset H = build_small(g);
+  query::QueryEngine engine(g, H.edges, H.schedule.beta);
+  const Vertex n = engine.num_vertices();
+  auto cx = testing::ctx();
+  query::QueryWorkspace ws;
+  EXPECT_THROW(engine.single_source(cx, ws, n), std::out_of_range);
+  EXPECT_THROW(engine.point_to_point(cx, ws, 0, n), std::out_of_range);
+  pram::ThreadPool pool(2);
+  std::vector<query::QueryWorkspace> slots;
+  std::vector<query::PointQuery> bad = {{0, 1}, {n, 0}};
+  EXPECT_THROW(engine.run_batch(&pool, bad, slots), std::out_of_range);
+  // Validation happens at the boundary, before any query runs.
+  EXPECT_EQ(ws.queries_served(), 0u);
+  // A zero-round budget would silently serve +inf for every query.
+  EXPECT_THROW(engine.set_hop_budget(0), std::invalid_argument);
+  EXPECT_THROW(engine.set_hop_budget(-3), std::invalid_argument);
+}
+
+TEST(QueryEngine, LoadFromFilesMatchesInMemory) {
+  graph::GenOptions o;
+  o.seed = 86;
+  Graph g = graph::gnm(128, 400, o);
+  hopset::Hopset H = build_small(g);
+
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "parhop_test_qe";
+  fs::create_directories(dir);
+  const fs::path gr = dir / "g.gr";
+  const fs::path phs = dir / "g.phs";
+  graph::write_dimacs_file(gr.string(), g);
+  hopset::write_hopset_file(phs.string(), H);
+
+  query::QueryEngine loaded =
+      query::QueryEngine::load(gr.string(), phs.string());
+  fs::remove(gr);
+  fs::remove(phs);
+  EXPECT_EQ(loaded.stats().hopset_edges, H.edges.size());
+  EXPECT_GT(loaded.stats().hopset_load_s, 0.0);
+
+  query::QueryEngine in_memory(g, H.edges, H.schedule.beta);
+  EXPECT_EQ(loaded.num_union_edges(), in_memory.num_union_edges());
+  EXPECT_EQ(loaded.beta(), in_memory.beta());
+  auto cx = testing::ctx();
+  query::QueryWorkspace ws_l, ws_m;
+  auto dl = loaded.single_source(cx, ws_l, 7);
+  auto dm = in_memory.single_source(cx, ws_m, 7);
+  ASSERT_EQ(dl.size(), dm.size());
+  for (std::size_t v = 0; v < dl.size(); ++v) EXPECT_EQ(dl[v], dm[v]);
+}
+
+}  // namespace
+}  // namespace parhop
