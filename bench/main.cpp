@@ -66,7 +66,28 @@ int run_one(const Experiment& exp, const RunOptions& opt,
   doc.set("tiny", opt.tiny);
   doc.set("threads", opt.threads);
   doc.set("wall_time_s", wall);
-  for (const auto& [k, v] : payload.members()) doc.set(k, v);
+  // Metering-policy stamp (docs/bench-schema.md): BENCH numbers are only
+  // comparable under the same policy, so the envelope and every row record
+  // the one they were collected under. parhop_bench links the pram::Metered
+  // instantiation only — the committed work/depth contract depends on it.
+  doc.set("metered", true);
+  doc.set("policy", "metered");
+  for (const auto& [k, v] : payload.members()) {
+    if (k == "rows" && v.is_array()) {
+      parhop::util::Json rows = parhop::util::Json::array();
+      for (const parhop::util::Json& row : v.items()) {
+        parhop::util::Json r = row;
+        if (r.is_object()) {
+          r.set("metered", true);
+          r.set("policy", "metered");
+        }
+        rows.push_back(std::move(r));
+      }
+      doc.set(k, std::move(rows));
+      continue;
+    }
+    doc.set(k, v);
+  }
 
   std::string path = out_dir + "/BENCH_" + exp.name + ".json";
   std::ofstream f(path);

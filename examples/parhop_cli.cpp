@@ -24,6 +24,10 @@
 // Every command accepts --threads=N to size the thread pool the PRAM
 // primitives run on (default: PARHOP_THREADS env, then hardware
 // concurrency). The output is bit-identical for every pool size.
+//
+// build and query also accept --meter={on,off} (default on): `off` runs the
+// production pram::Unmetered kernels — identical hopsets and answers, zero
+// work/depth accounting overhead (ARCHITECTURE.md §2 metering policy).
 #include <chrono>
 #include <filesystem>
 #include <iostream>
@@ -61,6 +65,18 @@ hopset::Params params_from(const util::Flags& flags) {
   p.rho = flags.get_double("rho", 0.45);
   p.beta_hint = static_cast<int>(flags.get_int("beta", 0));
   return p;
+}
+
+/// --meter={on,off}: which metering-policy instantiation serves the command.
+/// `off` runs the production (pram::Unmetered) kernels — same arithmetic,
+/// same results (bit-identical hopsets and distances, pinned by
+/// tests/test_metering_policy.cpp), no work/depth accounting.
+bool metering_off(const util::Flags& flags) {
+  const std::string m = flags.get("meter", "on");
+  if (m == "on") return false;
+  if (m == "off") return true;
+  throw std::invalid_argument("--meter must be 'on' or 'off', got '" + m +
+                              "'");
 }
 
 int cmd_gen(const util::Flags& flags) {
@@ -101,18 +117,22 @@ int cmd_info(const util::Flags& flags) {
 
 using util::seconds_since;
 
-int cmd_build(const util::Flags& flags) {
+template <class Policy>
+int run_build(const util::Flags& flags) {
   graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
   pram::ThreadPool pool(threads_from(flags));
-  pram::Ctx ctx(&pool);
+  pram::BasicCtx<Policy> ctx(&pool);
   const auto start = std::chrono::steady_clock::now();
   hopset::Hopset H = hopset::build_hopset(
       ctx, g, params_from(flags), flags.get_bool("paths", false));
   const double build_s = seconds_since(start);
-  std::cout << "built |H|=" << H.edges.size() << " beta=" << H.schedule.beta
-            << " work=" << H.build_cost.work
-            << " depth=" << H.build_cost.depth << " wall=" << build_s
-            << "s\n";
+  std::cout << "built |H|=" << H.edges.size() << " beta=" << H.schedule.beta;
+  if constexpr (Policy::kMetered)
+    std::cout << " work=" << H.build_cost.work
+              << " depth=" << H.build_cost.depth;
+  else
+    std::cout << " metering=off";
+  std::cout << " wall=" << build_s << "s\n";
   // --save is the serving-loop spelling; --out stays as an alias.
   std::string out = flags.get("save", flags.get("out", ""));
   if (!out.empty()) {
@@ -123,9 +143,15 @@ int cmd_build(const util::Flags& flags) {
   return 0;
 }
 
-int cmd_query(const util::Flags& flags) {
+int cmd_build(const util::Flags& flags) {
+  return metering_off(flags) ? run_build<pram::Unmetered>(flags)
+                             : run_build<pram::Metered>(flags);
+}
+
+template <class Policy>
+int run_query(const util::Flags& flags) {
   pram::ThreadPool pool(threads_from(flags));
-  pram::Ctx ctx(&pool);
+  pram::BasicCtx<Policy> ctx(&pool);
 
   auto start = std::chrono::steady_clock::now();
   graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
@@ -163,13 +189,17 @@ int cmd_query(const util::Flags& flags) {
         static_cast<std::size_t>(batch_size), engine.num_vertices());
     std::vector<query::QueryWorkspace> slots;
     start = std::chrono::steady_clock::now();
-    query::BatchResult r = engine.run_batch(&pool, queries, slots);
+    query::BatchResult r = engine.run_batch<Policy>(&pool, queries, slots);
     const double wall = seconds_since(start);
     auto lat = util::summarize(r.latency_s);
+    // "served N": the serving-budget probe — the max rounds any query in the
+    // batch ran before its fixpoint; the budget a deployment could lower
+    // --hops to without changing a single answer of this workload.
     std::cout << "batch " << batch_size << ": " << (batch_size / wall)
               << " queries/s  p50=" << lat.p50 * 1e3
               << "ms p99=" << lat.p99 * 1e3 << "ms  (hop budget "
-              << engine.hop_budget() << ", " << pool.size() << " threads)\n";
+              << engine.hop_budget() << ", served " << r.max_rounds_run
+              << ", " << pool.size() << " threads)\n";
     return 0;
   }
 
@@ -200,6 +230,11 @@ int cmd_query(const util::Flags& flags) {
     std::cout << "verified max stretch: " << worst << "\n";
   }
   return 0;
+}
+
+int cmd_query(const util::Flags& flags) {
+  return metering_off(flags) ? run_query<pram::Unmetered>(flags)
+                             : run_query<pram::Metered>(flags);
 }
 
 int cmd_spt(const util::Flags& flags) {

@@ -7,14 +7,16 @@
 
 namespace parhop::baselines {
 
-hopset::Hopset build_random_hopset(pram::Ctx& ctx, const graph::Graph& g,
+template <class Policy>
+hopset::Hopset build_random_hopset(pram::BasicCtx<Policy>& ctx,
+                                   const graph::Graph& g,
                                    const hopset::Params& params,
                                    std::uint64_t seed) {
   auto rng = std::make_shared<util::Xoshiro256>(seed);
 
-  hopset::SeedSelector sampler =
-      [rng](pram::Ctx&, const graph::Graph&, const hopset::Clustering&,
-            std::span<const std::uint32_t> popular,
+  hopset::BasicSeedSelector<Policy> sampler =
+      [rng](pram::BasicCtx<Policy>&, const graph::Graph&,
+            const hopset::Clustering&, std::span<const std::uint32_t> popular,
             const hopset::RulingSetOptions&, std::uint64_t deg_i) {
         // [EN19] samples each cluster with probability deg_i^{-1}
         // (= n^{-2^i/κ} resp. n^{-ρ}): a popular cluster, having ≥ deg_i
@@ -30,5 +32,11 @@ hopset::Hopset build_random_hopset(pram::Ctx& ctx, const graph::Graph& g,
 
   return hopset::build_hopset(ctx, g, params, /*track_paths=*/false, sampler);
 }
+
+template hopset::Hopset build_random_hopset<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, const hopset::Params&, std::uint64_t);
+template hopset::Hopset build_random_hopset<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, const hopset::Params&,
+    std::uint64_t);
 
 }  // namespace parhop::baselines

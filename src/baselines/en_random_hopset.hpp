@@ -20,8 +20,16 @@
 namespace parhop::baselines {
 
 /// Builds a randomized hopset; identical guarantees in expectation.
-hopset::Hopset build_random_hopset(pram::Ctx& ctx, const graph::Graph& g,
+template <class Policy>
+hopset::Hopset build_random_hopset(pram::BasicCtx<Policy>& ctx,
+                                   const graph::Graph& g,
                                    const hopset::Params& params,
                                    std::uint64_t seed);
+
+extern template hopset::Hopset build_random_hopset<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, const hopset::Params&, std::uint64_t);
+extern template hopset::Hopset build_random_hopset<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, const hopset::Params&,
+    std::uint64_t);
 
 }  // namespace parhop::baselines

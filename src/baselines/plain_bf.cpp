@@ -2,11 +2,19 @@
 
 namespace parhop::baselines {
 
-PlainBfResult plain_bellman_ford(pram::Ctx& ctx, const graph::Graph& g,
-                                 graph::Vertex source, int max_rounds) {
+template <class Policy>
+PlainBfResult plain_bellman_ford(pram::BasicCtx<Policy>& ctx,
+                                 const graph::Graph& g, graph::Vertex source,
+                                 int max_rounds) {
   if (max_rounds <= 0) max_rounds = static_cast<int>(g.num_vertices());
   auto r = sssp::bellman_ford(ctx, g, source, max_rounds);
   return {std::move(r.dist), r.rounds_run};
 }
+
+template PlainBfResult plain_bellman_ford<pram::Metered>(pram::Ctx&,
+                                                         const graph::Graph&,
+                                                         graph::Vertex, int);
+template PlainBfResult plain_bellman_ford<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, graph::Vertex, int);
 
 }  // namespace parhop::baselines

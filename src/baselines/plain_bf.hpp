@@ -17,7 +17,14 @@ struct PlainBfResult {
 
 /// Exact SSSP on G by iterating to fixpoint (round cap `max_rounds`,
 /// default n).
-PlainBfResult plain_bellman_ford(pram::Ctx& ctx, const graph::Graph& g,
-                                 graph::Vertex source, int max_rounds = 0);
+template <class Policy>
+PlainBfResult plain_bellman_ford(pram::BasicCtx<Policy>& ctx,
+                                 const graph::Graph& g, graph::Vertex source,
+                                 int max_rounds = 0);
+
+extern template PlainBfResult plain_bellman_ford<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, graph::Vertex, int);
+extern template PlainBfResult plain_bellman_ford<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, graph::Vertex, int);
 
 }  // namespace parhop::baselines

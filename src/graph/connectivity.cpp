@@ -26,8 +26,9 @@ inline void atomic_min(std::atomic<std::uint64_t>& cell, std::uint64_t value) {
 
 }  // namespace
 
+template <class Policy>
 Components connected_components(
-    pram::Ctx& ctx, const Graph& g,
+    pram::BasicCtx<Policy>& ctx, const Graph& g,
     const std::function<bool(Vertex, const Arc&)>& keep) {
   const Vertex n = g.num_vertices();
   Components out;
@@ -110,7 +111,9 @@ Components connected_components(
   return out;
 }
 
-RootedForest root_forest(pram::Ctx& ctx, Vertex n, const Components& comp) {
+template <class Policy>
+RootedForest root_forest(pram::BasicCtx<Policy>& ctx, Vertex n,
+                         const Components& comp) {
   (void)ctx;  // orientation below is cheap; metering handled by callers
   RootedForest rf;
   rf.parent.resize(n);
@@ -145,5 +148,15 @@ RootedForest root_forest(pram::Ctx& ctx, Vertex n, const Components& comp) {
   }
   return rf;
 }
+
+template Components connected_components<pram::Metered>(
+    pram::Ctx&, const Graph&, const std::function<bool(Vertex, const Arc&)>&);
+template Components connected_components<pram::Unmetered>(
+    pram::UnmeteredCtx&, const Graph&,
+    const std::function<bool(Vertex, const Arc&)>&);
+template RootedForest root_forest<pram::Metered>(pram::Ctx&, Vertex,
+                                                 const Components&);
+template RootedForest root_forest<pram::Unmetered>(pram::UnmeteredCtx&, Vertex,
+                                                   const Components&);
 
 }  // namespace parhop::graph

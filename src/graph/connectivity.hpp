@@ -33,9 +33,16 @@ struct Components {
 
 /// Connected components of g, considering only edges accepted by `keep`
 /// (pass nullptr to keep all edges). Deterministic.
+template <class Policy>
 Components connected_components(
-    pram::Ctx& ctx, const Graph& g,
+    pram::BasicCtx<Policy>& ctx, const Graph& g,
     const std::function<bool(Vertex, const Arc&)>& keep = nullptr);
+
+extern template Components connected_components<pram::Metered>(
+    pram::Ctx&, const Graph&, const std::function<bool(Vertex, const Arc&)>&);
+extern template Components connected_components<pram::Unmetered>(
+    pram::UnmeteredCtx&, const Graph&,
+    const std::function<bool(Vertex, const Arc&)>&);
 
 /// Per-vertex parent pointers into the spanning forest of `comp`, rooted at
 /// each component's canonical root: parent[root] == root. Also returns the
@@ -46,6 +53,14 @@ struct RootedForest {
   std::vector<Weight> parent_weight;  // 0 at roots
 };
 
-RootedForest root_forest(pram::Ctx& ctx, Vertex n, const Components& comp);
+template <class Policy>
+RootedForest root_forest(pram::BasicCtx<Policy>& ctx, Vertex n,
+                         const Components& comp);
+
+extern template RootedForest root_forest<pram::Metered>(pram::Ctx&, Vertex,
+                                                        const Components&);
+extern template RootedForest root_forest<pram::Unmetered>(pram::UnmeteredCtx&,
+                                                          Vertex,
+                                                          const Components&);
 
 }  // namespace parhop::graph

@@ -4,7 +4,8 @@
 
 namespace parhop::graph {
 
-Contraction contract_light_edges(pram::Ctx& ctx, const Graph& g,
+template <class Policy>
+Contraction contract_light_edges(pram::BasicCtx<Policy>& ctx, const Graph& g,
                                  Weight threshold) {
   const Vertex n = g.num_vertices();
   Components comp = connected_components(
@@ -35,5 +36,11 @@ Contraction contract_light_edges(pram::Ctx& ctx, const Graph& g,
   out.quotient = b.build();  // from_edges keeps the lightest parallel
   return out;
 }
+
+template Contraction contract_light_edges<pram::Metered>(pram::Ctx&,
+                                                         const Graph&, Weight);
+template Contraction contract_light_edges<pram::Unmetered>(pram::UnmeteredCtx&,
+                                                           const Graph&,
+                                                           Weight);
 
 }  // namespace parhop::graph

@@ -26,7 +26,14 @@ struct Contraction {
 /// Contracts every edge with w ≤ threshold (default 0: only the zero-weight
 /// edges footnote 1 refers to; any edge weight equal to the threshold is
 /// contracted). Parallel edges between classes keep the lightest weight.
-Contraction contract_light_edges(pram::Ctx& ctx, const Graph& g,
+template <class Policy>
+Contraction contract_light_edges(pram::BasicCtx<Policy>& ctx, const Graph& g,
                                  Weight threshold = 0);
+
+extern template Contraction contract_light_edges<pram::Metered>(pram::Ctx&,
+                                                                const Graph&,
+                                                                Weight);
+extern template Contraction contract_light_edges<pram::Unmetered>(
+    pram::UnmeteredCtx&, const Graph&, Weight);
 
 }  // namespace parhop::graph

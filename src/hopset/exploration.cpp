@@ -214,9 +214,9 @@ PathPtr from_witness(const WitnessPath& wp, PathPtr base) {
 // a chunk amortizes its scratch buffer.
 constexpr std::size_t kClusterGrain = 8;
 
-template <typename Rec>
-void explore_impl(pram::Ctx& ctx, const Graph& gk1, const Clustering& P,
-                  std::span<const std::uint32_t> sources,
+template <class Policy, typename Rec>
+void explore_impl(pram::BasicCtx<Policy>& ctx, const Graph& gk1,
+                  const Clustering& P, std::span<const std::uint32_t> sources,
                   const ExploreOptions& opts, ArenaSet<Rec>& ar,
                   ExploreResult& result) {
   const Vertex n = gk1.num_vertices();
@@ -490,7 +490,8 @@ WitnessPath materialize(const PathPtr& p) {
   return out;
 }
 
-ExploreResult explore(pram::Ctx& ctx, const graph::Graph& gk1,
+template <class Policy>
+ExploreResult explore(pram::BasicCtx<Policy>& ctx, const graph::Graph& gk1,
                       const Clustering& P,
                       std::span<const std::uint32_t> sources,
                       const ExploreOptions& opts, ExploreWorkspace* ws) {
@@ -498,13 +499,20 @@ ExploreResult explore(pram::Ctx& ctx, const graph::Graph& gk1,
   ExploreWorkspace local;
   detail::ExploreBuffers& bufs = (ws ? *ws : local).buffers();
   if (opts.track_paths) {
-    detail::explore_impl<Record>(ctx, gk1, P, sources, opts, bufs.paths,
-                                 result);
+    detail::explore_impl<Policy, Record>(ctx, gk1, P, sources, opts,
+                                         bufs.paths, result);
   } else {
-    detail::explore_impl<detail::PlainRec>(ctx, gk1, P, sources, opts,
-                                           bufs.plain, result);
+    detail::explore_impl<Policy, detail::PlainRec>(ctx, gk1, P, sources, opts,
+                                                   bufs.plain, result);
   }
   return result;
 }
+
+template ExploreResult explore<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, const Clustering&,
+    std::span<const std::uint32_t>, const ExploreOptions&, ExploreWorkspace*);
+template ExploreResult explore<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, const Clustering&,
+    std::span<const std::uint32_t>, const ExploreOptions&, ExploreWorkspace*);
 
 }  // namespace parhop::hopset

@@ -123,10 +123,18 @@ class ExploreWorkspace {
 /// Runs the exploration from `sources` (cluster indices into P). `ws` may be
 /// null (a call-local workspace is used); callers issuing repeated
 /// explorations should pass one so arena slabs are reused across calls.
-ExploreResult explore(pram::Ctx& ctx, const graph::Graph& gk1,
+template <class Policy>
+ExploreResult explore(pram::BasicCtx<Policy>& ctx, const graph::Graph& gk1,
                       const Clustering& P,
                       std::span<const std::uint32_t> sources,
                       const ExploreOptions& opts,
                       ExploreWorkspace* ws = nullptr);
+
+extern template ExploreResult explore<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, const Clustering&,
+    std::span<const std::uint32_t>, const ExploreOptions&, ExploreWorkspace*);
+extern template ExploreResult explore<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, const Clustering&,
+    std::span<const std::uint32_t>, const ExploreOptions&, ExploreWorkspace*);
 
 }  // namespace parhop::hopset

@@ -24,8 +24,11 @@ Graph make_gk1(const Graph& g, const std::vector<Edge>& hopset_edges) {
 
 }  // namespace
 
-Hopset build_hopset(pram::Ctx& ctx, const Graph& g, const Params& params,
-                    bool track_paths, const SeedSelector& seeds) {
+template <class Policy>
+Hopset build_hopset(
+    pram::BasicCtx<Policy>& ctx, const Graph& g, const Params& params,
+    bool track_paths,
+    const std::type_identity_t<BasicSeedSelector<Policy>>& seeds) {
   Hopset H;
   const graph::Vertex n = g.num_vertices();
   H.graph_n = n;
@@ -73,5 +76,12 @@ Hopset build_hopset(pram::Ctx& ctx, const Graph& g, const Params& params,
   H.build_cost = ctx.meter.snapshot() - start;
   return H;
 }
+
+template Hopset build_hopset<pram::Metered>(
+    pram::Ctx&, const Graph&, const Params&, bool,
+    const BasicSeedSelector<pram::Metered>&);
+template Hopset build_hopset<pram::Unmetered>(
+    pram::UnmeteredCtx&, const Graph&, const Params&, bool,
+    const BasicSeedSelector<pram::Unmetered>&);
 
 }  // namespace parhop::hopset

@@ -54,8 +54,17 @@ struct Hopset {
 /// witness path (the §4 path-reporting variant; Theorem 4.5). A null `seeds`
 /// selects the deterministic ruling set; baselines/ablations may substitute
 /// their own supercluster-seed policy.
-Hopset build_hopset(pram::Ctx& ctx, const graph::Graph& g,
-                    const Params& params, bool track_paths = false,
-                    const SeedSelector& seeds = nullptr);
+template <class Policy>
+Hopset build_hopset(
+    pram::BasicCtx<Policy>& ctx, const graph::Graph& g, const Params& params,
+    bool track_paths = false,
+    const std::type_identity_t<BasicSeedSelector<Policy>>& seeds = nullptr);
+
+extern template Hopset build_hopset<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, const Params&, bool,
+    const BasicSeedSelector<pram::Metered>&);
+extern template Hopset build_hopset<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, const Params&, bool,
+    const BasicSeedSelector<pram::Unmetered>&);
 
 }  // namespace parhop::hopset

@@ -64,8 +64,9 @@ struct Offer {
 
 }  // namespace
 
-SptResult build_spt(pram::Ctx& ctx, const Graph& g, const Hopset& H,
-                    Vertex source) {
+template <class Policy>
+SptResult build_spt(pram::BasicCtx<Policy>& ctx, const Graph& g,
+                    const Hopset& H, Vertex source) {
   const Vertex n = g.num_vertices();
   for (const HopsetEdge& e : H.detailed) {
     if (e.witness.empty())
@@ -190,5 +191,11 @@ SptResult build_spt(pram::Ctx& ctx, const Graph& g, const Hopset& H,
     if (v != source && out.tree.parent[v] == v) out.dist[v] = kInfWeight;
   return out;
 }
+
+template SptResult build_spt<pram::Metered>(pram::Ctx&, const Graph&,
+                                            const Hopset&, Vertex);
+template SptResult build_spt<pram::Unmetered>(pram::UnmeteredCtx&,
+                                              const Graph&, const Hopset&,
+                                              Vertex);
 
 }  // namespace parhop::hopset

@@ -28,7 +28,17 @@ struct SptResult {
 
 /// Computes a (1+ε)-SPT rooted at `source`. The hopset must have been built
 /// with track_paths = true (witness paths present); throws otherwise.
-SptResult build_spt(pram::Ctx& ctx, const graph::Graph& g, const Hopset& H,
-                    graph::Vertex source);
+template <class Policy>
+SptResult build_spt(pram::BasicCtx<Policy>& ctx, const graph::Graph& g,
+                    const Hopset& H, graph::Vertex source);
+
+extern template SptResult build_spt<pram::Metered>(pram::Ctx&,
+                                                   const graph::Graph&,
+                                                   const Hopset&,
+                                                   graph::Vertex);
+extern template SptResult build_spt<pram::Unmetered>(pram::UnmeteredCtx&,
+                                                     const graph::Graph&,
+                                                     const Hopset&,
+                                                     graph::Vertex);
 
 }  // namespace parhop::hopset

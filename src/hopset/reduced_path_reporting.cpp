@@ -75,7 +75,8 @@ struct Offer {
 
 /// Applies the best offer per target; `forced` says whether the target's
 /// current parent edge is being eliminated by this pass.
-void apply_offers(pram::Ctx& ctx, std::vector<Offer>& M,
+template <class Policy>
+void apply_offers(pram::BasicCtx<Policy>& ctx, std::vector<Offer>& M,
                   std::vector<Weight>& dist, std::vector<Vertex>& parent,
                   std::vector<Weight>& parent_w,
                   std::vector<EdgeKind>& parent_kind,
@@ -128,7 +129,9 @@ void tree_path_offers(const ScaleGraph& sg, int si, Vertex center_v,
 
 }  // namespace
 
-ReducedPathReporting build_hopset_reduced_pr(pram::Ctx& ctx, const Graph& g,
+template <class Policy>
+ReducedPathReporting build_hopset_reduced_pr(pram::BasicCtx<Policy>& ctx,
+                                             const Graph& g,
                                              const Params& params) {
   ReducedPathReporting out;
   const Vertex n = g.num_vertices();
@@ -170,7 +173,8 @@ ReducedPathReporting build_hopset_reduced_pr(pram::Ctx& ctx, const Graph& g,
   return out;
 }
 
-SptResult build_spt_reduced(pram::Ctx& ctx, const Graph& g,
+template <class Policy>
+SptResult build_spt_reduced(pram::BasicCtx<Policy>& ctx, const Graph& g,
                             const ReducedPathReporting& R, Vertex source) {
   const Vertex n = g.num_vertices();
 
@@ -349,5 +353,14 @@ SptResult build_spt_reduced(pram::Ctx& ctx, const Graph& g,
     if (v != source && out.tree.parent[v] == v) out.dist[v] = kInfWeight;
   return out;
 }
+
+template ReducedPathReporting build_hopset_reduced_pr<pram::Metered>(
+    pram::Ctx&, const Graph&, const Params&);
+template ReducedPathReporting build_hopset_reduced_pr<pram::Unmetered>(
+    pram::UnmeteredCtx&, const Graph&, const Params&);
+template SptResult build_spt_reduced<pram::Metered>(
+    pram::Ctx&, const Graph&, const ReducedPathReporting&, Vertex);
+template SptResult build_spt_reduced<pram::Unmetered>(
+    pram::UnmeteredCtx&, const Graph&, const ReducedPathReporting&, Vertex);
 
 }  // namespace parhop::hopset

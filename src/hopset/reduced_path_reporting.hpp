@@ -43,15 +43,29 @@ struct ReducedPathReporting {
 };
 
 /// Theorem D.1: builds the Λ-independent path-reporting hopset.
-ReducedPathReporting build_hopset_reduced_pr(pram::Ctx& ctx,
+template <class Policy>
+ReducedPathReporting build_hopset_reduced_pr(pram::BasicCtx<Policy>& ctx,
                                              const graph::Graph& g,
                                              const Params& params);
 
 /// Theorem D.2: retrieves a (1+ε')-SPT over E(g) rooted at `source` using
 /// the reduced path-reporting hopset (ε' = 6ε from the reduction's
 /// compounding, Lemma 4.3 of [EN19]).
-SptResult build_spt_reduced(pram::Ctx& ctx, const graph::Graph& g,
+template <class Policy>
+SptResult build_spt_reduced(pram::BasicCtx<Policy>& ctx,
+                            const graph::Graph& g,
                             const ReducedPathReporting& R,
                             graph::Vertex source);
+
+extern template ReducedPathReporting build_hopset_reduced_pr<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, const Params&);
+extern template ReducedPathReporting build_hopset_reduced_pr<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, const Params&);
+extern template SptResult build_spt_reduced<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, const ReducedPathReporting&,
+    graph::Vertex);
+extern template SptResult build_spt_reduced<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, const ReducedPathReporting&,
+    graph::Vertex);
 
 }  // namespace parhop::hopset

@@ -6,7 +6,8 @@
 
 namespace parhop::hopset {
 
-std::vector<std::uint32_t> ruling_set(pram::Ctx& ctx,
+template <class Policy>
+std::vector<std::uint32_t> ruling_set(pram::BasicCtx<Policy>& ctx,
                                       const graph::Graph& gk1,
                                       const Clustering& P,
                                       std::span<const std::uint32_t> W,
@@ -59,5 +60,14 @@ std::vector<std::uint32_t> ruling_set(pram::Ctx& ctx,
   std::sort(out.begin(), out.end());
   return out;
 }
+
+template std::vector<std::uint32_t> ruling_set<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, const Clustering&,
+    std::span<const std::uint32_t>, const RulingSetOptions&,
+    ExploreWorkspace*);
+template std::vector<std::uint32_t> ruling_set<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, const Clustering&,
+    std::span<const std::uint32_t>, const RulingSetOptions&,
+    ExploreWorkspace*);
 
 }  // namespace parhop::hopset

@@ -33,11 +33,21 @@ struct RulingSetOptions {
 /// Computes a (3, 2·⌈log n⌉)-ruling set for the clusters `W` (indices into
 /// P) w.r.t. G̃_i. Returned indices are a subset of W, sorted. `ws` (may be
 /// null) is the exploration workspace the knock-out BFS rounds reuse.
-std::vector<std::uint32_t> ruling_set(pram::Ctx& ctx,
+template <class Policy>
+std::vector<std::uint32_t> ruling_set(pram::BasicCtx<Policy>& ctx,
                                       const graph::Graph& gk1,
                                       const Clustering& P,
                                       std::span<const std::uint32_t> W,
                                       const RulingSetOptions& opts,
                                       ExploreWorkspace* ws = nullptr);
+
+extern template std::vector<std::uint32_t> ruling_set<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, const Clustering&,
+    std::span<const std::uint32_t>, const RulingSetOptions&,
+    ExploreWorkspace*);
+extern template std::vector<std::uint32_t> ruling_set<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, const Clustering&,
+    std::span<const std::uint32_t>, const RulingSetOptions&,
+    ExploreWorkspace*);
 
 }  // namespace parhop::hopset

@@ -76,8 +76,9 @@ std::vector<int> relevant_scales(const Graph& g, double eps, int k0,
   return out;
 }
 
-ScaleGraph build_scale_graph(pram::Ctx& ctx, const Graph& g, int k,
-                             double eps, const ScaleGraph* prev,
+template <class Policy>
+ScaleGraph build_scale_graph(pram::BasicCtx<Policy>& ctx, const Graph& g,
+                             int k, double eps, const ScaleGraph* prev,
                              std::vector<Edge>* star_out, double unit) {
   const Vertex n = g.num_vertices();
   const double n_d = std::max<double>(2, n);
@@ -187,7 +188,8 @@ ScaleGraph build_scale_graph(pram::Ctx& ctx, const Graph& g, int k,
   return sg;
 }
 
-ReducedHopset build_hopset_reduced(pram::Ctx& ctx, const Graph& g,
+template <class Policy>
+ReducedHopset build_hopset_reduced(pram::BasicCtx<Policy>& ctx, const Graph& g,
                                    const Params& params) {
   ReducedHopset out;
   const Vertex n = g.num_vertices();
@@ -233,5 +235,19 @@ ReducedHopset build_hopset_reduced(pram::Ctx& ctx, const Graph& g,
   out.build_cost = ctx.meter.snapshot() - start;
   return out;
 }
+
+template ScaleGraph build_scale_graph<pram::Metered>(pram::Ctx&, const Graph&,
+                                                     int, double,
+                                                     const ScaleGraph*,
+                                                     std::vector<Edge>*,
+                                                     double);
+template ScaleGraph build_scale_graph<pram::Unmetered>(
+    pram::UnmeteredCtx&, const Graph&, int, double, const ScaleGraph*,
+    std::vector<Edge>*, double);
+template ReducedHopset build_hopset_reduced<pram::Metered>(pram::Ctx&,
+                                                           const Graph&,
+                                                           const Params&);
+template ReducedHopset build_hopset_reduced<pram::Unmetered>(
+    pram::UnmeteredCtx&, const Graph&, const Params&);
 
 }  // namespace parhop::hopset

@@ -58,10 +58,19 @@ std::vector<int> relevant_scales(const graph::Graph& g, double eps, int k0,
 /// Builds G_k. `prev` (the previous relevant scale, or nullptr at the base)
 /// drives the laminar largest-child center selection; `star_out` receives
 /// this scale's star edges.
-ScaleGraph build_scale_graph(pram::Ctx& ctx, const graph::Graph& g, int k,
-                             double eps, const ScaleGraph* prev,
+template <class Policy>
+ScaleGraph build_scale_graph(pram::BasicCtx<Policy>& ctx,
+                             const graph::Graph& g, int k, double eps,
+                             const ScaleGraph* prev,
                              std::vector<graph::Edge>* star_out,
                              double unit = 1.0);
+
+extern template ScaleGraph build_scale_graph<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, int, double, const ScaleGraph*,
+    std::vector<graph::Edge>*, double);
+extern template ScaleGraph build_scale_graph<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, int, double, const ScaleGraph*,
+    std::vector<graph::Edge>*, double);
 
 /// The reduced (Λ-independent) hopset.
 struct ReducedHopset {
@@ -75,7 +84,14 @@ struct ReducedHopset {
 };
 
 /// Theorem C.2: (1+O(ε), β)-hopset with no Λ dependence.
-ReducedHopset build_hopset_reduced(pram::Ctx& ctx, const graph::Graph& g,
+template <class Policy>
+ReducedHopset build_hopset_reduced(pram::BasicCtx<Policy>& ctx,
+                                   const graph::Graph& g,
                                    const Params& params);
+
+extern template ReducedHopset build_hopset_reduced<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, const Params&);
+extern template ReducedHopset build_hopset_reduced<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, const Params&);
 
 }  // namespace parhop::hopset

@@ -31,10 +31,11 @@ WitnessPath interconnect_witness(const Record& rec, const ClusterMemory& cmem,
 
 }  // namespace
 
-SingleScaleResult build_single_scale(pram::Ctx& ctx, const Graph& gk1, int k,
-                                     const Schedule& sched,
-                                     const Params& params, bool track_paths,
-                                     const SeedSelector& seeds) {
+template <class Policy>
+SingleScaleResult build_single_scale(
+    pram::BasicCtx<Policy>& ctx, const Graph& gk1, int k,
+    const Schedule& sched, const Params& params, bool track_paths,
+    const std::type_identity_t<BasicSeedSelector<Policy>>& seeds) {
   const Vertex n = gk1.num_vertices();
   SingleScaleResult out;
 
@@ -244,5 +245,12 @@ SingleScaleResult build_single_scale(pram::Ctx& ctx, const Graph& gk1, int k,
   }
   return out;
 }
+
+template SingleScaleResult build_single_scale<pram::Metered>(
+    pram::Ctx&, const Graph&, int, const Schedule&, const Params&, bool,
+    const BasicSeedSelector<pram::Metered>&);
+template SingleScaleResult build_single_scale<pram::Unmetered>(
+    pram::UnmeteredCtx&, const Graph&, int, const Schedule&, const Params&,
+    bool, const BasicSeedSelector<pram::Unmetered>&);
 
 }  // namespace parhop::hopset

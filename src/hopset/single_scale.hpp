@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -40,11 +41,16 @@ namespace parhop::hopset {
 /// Hook that chooses the supercluster seeds Q_i from the popular clusters
 /// W_i. The default is the deterministic ruling set (Algorithm 4); the
 /// randomized [EN19]-style baseline and the E10a ablation plug in sampling.
-/// deg_i is the phase's popularity threshold.
-using SeedSelector = std::function<std::vector<std::uint32_t>(
-    pram::Ctx&, const graph::Graph&, const Clustering&,
+/// deg_i is the phase's popularity threshold. Parameterized by the metering
+/// policy so a selector matches the Ctx it is called with; `SeedSelector`
+/// remains the metered spelling.
+template <class Policy>
+using BasicSeedSelector = std::function<std::vector<std::uint32_t>(
+    pram::BasicCtx<Policy>&, const graph::Graph&, const Clustering&,
     std::span<const std::uint32_t> popular, const RulingSetOptions&,
     std::uint64_t deg_i)>;
+
+using SeedSelector = BasicSeedSelector<pram::Metered>;
 
 /// One hopset edge with provenance (scale, phase, kind) and optional witness.
 struct HopsetEdge {
@@ -77,10 +83,20 @@ struct SingleScaleResult {
 
 /// Builds H_k for scale k over gk1 = G ∪ H_{<k}. `track_paths` enables the
 /// §4 path-reporting variant (witness paths + cluster memory). A null
-/// `seeds` selects the deterministic ruling set.
-SingleScaleResult build_single_scale(pram::Ctx& ctx, const graph::Graph& gk1,
-                                     int k, const Schedule& sched,
-                                     const Params& params, bool track_paths,
-                                     const SeedSelector& seeds = nullptr);
+/// `seeds` selects the deterministic ruling set. (`type_identity_t` keeps the
+/// selector out of deduction: Policy is deduced from ctx alone, so lambdas
+/// still convert at the call site.)
+template <class Policy>
+SingleScaleResult build_single_scale(
+    pram::BasicCtx<Policy>& ctx, const graph::Graph& gk1, int k,
+    const Schedule& sched, const Params& params, bool track_paths,
+    const std::type_identity_t<BasicSeedSelector<Policy>>& seeds = nullptr);
+
+extern template SingleScaleResult build_single_scale<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, int, const Schedule&, const Params&,
+    bool, const BasicSeedSelector<pram::Metered>&);
+extern template SingleScaleResult build_single_scale<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, int, const Schedule&,
+    const Params&, bool, const BasicSeedSelector<pram::Unmetered>&);
 
 }  // namespace parhop::hopset

@@ -2,7 +2,8 @@
 
 namespace parhop::pram {
 
-void pointer_jump(Ctx& ctx, std::span<std::uint32_t> parent,
+template <class Policy>
+void pointer_jump(BasicCtx<Policy>& ctx, std::span<std::uint32_t> parent,
                   std::span<double> dist_to_parent) {
   const std::size_t n = parent.size();
   if (n == 0) return;
@@ -25,8 +26,16 @@ void pointer_jump(Ctx& ctx, std::span<std::uint32_t> parent,
   }
 }
 
-void pointer_jump(Ctx& ctx, std::span<std::uint32_t> parent) {
+template <class Policy>
+void pointer_jump(BasicCtx<Policy>& ctx, std::span<std::uint32_t> parent) {
   pointer_jump(ctx, parent, {});
 }
+
+template void pointer_jump<Metered>(Ctx&, std::span<std::uint32_t>,
+                                    std::span<double>);
+template void pointer_jump<Unmetered>(UnmeteredCtx&, std::span<std::uint32_t>,
+                                      std::span<double>);
+template void pointer_jump<Metered>(Ctx&, std::span<std::uint32_t>);
+template void pointer_jump<Unmetered>(UnmeteredCtx&, std::span<std::uint32_t>);
 
 }  // namespace parhop::pram

@@ -21,6 +21,7 @@
 #include <cassert>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "pram/thread_pool.hpp"
@@ -29,15 +30,28 @@
 namespace parhop::pram {
 
 /// Execution context: which pool runs primitives and which meter is charged.
-struct Ctx {
-  ThreadPool* pool;
-  Meter meter;
+/// Parameterized by the metering policy (work_depth.hpp): BasicCtx<Metered>
+/// carries a real Meter, BasicCtx<Unmetered> a NullMeter whose charges are
+/// inline no-ops the optimizer deletes. Kernels are templated over Policy and
+/// deduce it from the ctx argument, so existing Metered call sites compile
+/// unchanged.
+template <class Policy>
+struct BasicCtx {
+  using MeterType = std::conditional_t<Policy::kMetered, Meter, NullMeter>;
 
-  explicit Ctx(ThreadPool* p = &ThreadPool::global()) : pool(p) {}
+  ThreadPool* pool;
+  MeterType meter;
+
+  explicit BasicCtx(ThreadPool* p = &ThreadPool::global()) : pool(p) {}
 
   void charge_work(std::uint64_t w) { meter.add_work(w); }
   void charge_depth(std::uint64_t d) { meter.add_depth(d); }
 };
+
+/// The metered context — the library's historical `pram::Ctx` spelling.
+using Ctx = BasicCtx<Metered>;
+/// The production context: identical execution, zero accounting.
+using UnmeteredCtx = BasicCtx<Unmetered>;
 
 /// Fixed chunk grain (thread-count independent; see determinism contract).
 inline constexpr std::size_t kGrain = 1024;
@@ -49,8 +63,8 @@ inline std::uint64_t ceil_log2(std::uint64_t x) {
 }
 
 /// One CREW round: applies f(i) for i in [0, n). work n, depth 1.
-template <typename F>
-void parallel_for(Ctx& ctx, std::size_t n, F&& f) {
+template <class Policy, typename F>
+void parallel_for(BasicCtx<Policy>& ctx, std::size_t n, F&& f) {
   if (n == 0) return;
   ctx.meter.add_depth(1);
   ctx.meter.add_work(n);
@@ -61,8 +75,8 @@ void parallel_for(Ctx& ctx, std::size_t n, F&& f) {
 
 /// Deterministic reduction with identity `init` and associative op.
 /// work 2m, depth 2·ceil(log2 m).
-template <typename T, typename Op>
-T reduce(Ctx& ctx, std::span<const T> xs, T init, Op op) {
+template <typename T, class Policy, typename Op>
+T reduce(BasicCtx<Policy>& ctx, std::span<const T> xs, T init, Op op) {
   const std::size_t n = xs.size();
   if (n == 0) return init;
   ctx.meter.add_work(2 * n);
@@ -81,8 +95,9 @@ T reduce(Ctx& ctx, std::span<const T> xs, T init, Op op) {
 
 /// Index of the minimum element under `less`; ties broken toward the lower
 /// index (deterministic). Returns n for empty input.
-template <typename T, typename Less>
-std::size_t min_index(Ctx& ctx, std::span<const T> xs, Less less) {
+template <typename T, class Policy, typename Less>
+std::size_t min_index(BasicCtx<Policy>& ctx, std::span<const T> xs,
+                      Less less) {
   const std::size_t n = xs.size();
   if (n == 0) return n;
   ctx.meter.add_work(2 * n);
@@ -103,9 +118,9 @@ std::size_t min_index(Ctx& ctx, std::span<const T> xs, Less less) {
 
 /// Exclusive prefix sum: out[i] = init ⊕ xs[0] ⊕ … ⊕ xs[i-1]; returns the
 /// total. out may alias xs. work 2m, depth 2·ceil(log2 m).
-template <typename T, typename Op>
-T scan_exclusive(Ctx& ctx, std::span<const T> xs, std::span<T> out, T init,
-                 Op op) {
+template <typename T, class Policy, typename Op>
+T scan_exclusive(BasicCtx<Policy>& ctx, std::span<const T> xs,
+                 std::span<T> out, T init, Op op) {
   const std::size_t n = xs.size();
   assert(out.size() == n);
   if (n == 0) return init;
@@ -139,8 +154,9 @@ T scan_exclusive(Ctx& ctx, std::span<const T> xs, std::span<T> out, T init,
 /// increasing order. work 3m, depth 2·ceil(log2 m) + 1 — the count pass is
 /// charged like a reduce (2m, 2·ceil(log2 m)) plus one scatter round (m, 1).
 /// pred must be pure: it is evaluated twice per index (count and scatter).
-template <typename Pred>
-std::vector<std::uint32_t> pack_indices(Ctx& ctx, std::size_t n, Pred pred) {
+template <class Policy, typename Pred>
+std::vector<std::uint32_t> pack_indices(BasicCtx<Policy>& ctx, std::size_t n,
+                                        Pred pred) {
   if (n == 0) return {};
   ctx.meter.add_work(3 * n);
   ctx.meter.add_depth(2 * ceil_log2(n) + 1);
@@ -221,8 +237,8 @@ void parallel_merge_sort(ThreadPool& pool, std::span<T> xs, Less less) {
 /// run a deterministic parallel merge sort (fixed chunk boundaries, stable
 /// merges — bit-identical output for any pool size) and charge the AKS cost
 /// (see ARCHITECTURE.md §5).
-template <typename T, typename Less>
-void sort(Ctx& ctx, std::span<T> xs, Less less) {
+template <typename T, class Policy, typename Less>
+void sort(BasicCtx<Policy>& ctx, std::span<T> xs, Less less) {
   const std::size_t n = xs.size();
   if (n <= 1) return;
   ctx.meter.add_work(n * ceil_log2(n));
@@ -235,9 +251,9 @@ void sort(Ctx& ctx, std::span<T> xs, Less less) {
 /// which is then applied with two data-parallel gather/copy rounds. Charged
 /// at the same AKS bound as sort() — in the model the network moves
 /// (key, rank) pairs, so the permutation rides along for free.
-template <typename T, typename Less>
-std::vector<std::uint32_t> sort_with_ranks(Ctx& ctx, std::span<T> xs,
-                                           Less less) {
+template <typename T, class Policy, typename Less>
+std::vector<std::uint32_t> sort_with_ranks(BasicCtx<Policy>& ctx,
+                                           std::span<T> xs, Less less) {
   const std::size_t n = xs.size();
   std::vector<std::uint32_t> order(n);
   if (n == 0) return order;
@@ -271,10 +287,21 @@ std::vector<std::uint32_t> sort_with_ranks(Ctx& ctx, std::span<T> xs,
 /// non-null) the total weight of the v→root path. Roots must satisfy
 /// parent[r] == r. Deterministic double-buffered rounds; ceil(log2 n)+1
 /// rounds of work n, depth 1 each.
-void pointer_jump(Ctx& ctx, std::span<std::uint32_t> parent,
+template <class Policy>
+void pointer_jump(BasicCtx<Policy>& ctx, std::span<std::uint32_t> parent,
                   std::span<double> dist_to_parent);
 
 /// Overload without distances.
-void pointer_jump(Ctx& ctx, std::span<std::uint32_t> parent);
+template <class Policy>
+void pointer_jump(BasicCtx<Policy>& ctx, std::span<std::uint32_t> parent);
+
+extern template void pointer_jump<Metered>(Ctx&, std::span<std::uint32_t>,
+                                           std::span<double>);
+extern template void pointer_jump<Unmetered>(UnmeteredCtx&,
+                                             std::span<std::uint32_t>,
+                                             std::span<double>);
+extern template void pointer_jump<Metered>(Ctx&, std::span<std::uint32_t>);
+extern template void pointer_jump<Unmetered>(UnmeteredCtx&,
+                                             std::span<std::uint32_t>);
 
 }  // namespace parhop::pram

@@ -76,6 +76,38 @@ class Meter {
   std::uint64_t max_processors_ = 0;
 };
 
+/// Metering policy tags. Mirrors the track_paths pattern used for witness
+/// chains: algorithms are templated over the policy, the library explicitly
+/// instantiates both, and callers pick per call site. Under Metered the Ctx
+/// carries a real Meter; under Unmetered it carries a NullMeter whose charge
+/// calls are empty inline functions the optimizer deletes — the algorithmic
+/// output is bit-identical either way (pinned by tests/test_metering_policy
+/// and the CI cross-build smoke).
+struct Metered {
+  static constexpr bool kMetered = true;
+};
+struct Unmetered {
+  static constexpr bool kMetered = false;
+};
+
+/// Meter stand-in for the Unmetered policy: same interface, no storage, every
+/// member an inline no-op. snapshot()/work()/depth() report zero so code that
+/// reads costs (e.g. Hopset::build_cost) still compiles and records zeros.
+class NullMeter {
+ public:
+  void add_work(std::uint64_t) {}
+  void add_depth(std::uint64_t) {}
+  void charge(std::uint64_t, std::uint64_t) {}
+  void note_processors(std::uint64_t) {}
+
+  Cost snapshot() const { return {}; }
+  std::uint64_t work() const { return 0; }
+  std::uint64_t depth() const { return 0; }
+  std::uint64_t max_processors() const { return 0; }
+
+  void reset() {}
+};
+
 /// RAII scope that records the cost delta of a region, for phase attribution
 /// in the experiment harness ("superclustering cost vs interconnection cost").
 class ScopedPhase {

@@ -72,7 +72,8 @@ QueryEngine QueryEngine::load(const std::string& graph_path,
   return e;
 }
 
-std::span<const Weight> QueryEngine::single_source(pram::Ctx& ctx,
+template <class Policy>
+std::span<const Weight> QueryEngine::single_source(pram::BasicCtx<Policy>& ctx,
                                                    QueryWorkspace& ws,
                                                    Vertex source) const {
   check_vertex(source, gu_.num_vertices(), "source");
@@ -83,14 +84,15 @@ std::span<const Weight> QueryEngine::single_source(pram::Ctx& ctx,
   return ws.bf_.dist();
 }
 
+template <class Policy>
 std::vector<std::vector<Weight>> QueryEngine::multi_source(
-    pram::Ctx& ctx, QueryWorkspace& ws,
+    pram::BasicCtx<Policy>& ctx, QueryWorkspace& ws,
     std::span<const Vertex> sources) const {
   std::vector<std::vector<Weight>> rows;
   rows.reserve(sources.size());
   std::uint64_t max_depth = 0;
   for (Vertex s : sources) {
-    pram::Ctx sub(ctx.pool);
+    pram::BasicCtx<Policy> sub(ctx.pool);
     auto dist = single_source(sub, ws, s);
     rows.emplace_back(dist.begin(), dist.end());
     pram::Cost c = sub.meter.snapshot();
@@ -101,12 +103,15 @@ std::vector<std::vector<Weight>> QueryEngine::multi_source(
   return rows;
 }
 
-Weight QueryEngine::point_to_point(pram::Ctx& ctx, QueryWorkspace& ws,
-                                   Vertex s, Vertex t) const {
+template <class Policy>
+Weight QueryEngine::point_to_point(pram::BasicCtx<Policy>& ctx,
+                                   QueryWorkspace& ws, Vertex s,
+                                   Vertex t) const {
   check_vertex(t, gu_.num_vertices(), "target");
   return single_source(ctx, ws, s)[t];
 }
 
+template <class Policy>
 BatchResult QueryEngine::run_batch(pram::ThreadPool* pool,
                                    std::span<const PointQuery> queries,
                                    std::vector<QueryWorkspace>& slots) const {
@@ -133,8 +138,10 @@ BatchResult QueryEngine::run_batch(pram::ThreadPool* pool,
 
   // Per-query metered cost, reduced after the run under the parallel
   // composition rule (Σ work, max depth) so the batch charge is identical at
-  // every pool size.
+  // every pool size. Rounds are recorded per query the same way so the
+  // served-budget probe (max rounds before fixpoint) is scheduling-free.
   std::vector<std::uint64_t> work(k, 0), depth(k, 0);
+  std::vector<int> rounds(k, 0);
   std::atomic<std::size_t> next_slot{0};
 
   pool->run_chunks(k, grain, [&](std::size_t b, std::size_t e) {
@@ -143,11 +150,11 @@ BatchResult QueryEngine::run_batch(pram::ThreadPool* pool,
     // worker thread (run_chunks is not reentrant on the outer pool).
     pram::ThreadPool seq(1);
     for (std::size_t i = b; i < e; ++i) {
-      pram::Ctx cx(&seq);
+      pram::BasicCtx<Policy> cx(&seq);
       const auto start = std::chrono::steady_clock::now();
       Vertex srcs[1] = {queries[i].source};
-      sssp::bellman_ford_reuse(cx, gu_, srcs, hop_budget_, ws.bf_, nullptr,
-                               round_depth_);
+      rounds[i] = sssp::bellman_ford_reuse(cx, gu_, srcs, hop_budget_, ws.bf_,
+                                           nullptr, round_depth_);
       out.answers[i] = ws.bf_.dist()[queries[i].target];
       out.latency_s[i] = seconds_since(start);
       ++ws.served_;
@@ -160,8 +167,31 @@ BatchResult QueryEngine::run_batch(pram::ThreadPool* pool,
   for (std::size_t i = 0; i < k; ++i) {
     out.cost.work += work[i];
     out.cost.depth = std::max(out.cost.depth, depth[i]);
+    out.max_rounds_run = std::max(out.max_rounds_run, rounds[i]);
   }
   return out;
 }
+
+template std::span<const Weight> QueryEngine::single_source<pram::Metered>(
+    pram::Ctx&, QueryWorkspace&, Vertex) const;
+template std::span<const Weight> QueryEngine::single_source<pram::Unmetered>(
+    pram::UnmeteredCtx&, QueryWorkspace&, Vertex) const;
+template std::vector<std::vector<Weight>>
+QueryEngine::multi_source<pram::Metered>(pram::Ctx&, QueryWorkspace&,
+                                         std::span<const Vertex>) const;
+template std::vector<std::vector<Weight>>
+QueryEngine::multi_source<pram::Unmetered>(pram::UnmeteredCtx&,
+                                           QueryWorkspace&,
+                                           std::span<const Vertex>) const;
+template Weight QueryEngine::point_to_point<pram::Metered>(
+    pram::Ctx&, QueryWorkspace&, Vertex, Vertex) const;
+template Weight QueryEngine::point_to_point<pram::Unmetered>(
+    pram::UnmeteredCtx&, QueryWorkspace&, Vertex, Vertex) const;
+template BatchResult QueryEngine::run_batch<pram::Metered>(
+    pram::ThreadPool*, std::span<const PointQuery>,
+    std::vector<QueryWorkspace>&) const;
+template BatchResult QueryEngine::run_batch<pram::Unmetered>(
+    pram::ThreadPool*, std::span<const PointQuery>,
+    std::vector<QueryWorkspace>&) const;
 
 }  // namespace parhop::query

@@ -63,8 +63,13 @@ struct BatchResult {
   std::vector<graph::Weight> answers;  ///< answers[i] serves queries[i]
   std::vector<double> latency_s;       ///< per-query wall latency, seconds
   /// Metered cost of the batch under parallel composition: work summed over
-  /// queries, depth the max over queries — pool-size independent.
+  /// queries, depth the max over queries — pool-size independent. All-zero
+  /// under the Unmetered policy.
   pram::Cost cost;
+  /// Hop budget actually served: the max Bellman–Ford rounds any query ran
+  /// before its fixpoint (≤ the configured hop_budget()). Deterministic —
+  /// a property of the query set, not of scheduling.
+  int max_rounds_run = 0;
 };
 
 /// Prepared build-once / query-many serving engine over G ∪ H.
@@ -117,26 +122,32 @@ class QueryEngine {
   /// Queries index raw distance slabs, so vertex ids are validated at this
   /// boundary: single_source / point_to_point / run_batch throw
   /// std::out_of_range on a source or target ≥ num_vertices().
-  std::span<const graph::Weight> single_source(pram::Ctx& ctx,
+  template <class Policy>
+  std::span<const graph::Weight> single_source(pram::BasicCtx<Policy>& ctx,
                                                QueryWorkspace& ws,
                                                graph::Vertex source) const;
 
   /// S × V rows (aMSSD); `ws` is reused across all |S| runs. Charges work
   /// summed and depth maxed over the runs (parallel composition).
+  template <class Policy>
   std::vector<std::vector<graph::Weight>> multi_source(
-      pram::Ctx& ctx, QueryWorkspace& ws,
+      pram::BasicCtx<Policy>& ctx, QueryWorkspace& ws,
       std::span<const graph::Vertex> sources) const;
 
   /// Approximate s–t distance (one source query; batch many pairs through
   /// run_batch instead).
-  graph::Weight point_to_point(pram::Ctx& ctx, QueryWorkspace& ws,
+  template <class Policy>
+  graph::Weight point_to_point(pram::BasicCtx<Policy>& ctx, QueryWorkspace& ws,
                                graph::Vertex s, graph::Vertex t) const;
 
   /// Batched serving: splits `queries` into contiguous strips, one per
   /// claimed workspace slot (at most pool->size() strips), and runs every
   /// query sequentially inside its worker. `slots` is caller-owned so
   /// workspaces persist across batches; it is grown to the strip count when
-  /// short. Answers are bit-identical at any pool size.
+  /// short. Answers are bit-identical at any pool size and under either
+  /// metering policy; the Unmetered instantiation additionally skips the
+  /// per-query Meter allocation on the serving fast path.
+  template <class Policy = pram::Metered>
   BatchResult run_batch(pram::ThreadPool* pool,
                         std::span<const PointQuery> queries,
                         std::vector<QueryWorkspace>& slots) const;
@@ -148,5 +159,30 @@ class QueryEngine {
   std::uint64_t round_depth_ = 1;  ///< per-round depth charge, precomputed
   Stats stats_;
 };
+
+extern template std::span<const graph::Weight>
+QueryEngine::single_source<pram::Metered>(pram::Ctx&, QueryWorkspace&,
+                                          graph::Vertex) const;
+extern template std::span<const graph::Weight>
+QueryEngine::single_source<pram::Unmetered>(pram::UnmeteredCtx&,
+                                            QueryWorkspace&,
+                                            graph::Vertex) const;
+extern template std::vector<std::vector<graph::Weight>>
+QueryEngine::multi_source<pram::Metered>(pram::Ctx&, QueryWorkspace&,
+                                         std::span<const graph::Vertex>) const;
+extern template std::vector<std::vector<graph::Weight>>
+QueryEngine::multi_source<pram::Unmetered>(
+    pram::UnmeteredCtx&, QueryWorkspace&,
+    std::span<const graph::Vertex>) const;
+extern template graph::Weight QueryEngine::point_to_point<pram::Metered>(
+    pram::Ctx&, QueryWorkspace&, graph::Vertex, graph::Vertex) const;
+extern template graph::Weight QueryEngine::point_to_point<pram::Unmetered>(
+    pram::UnmeteredCtx&, QueryWorkspace&, graph::Vertex, graph::Vertex) const;
+extern template BatchResult QueryEngine::run_batch<pram::Metered>(
+    pram::ThreadPool*, std::span<const PointQuery>,
+    std::vector<QueryWorkspace>&) const;
+extern template BatchResult QueryEngine::run_batch<pram::Unmetered>(
+    pram::ThreadPool*, std::span<const PointQuery>,
+    std::vector<QueryWorkspace>&) const;
 
 }  // namespace parhop::query

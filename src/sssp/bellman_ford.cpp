@@ -22,7 +22,8 @@ void BfWorkspace::ensure(graph::Vertex n) {
   epoch_ = 0;
 }
 
-int bellman_ford_reuse(pram::Ctx& ctx, const Graph& g,
+template <class Policy>
+int bellman_ford_reuse(pram::BasicCtx<Policy>& ctx, const Graph& g,
                        std::span<const Vertex> sources, int hops,
                        BfWorkspace& ws, const RoundHook& on_round,
                        std::uint64_t round_depth) {
@@ -97,7 +98,8 @@ int bellman_ford_reuse(pram::Ctx& ctx, const Graph& g,
   return rounds_run;
 }
 
-BellmanFordResult bellman_ford(pram::Ctx& ctx, const Graph& g,
+template <class Policy>
+BellmanFordResult bellman_ford(pram::BasicCtx<Policy>& ctx, const Graph& g,
                                std::span<const Vertex> sources, int hops,
                                const RoundHook& on_round) {
   BfWorkspace ws;
@@ -108,15 +110,17 @@ BellmanFordResult bellman_ford(pram::Ctx& ctx, const Graph& g,
   return r;
 }
 
-BellmanFordResult bellman_ford(pram::Ctx& ctx, const Graph& g, Vertex source,
-                               int hops) {
+template <class Policy>
+BellmanFordResult bellman_ford(pram::BasicCtx<Policy>& ctx, const Graph& g,
+                               Vertex source, int hops) {
   Vertex srcs[1] = {source};
   return bellman_ford(ctx, g, srcs, hops);
 }
 
+template <class Policy>
 std::vector<std::vector<Weight>> multi_source_bellman_ford(
-    pram::Ctx& ctx, const Graph& g, std::span<const Vertex> sources,
-    int hops) {
+    pram::BasicCtx<Policy>& ctx, const Graph& g,
+    std::span<const Vertex> sources, int hops) {
   // The paper runs |S| explorations in parallel with O(|S|) processors per
   // edge; host-side we run them in sequence. Work adds up across runs, but
   // the depth of a parallel composition is the maximum of the branches, so
@@ -132,7 +136,7 @@ std::vector<std::vector<Weight>> multi_source_bellman_ford(
     max_deg = std::max(max_deg, g.degree(v));
   const std::uint64_t round_depth = pram::ceil_log2(max_deg) + 1;
   for (Vertex s : sources) {
-    pram::Ctx sub(ctx.pool);
+    pram::BasicCtx<Policy> sub(ctx.pool);
     Vertex srcs[1] = {s};
     bellman_ford_reuse(sub, g, srcs, hops, ws, nullptr, round_depth);
     rows.emplace_back(ws.dist().begin(), ws.dist().end());
@@ -149,5 +153,30 @@ Graph union_graph(const Graph& g, std::span<const Edge> hopset_edges) {
   all.insert(all.end(), hopset_edges.begin(), hopset_edges.end());
   return Graph::from_edges(g.num_vertices(), all);
 }
+
+template int bellman_ford_reuse<pram::Metered>(pram::Ctx&, const Graph&,
+                                               std::span<const Vertex>, int,
+                                               BfWorkspace&, const RoundHook&,
+                                               std::uint64_t);
+template int bellman_ford_reuse<pram::Unmetered>(
+    pram::UnmeteredCtx&, const Graph&, std::span<const Vertex>, int,
+    BfWorkspace&, const RoundHook&, std::uint64_t);
+template BellmanFordResult bellman_ford<pram::Metered>(
+    pram::Ctx&, const Graph&, std::span<const Vertex>, int, const RoundHook&);
+template BellmanFordResult bellman_ford<pram::Unmetered>(
+    pram::UnmeteredCtx&, const Graph&, std::span<const Vertex>, int,
+    const RoundHook&);
+template BellmanFordResult bellman_ford<pram::Metered>(pram::Ctx&,
+                                                       const Graph&, Vertex,
+                                                       int);
+template BellmanFordResult bellman_ford<pram::Unmetered>(pram::UnmeteredCtx&,
+                                                         const Graph&, Vertex,
+                                                         int);
+template std::vector<std::vector<Weight>>
+multi_source_bellman_ford<pram::Metered>(pram::Ctx&, const Graph&,
+                                         std::span<const Vertex>, int);
+template std::vector<std::vector<Weight>>
+multi_source_bellman_ford<pram::Unmetered>(pram::UnmeteredCtx&, const Graph&,
+                                           std::span<const Vertex>, int);
 
 }  // namespace parhop::sssp

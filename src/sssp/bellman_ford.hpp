@@ -34,6 +34,22 @@ namespace parhop::sssp {
 /// experiment and serving-budget probes).
 using RoundHook = std::function<void(int, std::span<const graph::Weight>)>;
 
+class BfWorkspace;
+
+/// The workspace-reusing kernel: runs `hops` rounds from the (multi-)source
+/// set into `ws` and returns the rounds run (early exit on fixpoint). After
+/// the call ws.dist()/ws.parent() hold the result. `round_depth` is the
+/// per-round depth charge (0 = derive ceil(log2 max_deg)+1 from g — callers
+/// serving many queries precompute it once; the charge is identical either
+/// way). Results and metered costs are bit-identical to bellman_ford().
+/// Declared ahead of BfWorkspace so the friend declaration below can refer
+/// to it; template default arguments must live on this first declaration.
+template <class Policy>
+int bellman_ford_reuse(pram::BasicCtx<Policy>& ctx, const graph::Graph& g,
+                       std::span<const graph::Vertex> sources, int hops,
+                       BfWorkspace& ws, const RoundHook& on_round = nullptr,
+                       std::uint64_t round_depth = 0);
+
 /// Reusable storage for hop-limited runs. Owns the double-buffered
 /// dist/parent slabs plus an epoch stamp per vertex: a new query bumps the
 /// epoch and stamps only its sources; the first gather round maps entries
@@ -57,7 +73,8 @@ class BfWorkspace {
   std::vector<graph::Vertex> take_parent() { return std::move(parent_); }
 
  private:
-  friend int bellman_ford_reuse(pram::Ctx&, const graph::Graph&,
+  template <class Policy>
+  friend int bellman_ford_reuse(pram::BasicCtx<Policy>&, const graph::Graph&,
                                 std::span<const graph::Vertex>, int,
                                 BfWorkspace&, const RoundHook&,
                                 std::uint64_t);
@@ -77,34 +94,53 @@ struct BellmanFordResult {
   int rounds_run = 0;                 ///< may stop early on fixpoint
 };
 
-/// The workspace-reusing kernel: runs `hops` rounds from the (multi-)source
-/// set into `ws` and returns the rounds run (early exit on fixpoint). After
-/// the call ws.dist()/ws.parent() hold the result. `round_depth` is the
-/// per-round depth charge (0 = derive ceil(log2 max_deg)+1 from g — callers
-/// serving many queries precompute it once; the charge is identical either
-/// way). Results and metered costs are bit-identical to bellman_ford().
-int bellman_ford_reuse(pram::Ctx& ctx, const graph::Graph& g,
-                       std::span<const graph::Vertex> sources, int hops,
-                       BfWorkspace& ws, const RoundHook& on_round = nullptr,
-                       std::uint64_t round_depth = 0);
-
 /// Runs `hops` rounds from the (multi-)source set on a fresh workspace.
 /// Stops early when a round changes nothing. `on_round(h, dist)` is invoked
 /// after each round when provided (used by the hopbound experiment).
-BellmanFordResult bellman_ford(pram::Ctx& ctx, const graph::Graph& g,
+template <class Policy>
+BellmanFordResult bellman_ford(pram::BasicCtx<Policy>& ctx,
+                               const graph::Graph& g,
                                std::span<const graph::Vertex> sources,
                                int hops, const RoundHook& on_round = nullptr);
 
 /// Single-source convenience.
-BellmanFordResult bellman_ford(pram::Ctx& ctx, const graph::Graph& g,
-                               graph::Vertex source, int hops);
+template <class Policy>
+BellmanFordResult bellman_ford(pram::BasicCtx<Policy>& ctx,
+                               const graph::Graph& g, graph::Vertex source,
+                               int hops);
 
 /// S × V distances via |S| independent hop-limited explorations, as in
 /// Theorem 3.8's aMSSD. Row i is the distance vector of sources[i]. One
 /// workspace is reused across all |S| runs.
+template <class Policy>
 std::vector<std::vector<graph::Weight>> multi_source_bellman_ford(
-    pram::Ctx& ctx, const graph::Graph& g,
+    pram::BasicCtx<Policy>& ctx, const graph::Graph& g,
     std::span<const graph::Vertex> sources, int hops);
+
+extern template int bellman_ford_reuse<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, std::span<const graph::Vertex>, int,
+    BfWorkspace&, const RoundHook&, std::uint64_t);
+extern template int bellman_ford_reuse<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, std::span<const graph::Vertex>,
+    int, BfWorkspace&, const RoundHook&, std::uint64_t);
+extern template BellmanFordResult bellman_ford<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, std::span<const graph::Vertex>, int,
+    const RoundHook&);
+extern template BellmanFordResult bellman_ford<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, std::span<const graph::Vertex>,
+    int, const RoundHook&);
+extern template BellmanFordResult bellman_ford<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, graph::Vertex, int);
+extern template BellmanFordResult bellman_ford<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, graph::Vertex, int);
+extern template std::vector<std::vector<graph::Weight>>
+multi_source_bellman_ford<pram::Metered>(pram::Ctx&, const graph::Graph&,
+                                         std::span<const graph::Vertex>, int);
+extern template std::vector<std::vector<graph::Weight>>
+multi_source_bellman_ford<pram::Unmetered>(pram::UnmeteredCtx&,
+                                           const graph::Graph&,
+                                           std::span<const graph::Vertex>,
+                                           int);
 
 /// Builds the union graph G ∪ H with ω = min(ω_G, ω_H) (the paper's G_k
 /// convention): both edge sets, lightest parallel edge kept.

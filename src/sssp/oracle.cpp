@@ -8,25 +8,49 @@ Oracle::Oracle(const graph::Graph& g,
                std::span<const graph::Edge> hopset_edges, int beta)
     : gu_(sssp::union_graph(g, hopset_edges)), beta_(beta) {}
 
-std::vector<graph::Weight> Oracle::distances(pram::Ctx& ctx,
+template <class Policy>
+std::vector<graph::Weight> Oracle::distances(pram::BasicCtx<Policy>& ctx,
                                              graph::Vertex source) const {
   return bellman_ford(ctx, gu_, source, beta_).dist;
 }
 
+template <class Policy>
 Oracle::TreeResult Oracle::distances_with_parents(
-    pram::Ctx& ctx, graph::Vertex source) const {
+    pram::BasicCtx<Policy>& ctx, graph::Vertex source) const {
   auto r = bellman_ford(ctx, gu_, source, beta_);
   return {std::move(r.dist), std::move(r.parent)};
 }
 
+template <class Policy>
 std::vector<std::vector<graph::Weight>> Oracle::multi_source(
-    pram::Ctx& ctx, std::span<const graph::Vertex> sources) const {
+    pram::BasicCtx<Policy>& ctx, std::span<const graph::Vertex> sources) const {
   return multi_source_bellman_ford(ctx, gu_, sources, beta_);
 }
 
-graph::Weight Oracle::pair(pram::Ctx& ctx, graph::Vertex s,
+template <class Policy>
+graph::Weight Oracle::pair(pram::BasicCtx<Policy>& ctx, graph::Vertex s,
                            graph::Vertex t) const {
   return distances(ctx, s)[t];
 }
+
+template std::vector<graph::Weight> Oracle::distances<pram::Metered>(
+    pram::Ctx&, graph::Vertex) const;
+template std::vector<graph::Weight> Oracle::distances<pram::Unmetered>(
+    pram::UnmeteredCtx&, graph::Vertex) const;
+template Oracle::TreeResult Oracle::distances_with_parents<pram::Metered>(
+    pram::Ctx&, graph::Vertex) const;
+template Oracle::TreeResult Oracle::distances_with_parents<pram::Unmetered>(
+    pram::UnmeteredCtx&, graph::Vertex) const;
+template std::vector<std::vector<graph::Weight>>
+Oracle::multi_source<pram::Metered>(pram::Ctx&,
+                                    std::span<const graph::Vertex>) const;
+template std::vector<std::vector<graph::Weight>>
+Oracle::multi_source<pram::Unmetered>(pram::UnmeteredCtx&,
+                                      std::span<const graph::Vertex>) const;
+template graph::Weight Oracle::pair<pram::Metered>(pram::Ctx&, graph::Vertex,
+                                                   graph::Vertex) const;
+template graph::Weight Oracle::pair<pram::Unmetered>(pram::UnmeteredCtx&,
+                                                     graph::Vertex,
+                                                     graph::Vertex) const;
 
 }  // namespace parhop::sssp

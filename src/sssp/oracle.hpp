@@ -27,7 +27,8 @@ class Oracle {
          int beta);
 
   /// (1+ε)-approximate distances from one source; +inf where unreachable.
-  std::vector<graph::Weight> distances(pram::Ctx& ctx,
+  template <class Policy>
+  std::vector<graph::Weight> distances(pram::BasicCtx<Policy>& ctx,
                                        graph::Vertex source) const;
 
   /// Distances and predecessors (in G ∪ H) from one source.
@@ -35,16 +36,21 @@ class Oracle {
     std::vector<graph::Weight> dist;
     std::vector<graph::Vertex> parent;
   };
-  TreeResult distances_with_parents(pram::Ctx& ctx,
+  template <class Policy>
+  TreeResult distances_with_parents(pram::BasicCtx<Policy>& ctx,
                                     graph::Vertex source) const;
 
   /// S × V approximate distances (aMSSD); row i belongs to sources[i].
+  template <class Policy>
   std::vector<std::vector<graph::Weight>> multi_source(
-      pram::Ctx& ctx, std::span<const graph::Vertex> sources) const;
+      pram::BasicCtx<Policy>& ctx,
+      std::span<const graph::Vertex> sources) const;
 
   /// Approximate s–t distance (runs one source query; for many pairs from
   /// the same source prefer distances()).
-  graph::Weight pair(pram::Ctx& ctx, graph::Vertex s, graph::Vertex t) const;
+  template <class Policy>
+  graph::Weight pair(pram::BasicCtx<Policy>& ctx, graph::Vertex s,
+                     graph::Vertex t) const;
 
   int beta() const { return beta_; }
   const graph::Graph& union_graph() const { return gu_; }
@@ -53,5 +59,26 @@ class Oracle {
   graph::Graph gu_;
   int beta_;
 };
+
+extern template std::vector<graph::Weight> Oracle::distances<pram::Metered>(
+    pram::Ctx&, graph::Vertex) const;
+extern template std::vector<graph::Weight> Oracle::distances<pram::Unmetered>(
+    pram::UnmeteredCtx&, graph::Vertex) const;
+extern template Oracle::TreeResult
+Oracle::distances_with_parents<pram::Metered>(pram::Ctx&,
+                                              graph::Vertex) const;
+extern template Oracle::TreeResult
+Oracle::distances_with_parents<pram::Unmetered>(pram::UnmeteredCtx&,
+                                                graph::Vertex) const;
+extern template std::vector<std::vector<graph::Weight>>
+Oracle::multi_source<pram::Metered>(pram::Ctx&,
+                                    std::span<const graph::Vertex>) const;
+extern template std::vector<std::vector<graph::Weight>>
+Oracle::multi_source<pram::Unmetered>(pram::UnmeteredCtx&,
+                                      std::span<const graph::Vertex>) const;
+extern template graph::Weight Oracle::pair<pram::Metered>(
+    pram::Ctx&, graph::Vertex, graph::Vertex) const;
+extern template graph::Weight Oracle::pair<pram::Unmetered>(
+    pram::UnmeteredCtx&, graph::Vertex, graph::Vertex) const;
 
 }  // namespace parhop::sssp

@@ -11,7 +11,9 @@ using graph::kInfWeight;
 using graph::Vertex;
 using graph::Weight;
 
-std::vector<Weight> tree_distances(pram::Ctx& ctx, const ParentTree& tree) {
+template <class Policy>
+std::vector<Weight> tree_distances(pram::BasicCtx<Policy>& ctx,
+                                   const ParentTree& tree) {
   std::vector<std::uint32_t> q(tree.parent.begin(), tree.parent.end());
   std::vector<double> d(tree.parent_weight.begin(), tree.parent_weight.end());
   pram::pointer_jump(ctx, q, d);
@@ -56,8 +58,10 @@ TreeCheck validate_tree_edges_in_graph(const ParentTree& tree,
   return {};
 }
 
-TreeCheck validate_spt_stretch(pram::Ctx& ctx, const ParentTree& tree,
-                               const Graph& g, double eps) {
+template <class Policy>
+TreeCheck validate_spt_stretch(pram::BasicCtx<Policy>& ctx,
+                               const ParentTree& tree, const Graph& g,
+                               double eps) {
   auto structural = validate_tree(tree);
   if (!structural.ok) return structural;
   auto in_graph = validate_tree_edges_in_graph(tree, g);
@@ -79,5 +83,16 @@ TreeCheck validate_spt_stretch(pram::Ctx& ctx, const ParentTree& tree,
   }
   return {};
 }
+
+template std::vector<Weight> tree_distances<pram::Metered>(pram::Ctx&,
+                                                           const ParentTree&);
+template std::vector<Weight> tree_distances<pram::Unmetered>(
+    pram::UnmeteredCtx&, const ParentTree&);
+template TreeCheck validate_spt_stretch<pram::Metered>(pram::Ctx&,
+                                                       const ParentTree&,
+                                                       const Graph&, double);
+template TreeCheck validate_spt_stretch<pram::Unmetered>(pram::UnmeteredCtx&,
+                                                         const ParentTree&,
+                                                         const Graph&, double);
 
 }  // namespace parhop::sssp

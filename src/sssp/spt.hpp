@@ -22,8 +22,14 @@ struct ParentTree {
 
 /// Computes d_T(root, v) for all v by pointer jumping (§4.2): log n rounds of
 /// q(v) ← q(q(v)), d'(v) ← d'(v) + d'(q(v)).
-std::vector<graph::Weight> tree_distances(pram::Ctx& ctx,
+template <class Policy>
+std::vector<graph::Weight> tree_distances(pram::BasicCtx<Policy>& ctx,
                                           const ParentTree& tree);
+
+extern template std::vector<graph::Weight> tree_distances<pram::Metered>(
+    pram::Ctx&, const ParentTree&);
+extern template std::vector<graph::Weight> tree_distances<pram::Unmetered>(
+    pram::UnmeteredCtx&, const ParentTree&);
 
 /// Structural validation: every non-root has a parent, following parents
 /// reaches the root (no cycles), and — when g is given — every (parent(v), v)
@@ -39,7 +45,14 @@ TreeCheck validate_tree_edges_in_graph(const ParentTree& tree,
 
 /// Checks the (1+ε)-SPT property: for every v reachable in g from root,
 /// d_T(root, v) ≤ (1+eps)·d_G(root, v), and T spans the root's component.
-TreeCheck validate_spt_stretch(pram::Ctx& ctx, const ParentTree& tree,
-                               const graph::Graph& g, double eps);
+template <class Policy>
+TreeCheck validate_spt_stretch(pram::BasicCtx<Policy>& ctx,
+                               const ParentTree& tree, const graph::Graph& g,
+                               double eps);
+
+extern template TreeCheck validate_spt_stretch<pram::Metered>(
+    pram::Ctx&, const ParentTree&, const graph::Graph&, double);
+extern template TreeCheck validate_spt_stretch<pram::Unmetered>(
+    pram::UnmeteredCtx&, const ParentTree&, const graph::Graph&, double);
 
 }  // namespace parhop::sssp

@@ -10,7 +10,8 @@ using graph::kInfWeight;
 using graph::Vertex;
 using graph::Weight;
 
-ApproxResult approx_sssp(pram::Ctx& ctx, const Graph& g,
+template <class Policy>
+ApproxResult approx_sssp(pram::BasicCtx<Policy>& ctx, const Graph& g,
                          std::span<const Edge> hopset, Vertex source,
                          int beta) {
   Graph gu = union_graph(g, hopset);
@@ -18,12 +19,27 @@ ApproxResult approx_sssp(pram::Ctx& ctx, const Graph& g,
   return {std::move(bf.dist), std::move(bf.parent), bf.rounds_run};
 }
 
+template <class Policy>
 std::vector<std::vector<Weight>> approx_multi_source(
-    pram::Ctx& ctx, const Graph& g, std::span<const Edge> hopset,
+    pram::BasicCtx<Policy>& ctx, const Graph& g, std::span<const Edge> hopset,
     std::span<const Vertex> sources, int beta) {
   Graph gu = union_graph(g, hopset);
   return multi_source_bellman_ford(ctx, gu, sources, beta);
 }
+
+template ApproxResult approx_sssp<pram::Metered>(pram::Ctx&, const Graph&,
+                                                 std::span<const Edge>, Vertex,
+                                                 int);
+template ApproxResult approx_sssp<pram::Unmetered>(pram::UnmeteredCtx&,
+                                                   const Graph&,
+                                                   std::span<const Edge>,
+                                                   Vertex, int);
+template std::vector<std::vector<Weight>> approx_multi_source<pram::Metered>(
+    pram::Ctx&, const Graph&, std::span<const Edge>, std::span<const Vertex>,
+    int);
+template std::vector<std::vector<Weight>> approx_multi_source<pram::Unmetered>(
+    pram::UnmeteredCtx&, const Graph&, std::span<const Edge>,
+    std::span<const Vertex>, int);
 
 double max_stretch(std::span<const Weight> approx,
                    std::span<const Weight> exact) {

@@ -22,15 +22,32 @@ struct ApproxResult {
 };
 
 /// (1+ε)-approximate single-source distances: β-limited BF on G ∪ H.
-ApproxResult approx_sssp(pram::Ctx& ctx, const graph::Graph& g,
+template <class Policy>
+ApproxResult approx_sssp(pram::BasicCtx<Policy>& ctx, const graph::Graph& g,
                          std::span<const graph::Edge> hopset,
                          graph::Vertex source, int beta);
 
 /// S × V approximate distances (aMSSD).
+template <class Policy>
 std::vector<std::vector<graph::Weight>> approx_multi_source(
-    pram::Ctx& ctx, const graph::Graph& g,
+    pram::BasicCtx<Policy>& ctx, const graph::Graph& g,
     std::span<const graph::Edge> hopset,
     std::span<const graph::Vertex> sources, int beta);
+
+extern template ApproxResult approx_sssp<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, std::span<const graph::Edge>,
+    graph::Vertex, int);
+extern template ApproxResult approx_sssp<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, std::span<const graph::Edge>,
+    graph::Vertex, int);
+extern template std::vector<std::vector<graph::Weight>>
+approx_multi_source<pram::Metered>(pram::Ctx&, const graph::Graph&,
+                                   std::span<const graph::Edge>,
+                                   std::span<const graph::Vertex>, int);
+extern template std::vector<std::vector<graph::Weight>>
+approx_multi_source<pram::Unmetered>(pram::UnmeteredCtx&, const graph::Graph&,
+                                     std::span<const graph::Edge>,
+                                     std::span<const graph::Vertex>, int);
 
 /// max over v of approx[v] / exact[v]; pairs where exact is 0 or +inf are
 /// skipped; an approx of +inf where exact is finite returns +inf (coverage

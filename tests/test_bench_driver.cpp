@@ -62,6 +62,9 @@ TEST_F(BenchDriver, TinyE1EmitsValidJson) {
   EXPECT_TRUE(doc.at("tiny").as_bool());
   EXPECT_GT(doc.at("wall_time_s").as_double(), 0.0);
   ASSERT_TRUE(doc.contains("title"));
+  // The driver links the Metered instantiation; its stamp says so.
+  EXPECT_TRUE(doc.at("metered").as_bool());
+  EXPECT_EQ(doc.at("policy").as_string(), "metered");
 
   const util::Json& rows = doc.at("rows");
   ASSERT_TRUE(rows.is_array());
@@ -77,6 +80,8 @@ TEST_F(BenchDriver, TinyE1EmitsValidJson) {
     EXPECT_GT(row.at("m").as_int(), 0);
     EXPECT_GT(row.at("work").as_int(), 0);
     EXPECT_GT(row.at("depth").as_int(), 0);
+    EXPECT_TRUE(row.at("metered").as_bool());
+    EXPECT_EQ(row.at("policy").as_string(), "metered");
   }
 }
 

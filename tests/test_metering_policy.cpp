@@ -1,0 +1,161 @@
+// Cross-policy bit-identity: the pram::Unmetered instantiation must be the
+// pram::Metered one minus the accounting — same hopset edges and weights,
+// byte-identical `.phs` serialization, identical SSSP distances and
+// QueryEngine batch answers at every pool size (ISSUE 6 / ARCHITECTURE.md
+// §2 "metering policy"). The CI cross-build smoke checks the same property
+// end-to-end through the CLI; these tests pin it at the library boundary.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "hopset/hopset.hpp"
+#include "hopset/serialize.hpp"
+#include "query/query_engine.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/sssp.hpp"
+#include "test_helpers.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+using graph::Weight;
+
+Graph test_graph() {
+  graph::GenOptions o;
+  o.seed = 91;
+  return graph::gnm(1024, 4096, o);
+}
+
+hopset::Params test_params() {
+  hopset::Params p;
+  p.epsilon = 0.25;
+  p.kappa = 3;
+  p.rho = 0.45;
+  return p;
+}
+
+TEST(MeteringPolicy, UnmeteredChargesNothing) {
+  Graph g = test_graph();
+  pram::UnmeteredCtx cx(&pram::ThreadPool::global());
+  hopset::Hopset H = hopset::build_hopset(cx, g, test_params());
+  EXPECT_GT(H.edges.size(), 0u);
+  EXPECT_EQ(cx.meter.work(), 0u);
+  EXPECT_EQ(cx.meter.depth(), 0u);
+  EXPECT_EQ(cx.meter.max_processors(), 0u);
+  EXPECT_EQ(H.build_cost.work, 0u);
+  EXPECT_EQ(H.build_cost.depth, 0u);
+}
+
+TEST(MeteringPolicy, HopsetEdgesBitIdentical) {
+  Graph g = test_graph();
+  auto mcx = testing::ctx();
+  pram::UnmeteredCtx ucx(&pram::ThreadPool::global());
+  hopset::Hopset Hm = hopset::build_hopset(mcx, g, test_params());
+  hopset::Hopset Hu = hopset::build_hopset(ucx, g, test_params());
+  ASSERT_EQ(Hm.edges.size(), Hu.edges.size());
+  for (std::size_t i = 0; i < Hm.edges.size(); ++i) {
+    EXPECT_EQ(Hm.edges[i].u, Hu.edges[i].u);
+    EXPECT_EQ(Hm.edges[i].v, Hu.edges[i].v);
+    // Bit-exact: the policies share every arithmetic operation.
+    EXPECT_EQ(Hm.edges[i].w, Hu.edges[i].w);
+  }
+  EXPECT_EQ(Hm.schedule.beta, Hu.schedule.beta);
+  // The metered build charged; the costs are the only allowed difference.
+  EXPECT_GT(Hm.build_cost.work, 0u);
+  EXPECT_EQ(Hu.build_cost.work, 0u);
+}
+
+TEST(MeteringPolicy, PhsSerializationByteIdentical) {
+  Graph g = test_graph();
+  auto mcx = testing::ctx();
+  pram::UnmeteredCtx ucx(&pram::ThreadPool::global());
+  hopset::Hopset Hm = hopset::build_hopset(mcx, g, test_params());
+  hopset::Hopset Hu = hopset::build_hopset(ucx, g, test_params());
+  std::stringstream sm, su;
+  hopset::write_hopset(sm, Hm);
+  hopset::write_hopset(su, Hu);
+  // Byte-for-byte: the `.phs` format serializes no costs, so a production
+  // (unmetered) build is indistinguishable on disk — checksum included.
+  EXPECT_EQ(sm.str(), su.str());
+}
+
+TEST(MeteringPolicy, SsspDistancesBitIdentical) {
+  Graph g = test_graph();
+  auto mcx = testing::ctx();
+  pram::UnmeteredCtx ucx(&pram::ThreadPool::global());
+  const Vertex source = 7;
+  const int hops = 32;
+  auto rm = sssp::bellman_ford(mcx, g, source, hops);
+  auto ru = sssp::bellman_ford(ucx, g, source, hops);
+  ASSERT_EQ(rm.dist.size(), ru.dist.size());
+  for (std::size_t v = 0; v < rm.dist.size(); ++v) {
+    EXPECT_EQ(rm.dist[v], ru.dist[v]) << "vertex " << v;
+    EXPECT_EQ(rm.parent[v], ru.parent[v]) << "vertex " << v;
+  }
+  EXPECT_EQ(rm.rounds_run, ru.rounds_run);
+}
+
+TEST(MeteringPolicy, BatchAnswersIdenticalAcrossPools) {
+  Graph g = test_graph();
+  auto mcx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(mcx, g, test_params());
+  query::QueryEngine engine(g, H.edges, H.schedule.beta);
+  std::vector<query::PointQuery> queries =
+      query::spread_queries(64, engine.num_vertices());
+
+  // Metered, 1 thread: the reference answers.
+  pram::ThreadPool ref_pool(1);
+  std::vector<query::QueryWorkspace> ref_slots;
+  query::BatchResult ref = engine.run_batch(&ref_pool, queries, ref_slots);
+  EXPECT_GT(ref.cost.work, 0u);
+  EXPECT_GT(ref.max_rounds_run, 0);
+  EXPECT_LE(ref.max_rounds_run, engine.hop_budget());
+
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    pram::ThreadPool pool(threads);
+    std::vector<query::QueryWorkspace> mslots, uslots;
+    query::BatchResult rm =
+        engine.run_batch<pram::Metered>(&pool, queries, mslots);
+    query::BatchResult ru =
+        engine.run_batch<pram::Unmetered>(&pool, queries, uslots);
+    ASSERT_EQ(rm.answers.size(), ref.answers.size());
+    ASSERT_EQ(ru.answers.size(), ref.answers.size());
+    for (std::size_t i = 0; i < ref.answers.size(); ++i) {
+      EXPECT_EQ(rm.answers[i], ref.answers[i]) << threads << " threads, q" << i;
+      EXPECT_EQ(ru.answers[i], ref.answers[i]) << threads << " threads, q" << i;
+    }
+    // The batch charge obeys parallel composition, so it is pool-size
+    // independent too; the unmetered run reports zero.
+    EXPECT_EQ(rm.cost.work, ref.cost.work);
+    EXPECT_EQ(rm.cost.depth, ref.cost.depth);
+    EXPECT_EQ(ru.cost.work, 0u);
+    EXPECT_EQ(ru.cost.depth, 0u);
+    // The served-budget probe is a property of the query set, not the
+    // policy or the pool.
+    EXPECT_EQ(rm.max_rounds_run, ref.max_rounds_run);
+    EXPECT_EQ(ru.max_rounds_run, ref.max_rounds_run);
+  }
+}
+
+TEST(MeteringPolicy, SingleSourceIdenticalAcrossPolicies) {
+  Graph g = test_graph();
+  auto mcx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(mcx, g, test_params());
+  query::QueryEngine engine(g, H.edges, H.schedule.beta);
+  pram::UnmeteredCtx ucx(&pram::ThreadPool::global());
+  query::QueryWorkspace mws, uws;
+  auto dm = engine.single_source(mcx, mws, 3);
+  std::vector<Weight> metered(dm.begin(), dm.end());
+  auto du = engine.single_source(ucx, uws, 3);
+  ASSERT_EQ(metered.size(), du.size());
+  for (std::size_t v = 0; v < metered.size(); ++v)
+    EXPECT_EQ(metered[v], du[v]) << "vertex " << v;
+  EXPECT_EQ(ucx.meter.work(), 0u);
+}
+
+}  // namespace
+}  // namespace parhop
