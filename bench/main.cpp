@@ -21,6 +21,7 @@
 // graph size (n, m), hopset size, metered PRAM work/depth, and per-row wall
 // time where applicable, so successive PRs can diff the perf trajectory.
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -31,10 +32,31 @@
 #include "registry.hpp"
 #include "util/flags.hpp"
 
+// The sanitizer configuration this binary was compiled under, injected by
+// CMake from PARHOP_SANITIZE ("off", "address,undefined", "thread", ...).
+// Stamped into every BENCH envelope and gating emission (ARCHITECTURE.md §8):
+// instrumented wall clock must never enter the committed perf trajectory.
+#ifndef PARHOP_SANITIZER_NAME
+#define PARHOP_SANITIZER_NAME "off"
+#endif
+
 namespace {
 
 using parhop::bench::Experiment;
 using parhop::bench::RunOptions;
+
+/// Effective sanitizer stamp. The PARHOP_BENCH_FAKE_SANITIZER environment
+/// hook lets an uninstrumented test binary exercise the refusal path; it can
+/// only *pretend* a sanitizer is present, never hide a real one.
+std::string sanitizer_name() {
+  std::string name = PARHOP_SANITIZER_NAME;
+  if (name.empty()) name = "off";
+  if (name == "off") {
+    const char* fake = std::getenv("PARHOP_BENCH_FAKE_SANITIZER");
+    if (fake != nullptr && *fake != '\0') name = fake;
+  }
+  return name;
+}
 
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
@@ -47,11 +69,15 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 void print_usage() {
   std::cout << "usage: parhop_bench --exp <id[,id...]|all> [--tiny] "
-               "[--out DIR] [--threads N]\n       parhop_bench --list\n";
+               "[--out DIR] [--threads N] [--force-sanitized]\n"
+               "       parhop_bench --list\n"
+               "sanitized builds (PARHOP_SANITIZE != off) refuse to emit "
+               "BENCH_<exp>.json\nunless --force-sanitized is given; the "
+               "envelope carries a \"sanitizer\" stamp.\n";
 }
 
 int run_one(const Experiment& exp, const RunOptions& opt,
-            const std::string& out_dir) {
+            const std::string& out_dir, const std::string& sanitizer) {
   std::cout << "\n=== " << exp.name << " — " << exp.title << " ===\n";
   auto start = std::chrono::steady_clock::now();
   parhop::util::Json payload = exp.run(opt);
@@ -72,6 +98,9 @@ int run_one(const Experiment& exp, const RunOptions& opt,
   // instantiation only — the committed work/depth contract depends on it.
   doc.set("metered", true);
   doc.set("policy", "metered");
+  // Sanitizer stamp (docs/bench-schema.md): "off" for production numbers;
+  // anything else marks the file as instrumented and non-comparable.
+  doc.set("sanitizer", sanitizer);
   for (const auto& [k, v] : payload.members()) {
     if (k == "rows" && v.is_array()) {
       parhop::util::Json rows = parhop::util::Json::array();
@@ -126,6 +155,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Sanitized binaries measure the instrumentation, not the library: their
+  // wall times (and the allocation-heavy work constants under ASan) must not
+  // land in a BENCH_<exp>.json that later gets diffed against production
+  // numbers. Refuse up front unless the caller explicitly opts in.
+  const std::string sanitizer = sanitizer_name();
+  if (sanitizer != "off" && !flags.get_bool("force-sanitized", false)) {
+    std::cerr << "error: this parhop_bench was built with PARHOP_SANITIZE="
+              << sanitizer
+              << "; its numbers are not comparable to production runs.\n"
+                 "Pass --force-sanitized to emit BENCH JSON anyway (the "
+                 "envelope will carry \"sanitizer\": \""
+              << sanitizer << "\").\n";
+    return 2;
+  }
+
   // Experiments run on an explicit caller-owned pool, never the silent
   // global default: --threads N, with N == 0 (explicit or omitted) meaning
   // PARHOP_THREADS, then hardware concurrency.
@@ -155,6 +199,7 @@ int main(int argc, char** argv) {
   }
 
   int rc = 0;
-  for (const Experiment* e : selected) rc |= run_one(*e, opt, out_dir);
+  for (const Experiment* e : selected)
+    rc |= run_one(*e, opt, out_dir, sanitizer);
   return rc;
 }

@@ -1,0 +1,14 @@
+// lint selftest fixture — NOT compiled, NOT part of the library.
+// A would-be `global-pool` violation carrying the allowlist marker: the
+// selftest asserts this file produces NO findings, proving `// lint:allow
+// <rule> <reason>` suppression works.
+#include "pram/thread_pool.hpp"
+
+namespace parhop::fixture {
+
+std::size_t documented_fallback() {
+  // lint:allow global-pool selftest fixture proving suppression works
+  return pram::ThreadPool::global().size();
+}
+
+}  // namespace parhop::fixture

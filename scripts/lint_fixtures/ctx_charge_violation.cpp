@@ -1,0 +1,13 @@
+// lint selftest fixture — NOT compiled, NOT part of the library.
+// Seeds exactly one `ctx-charge` violation: charging the meter directly
+// instead of through the Ctx policy object, which would keep the charge
+// alive in the Unmetered production instantiation.
+#include "pram/primitives.hpp"
+
+namespace parhop::fixture {
+
+void charges_meter_directly(pram::Ctx& ctx, std::size_t n) {
+  ctx.meter.add_work(n);  // <- must fire ctx-charge
+}
+
+}  // namespace parhop::fixture

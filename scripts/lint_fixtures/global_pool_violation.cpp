@@ -1,0 +1,12 @@
+// lint selftest fixture — NOT compiled, NOT part of the library.
+// Seeds exactly one `global-pool` violation: a kernel silently grabbing the
+// process-wide pool instead of taking a caller-owned one.
+#include "pram/thread_pool.hpp"
+
+namespace parhop::fixture {
+
+std::size_t silently_uses_global_pool() {
+  return pram::ThreadPool::global().size();  // <- must fire global-pool
+}
+
+}  // namespace parhop::fixture

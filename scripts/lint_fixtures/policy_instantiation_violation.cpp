@@ -1,0 +1,19 @@
+// lint selftest fixture — NOT compiled, NOT part of the library.
+// Seeds exactly one `policy-instantiation` violation: a Policy-templated
+// kernel .cpp that explicitly instantiates Metered but forgets Unmetered,
+// which would surface as a link error only in a later PR.
+#include "pram/primitives.hpp"
+
+namespace parhop::fixture {
+
+template <class Policy>
+void half_instantiated_kernel(pram::BasicCtx<Policy>& ctx, std::size_t n) {
+  ctx.charge_work(n);
+  ctx.charge_depth(1);
+}
+
+template void half_instantiated_kernel<pram::Metered>(pram::Ctx&,
+                                                      std::size_t);
+// (no pram::Unmetered instantiation) <- must fire policy-instantiation
+
+}  // namespace parhop::fixture

@@ -1,0 +1,13 @@
+// lint selftest fixture — NOT compiled, NOT part of the library.
+// Seeds exactly one `randomness` violation: hidden nondeterminism in a
+// kernel (results must be functions of inputs and explicit seeds).
+#include <random>
+
+namespace parhop::fixture {
+
+unsigned nondeterministic_seed() {
+  std::random_device rd;  // <- must fire randomness
+  return rd();
+}
+
+}  // namespace parhop::fixture

@@ -1,0 +1,21 @@
+// lint selftest fixture — NOT compiled, NOT part of the library.
+// Seeds exactly one `unordered-iter` violation: producing output by
+// iterating a hash table, whose order is implementation-defined.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace parhop::fixture {
+
+std::vector<std::uint64_t> keys_in_hash_order(
+    const std::unordered_map<std::uint64_t, double>& degree) {
+  std::unordered_map<std::uint64_t, double> index = degree;
+  std::vector<std::uint64_t> out;
+  for (const auto& [k, v] : index) {  // <- must fire unordered-iter
+    (void)v;
+    out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace parhop::fixture

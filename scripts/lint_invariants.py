@@ -1,0 +1,338 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: mechanically enforces the ARCHITECTURE.md §2
+invariants that used to live only in prose and review convention. Wired as
+the `lint.invariants` / `lint.selftest` ctests and the CI `lint` job; any
+finding fails the build (exit 1).
+
+Rule catalog (each finding prints `path:line: [rule] message`):
+
+  global-pool           ThreadPool::global() outside src/pram/. Parallelism
+                        is an explicit input (§2.3): library kernels take a
+                        caller-owned pool via Ctx, and bench/example binaries
+                        construct one from --threads. The only legitimate
+                        sites are the pool's own definition and the
+                        documented BasicCtx fallback default, both in
+                        src/pram/.
+  randomness            rand()/srand()/std::random_device, or wall-clock
+                        reads (system_clock, steady_clock,
+                        high_resolution_clock, gettimeofday, time(NULL),
+                        clock()) inside src/ kernels. Results must be
+                        deterministic functions of inputs and explicit seeds
+                        (§2.1); wall time is for the harness, not the
+                        library. Timing *stats* that never influence outputs
+                        carry a lint:allow with that justification.
+  unordered-iter        Iteration (range-for / .begin()) over a
+                        std::unordered_map/unordered_set in src/. Hash-table
+                        iteration order is implementation-defined, so any
+                        output produced by it breaks bit-identity across
+                        platforms and library versions (§2.1). Point lookups
+                        (.find/operator[]) are fine; iterate a sorted
+                        container or an index range instead.
+  ctx-charge            A work/depth charge that bypasses the Ctx policy
+                        object outside src/pram/: .add_work()/.add_depth()/
+                        .charge()/.note_processors() on a meter directly.
+                        Kernels must charge through ctx.charge_work/
+                        ctx.charge_depth so the Unmetered instantiation
+                        compiles the charge out (§2.2, §2.4). Reading
+                        .meter.snapshot() is allowed.
+  policy-instantiation  A src/ .cpp defines `template <class Policy>`
+                        kernels but does not explicitly instantiate both
+                        pram::Metered and pram::Unmetered. Both must be
+                        compiled into the library (§2.4) or callers of the
+                        missing policy hit link errors only in downstream
+                        PRs.
+
+Suppression: `// lint:allow <rule> <reason>` on the finding's line or the
+line immediately above it (reason mandatory — the allowlist is
+documentation). File-scope rules (policy-instantiation) accept the marker
+anywhere in the file. An allow naming an unknown rule is itself an error.
+
+Self-test: `--selftest` runs every rule against the seeded-violation
+fixtures in scripts/lint_fixtures/ and fails unless each rule fires exactly
+where expected and the lint:allow fixture stays silent — so a rule that
+silently stops matching fails the build too.
+
+Run from anywhere: paths resolve relative to the repository root.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = ROOT / "scripts" / "lint_fixtures"
+
+RULES = (
+    "global-pool",
+    "randomness",
+    "unordered-iter",
+    "ctx-charge",
+    "policy-instantiation",
+)
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\s+([A-Za-z0-9_-]+)\s+(\S.*)?$")
+
+GLOBAL_POOL_RE = re.compile(r"\bThreadPool\s*::\s*global\s*\(")
+
+RANDOMNESS_RES = (
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\b(?:system|steady|high_resolution)_clock\b"),
+     "wall-clock read"),
+    (re.compile(r"\bgettimeofday\s*\("), "wall-clock read"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "wall-clock read"),
+    (re.compile(r"(?<![\w:])clock\s*\(\s*\)"), "wall-clock read"),
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s+(\w+)\s*[;({=]")
+CHARGE_BYPASS_RE = re.compile(
+    r"\.\s*(add_work|add_depth|charge|note_processors)\s*\(")
+POLICY_TEMPLATE_RE = re.compile(r"\btemplate\s*<\s*class\s+Policy\b")
+METERED_INST_RE = re.compile(r"<\s*(?:pram\s*::\s*)?Metered\s*[>,]")
+UNMETERED_INST_RE = re.compile(r"<\s*(?:pram\s*::\s*)?Unmetered\s*[>,]")
+
+
+class Finding:
+    def __init__(self, rel, lineno, rule, message):
+        self.rel = rel
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.rel}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def strip_code(lines):
+    """Returns lines with comments and string/char literals blanked (same
+    line count and per-line length, so column-free findings keep their line
+    numbers). Raw allow-marker extraction happens before this."""
+    out = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if in_block:
+                j = line.find("*/", i)
+                if j < 0:
+                    buf.append(" " * (n - i))
+                    i = n
+                else:
+                    buf.append(" " * (j + 2 - i))
+                    i = j + 2
+                    in_block = False
+                continue
+            c = line[i]
+            two = line[i:i + 2]
+            if two == "//":
+                buf.append(" " * (n - i))
+                i = n
+            elif two == "/*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+            elif c in "\"'":
+                quote = c
+                j = i + 1
+                while j < n:
+                    if line[j] == "\\":
+                        j += 2
+                        continue
+                    if line[j] == quote:
+                        break
+                    j += 1
+                j = min(j, n - 1)
+                buf.append(quote + " " * (j - i - 1) + quote)
+                i = j + 1
+            else:
+                buf.append(c)
+                i += 1
+        out.append("".join(buf))
+    return out
+
+
+def collect_allows(rel, raw_lines, errors):
+    """Maps rule -> set of line numbers the allow covers (its own line and
+    the next). Unknown rule names in an allow are reported as errors."""
+    allows = {}
+    file_scope = set()
+    for lineno, line in enumerate(raw_lines, 1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        rule, reason = m.group(1), m.group(2)
+        if rule not in RULES:
+            errors.append(Finding(rel, lineno, "lint",
+                                  f"lint:allow names unknown rule '{rule}'"))
+            continue
+        if not reason:
+            errors.append(Finding(
+                rel, lineno, "lint",
+                f"lint:allow {rule} requires a reason"))
+            continue
+        allows.setdefault(rule, set()).update({lineno, lineno + 1})
+        file_scope.add(rule)
+    return allows, file_scope
+
+
+def scan_file(path, rel, errors):
+    try:
+        raw = path.read_text(encoding="utf-8").splitlines()
+    except UnicodeDecodeError:
+        errors.append(Finding(rel, 1, "lint", "not valid UTF-8"))
+        return
+    allows, file_allows = collect_allows(rel, raw, errors)
+    code = strip_code(raw)
+
+    def report(lineno, rule, message):
+        if lineno in allows.get(rule, ()):  # line- or preceding-line allow
+            return
+        errors.append(Finding(rel, lineno, rule, message))
+
+    in_pram = rel.startswith("src/pram/")
+    in_src = rel.startswith("src/")
+    is_rng = rel in ("src/util/rng.hpp", "src/util/rng.cpp")
+
+    # --- global-pool (src/ outside pram, bench/, examples/) ---------------
+    if not in_pram:
+        for lineno, line in enumerate(code, 1):
+            if GLOBAL_POOL_RE.search(line):
+                report(lineno, "global-pool",
+                       "ThreadPool::global() outside src/pram/ — take a "
+                       "caller-owned pool (ARCHITECTURE.md §2.3)")
+
+    # --- randomness (src/ kernels; the seeded RNG itself is exempt) -------
+    if in_src and not is_rng:
+        for lineno, line in enumerate(code, 1):
+            for rx, what in RANDOMNESS_RES:
+                if rx.search(line):
+                    report(lineno, "randomness",
+                           f"{what} in a src/ kernel — results must be "
+                           "deterministic in explicit seeds "
+                           "(ARCHITECTURE.md §2.1)")
+
+    # --- unordered-iter (src/) --------------------------------------------
+    if in_src:
+        text = "\n".join(code)
+        names = set(UNORDERED_DECL_RE.findall(text))
+        if names:
+            alt = "|".join(re.escape(n) for n in sorted(names))
+            iter_re = re.compile(
+                r"(?:for\s*\([^;)]*:\s*(?:\w+\s*\.\s*)?(?:" + alt + r")\s*\)"
+                r"|\b(?:" + alt + r")\s*\.\s*c?begin\s*\()")
+            for lineno, line in enumerate(code, 1):
+                if iter_re.search(line):
+                    report(lineno, "unordered-iter",
+                           "iteration over an unordered container — order "
+                           "is implementation-defined; produce output from "
+                           "sorted data (ARCHITECTURE.md §2.1)")
+
+    # --- ctx-charge (src/ outside pram) -----------------------------------
+    if in_src and not in_pram:
+        for lineno, line in enumerate(code, 1):
+            m = CHARGE_BYPASS_RE.search(line)
+            if m:
+                report(lineno, "ctx-charge",
+                       f".{m.group(1)}() bypasses the Ctx policy object — "
+                       "charge via ctx.charge_work/charge_depth so "
+                       "Unmetered compiles it out (ARCHITECTURE.md §2.4)")
+
+    # --- policy-instantiation (src/ .cpp) ---------------------------------
+    if in_src and rel.endswith(".cpp"):
+        text = "\n".join(code)
+        if POLICY_TEMPLATE_RE.search(text) and \
+                "policy-instantiation" not in file_allows:
+            missing = []
+            if not METERED_INST_RE.search(text):
+                missing.append("pram::Metered")
+            if not UNMETERED_INST_RE.search(text):
+                missing.append("pram::Unmetered")
+            if missing:
+                lineno = next(
+                    (i for i, line in enumerate(code, 1)
+                     if POLICY_TEMPLATE_RE.search(line)), 1)
+                errors.append(Finding(
+                    rel, lineno, "policy-instantiation",
+                    "Policy-templated .cpp lacks explicit "
+                    f"instantiation(s) for {', '.join(missing)} "
+                    "(ARCHITECTURE.md §2.4)"))
+
+
+def tree_files():
+    out = []
+    for pattern in ("src/**/*.hpp", "src/**/*.cpp",
+                    "bench/**/*.hpp", "bench/**/*.cpp",
+                    "examples/**/*.cpp"):
+        out.extend(sorted(ROOT.glob(pattern)))
+    return out
+
+
+def run_tree():
+    errors = []
+    files = tree_files()
+    for path in files:
+        scan_file(path, path.relative_to(ROOT).as_posix(), errors)
+    if errors:
+        print(f"lint_invariants: {len(errors)} finding(s)")
+        for e in errors:
+            print("  " + str(e))
+        return 1
+    print(f"lint_invariants: OK ({len(files)} files, {len(RULES)} rules)")
+    return 0
+
+
+# Fixture name -> rules expected to fire there (empty = must stay silent).
+SELFTEST_EXPECT = {
+    "global_pool_violation.cpp": {"global-pool"},
+    "randomness_violation.cpp": {"randomness"},
+    "unordered_iter_violation.cpp": {"unordered-iter"},
+    "ctx_charge_violation.cpp": {"ctx-charge"},
+    "policy_instantiation_violation.cpp": {"policy-instantiation"},
+    "allow_suppressed.cpp": set(),
+}
+
+
+def run_selftest():
+    failures = []
+    for name, expected in sorted(SELFTEST_EXPECT.items()):
+        path = FIXTURES / name
+        if not path.exists():
+            failures.append(f"{name}: fixture missing")
+            continue
+        errors = []
+        # Fixtures are scanned as if they lived in src/ (outside pram), the
+        # scope where every rule is active.
+        scan_file(path, f"src/lint_fixtures/{name}", errors)
+        fired = {e.rule for e in errors}
+        if fired != expected:
+            failures.append(
+                f"{name}: expected rules {sorted(expected) or '[]'}, "
+                f"got {sorted(fired) or '[]'}")
+        for e in errors:
+            if e.rule in expected:
+                print(f"  fired as designed: {e}")
+    if failures:
+        print(f"lint_invariants --selftest: {len(failures)} failure(s)")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"lint_invariants --selftest: OK "
+          f"({len(SELFTEST_EXPECT)} fixtures, every rule fired)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--selftest", action="store_true",
+                    help="check every rule fires on its seeded fixture")
+    args = ap.parse_args()
+    return run_selftest() if args.selftest else run_tree()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,27 @@
 
 namespace parhop::graph {
 
+namespace {
+
+// Parse one unsigned decimal token via from_chars. istream extraction into
+// an unsigned type silently wraps negative input ("-3" becomes 2^64-3), so
+// id fields go through here instead: a sign, stray suffix, or value above
+// `max` is a parse error with the offending token in the message.
+std::uint64_t parse_uint(std::istream& ls, std::uint64_t max,
+                         const char* what, std::size_t lineno) {
+  std::string tok;
+  ls >> tok;
+  std::uint64_t value = 0;
+  auto [end, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  if (tok.empty() || ec != std::errc{} || end != tok.data() + tok.size() ||
+      value > max)
+    throw std::runtime_error("dimacs: bad " + std::string(what) + " '" + tok +
+                             "' at line " + std::to_string(lineno));
+  return value;
+}
+
+}  // namespace
+
 Graph read_dimacs(std::istream& in) {
   std::string line;
   Vertex n = 0;
@@ -32,21 +53,32 @@ Graph read_dimacs(std::istream& in) {
         break;  // comment
       case 'p': {
         std::string kind;
-        ls >> kind >> n >> declared_arcs;
+        ls >> kind;
         if (!ls || kind != "sp")
           throw std::runtime_error("dimacs: bad problem line at " +
                                    std::to_string(lineno));
+        // Vertex is 32-bit: a count that does not fit is a corrupt (or
+        // hostile) header, not a graph this build can represent.
+        n = static_cast<Vertex>(parse_uint(
+            ls, std::numeric_limits<Vertex>::max(), "vertex count", lineno));
+        declared_arcs = parse_uint(ls, std::numeric_limits<std::size_t>::max(),
+                                   "arc count", lineno);
         have_problem = true;
-        edges.reserve(declared_arcs);
+        // Cap the pre-allocation: the declared count is untrusted until the
+        // arc lines actually materialise, so a lying header must not be able
+        // to commit gigabytes up front. Growth past the cap just reallocates.
+        edges.reserve(std::min<std::size_t>(declared_arcs, std::size_t{1}
+                                                               << 24));
         break;
       }
       case 'a': {
         if (!have_problem)
           throw std::runtime_error("dimacs: arc before problem line");
-        std::uint64_t u = 0, v = 0;
+        const std::uint64_t u = parse_uint(ls, n, "arc endpoint", lineno);
+        const std::uint64_t v = parse_uint(ls, n, "arc endpoint", lineno);
         double w = 0;
-        ls >> u >> v >> w;
-        if (!ls || u == 0 || v == 0 || u > n || v > n)
+        ls >> w;
+        if (!ls || u == 0 || v == 0)
           throw std::runtime_error("dimacs: bad arc line at " +
                                    std::to_string(lineno));
         if (u == v)

@@ -321,6 +321,12 @@ void explore_impl(pram::BasicCtx<Policy>& ctx, const Graph& gk1,
 
     // --- Propagation: synchronous relax steps until fixpoint or budget.
     for (int step = 0; step < opts.hop_limit; ++step) {
+      // Monotonic "any row changed this step" flag. Workers only ever flip
+      // it false->true, and the one load happens after run_chunks has joined
+      // every worker — the join is the happens-before edge, so both the
+      // stores and the load can be relaxed. The flag gates only loop exit,
+      // never data visibility (rows travel through the slab buffers, which
+      // the same join publishes).
       std::atomic<bool> changed{false};
       ctx.charge_work((n + 2 * gk1.num_edges()) * x);
       ctx.charge_depth(step_depth);
@@ -407,11 +413,13 @@ void explore_impl(pram::BasicCtx<Policy>& ctx, const Graph& gk1,
       });
       ++result.total_steps;
       cur = nxt;
-      if (!changed.load()) break;
+      if (!changed.load(std::memory_order_relaxed)) break;
     }
 
     // --- Aggregation: clusters merge members' rows (all records kept).
     // Parallel over disjoint clusters, like the distribution phase.
+    // Same relaxed-flag pattern as `changed` above: false->true only, read
+    // once after the run_chunks join that publishes the cluster records.
     std::atomic<bool> any_cluster_changed{false};
     ctx.charge_work(n * x * (pram::ceil_log2(n * x) + 1));
     ctx.charge_depth(pram::ceil_log2(n * x) + 1);
@@ -448,7 +456,7 @@ void explore_impl(pram::BasicCtx<Policy>& ctx, const Graph& gk1,
       }
     });
     result.pulses_run = pulse;
-    if (!any_cluster_changed.load()) break;
+    if (!any_cluster_changed.load(std::memory_order_relaxed)) break;
   }
 
   // Hand the cluster records out in the public representation.

@@ -8,7 +8,9 @@
 
 namespace parhop::util {
 
+// lint:allow randomness timing stats only — never feeds a result (§2.1)
 inline double seconds_since(std::chrono::steady_clock::time_point start) {
+  // lint:allow randomness timing stats only — never feeds a result (§2.1)
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();

@@ -53,7 +53,9 @@ class BenchDriver : public ::testing::Test {
 };
 
 TEST_F(BenchDriver, TinyE1EmitsValidJson) {
-  ASSERT_EQ(run_driver("--exp e1 --tiny"), 0);
+  // --force-sanitized keeps this test meaningful in sanitized builds, where
+  // emission is otherwise refused (the envelope still records the stamp).
+  ASSERT_EQ(run_driver("--exp e1 --tiny --force-sanitized"), 0);
   util::Json doc = load_json("BENCH_e1.json");
 
   ASSERT_TRUE(doc.is_object());
@@ -65,6 +67,10 @@ TEST_F(BenchDriver, TinyE1EmitsValidJson) {
   // The driver links the Metered instantiation; its stamp says so.
   EXPECT_TRUE(doc.at("metered").as_bool());
   EXPECT_EQ(doc.at("policy").as_string(), "metered");
+  // Sanitizer stamp: "off" in production builds, the PARHOP_SANITIZE value
+  // otherwise. Either way it must be present and a string.
+  ASSERT_TRUE(doc.contains("sanitizer"));
+  EXPECT_FALSE(doc.at("sanitizer").as_string().empty());
 
   const util::Json& rows = doc.at("rows");
   ASSERT_TRUE(rows.is_array());
@@ -100,9 +106,28 @@ TEST(JsonParser, RejectsMalformedNumbers) {
                    -150.0);
 }
 
+TEST_F(BenchDriver, SanitizedBuildRefusesJsonEmission) {
+  // PARHOP_BENCH_FAKE_SANITIZER forces the refusal path even in an
+  // uninstrumented build; in a real sanitized build the compile-time stamp
+  // already triggers it (the hook can only pretend, never hide).
+  struct EnvGuard {
+    EnvGuard() { ::setenv("PARHOP_BENCH_FAKE_SANITIZER", "thread", 1); }
+    ~EnvGuard() { ::unsetenv("PARHOP_BENCH_FAKE_SANITIZER"); }
+  } guard;
+
+  EXPECT_NE(run_driver("--exp e1 --tiny 2> /dev/null"), 0);
+  EXPECT_FALSE(fs::exists(scratch_ / "BENCH_e1.json"))
+      << "refusal must happen before any JSON is written";
+
+  ASSERT_EQ(run_driver("--exp e1 --tiny --force-sanitized"), 0);
+  util::Json doc = load_json("BENCH_e1.json");
+  ASSERT_TRUE(doc.contains("sanitizer"));
+  EXPECT_NE(doc.at("sanitizer").as_string(), "off");
+}
+
 TEST_F(BenchDriver, RoundTripThroughParser) {
   // The writer and parser must agree so future tooling can rewrite files.
-  ASSERT_EQ(run_driver("--exp e1 --tiny"), 0);
+  ASSERT_EQ(run_driver("--exp e1 --tiny --force-sanitized"), 0);
   util::Json doc = load_json("BENCH_e1.json");
   util::Json again = util::Json::parse(doc.dump());
   EXPECT_EQ(again.dump(), doc.dump());

@@ -66,6 +66,25 @@ TEST(DimacsIo, Malformed) {
   EXPECT_THROW(graph::read_dimacs(empty), std::runtime_error);
 }
 
+TEST(DimacsIo, NegativeAndOverflowingIdsRejected) {
+  // istream extraction into an unsigned wraps negative input; the parser
+  // must reject the token instead of accepting 2^64-3 as a vertex id.
+  std::stringstream neg_arc("p sp 3 1\na -3 2 1\n");
+  EXPECT_THROW(graph::read_dimacs(neg_arc), std::runtime_error);
+  std::stringstream neg_n("p sp -3 1\na 1 2 1\n");
+  EXPECT_THROW(graph::read_dimacs(neg_n), std::runtime_error);
+  std::stringstream neg_m("p sp 3 -1\na 1 2 1\n");
+  EXPECT_THROW(graph::read_dimacs(neg_m), std::runtime_error);
+  // Vertex is 32-bit: a count (or endpoint) beyond its range is corrupt.
+  std::stringstream huge_n("p sp 4294967296 0\n");
+  EXPECT_THROW(graph::read_dimacs(huge_n), std::runtime_error);
+  std::stringstream huge_arc("p sp 3 1\na 1 4294967297 1\n");
+  EXPECT_THROW(graph::read_dimacs(huge_arc), std::runtime_error);
+  // Junk suffixes must not parse as their numeric prefix.
+  std::stringstream suffixed("p sp 3 1\na 1x 2 1\n");
+  EXPECT_THROW(graph::read_dimacs(suffixed), std::runtime_error);
+}
+
 TEST(DimacsIo, ArcCountMismatchRejected) {
   // The problem line's m must match the number of arc lines exactly; a
   // truncated or padded file is corrupt, not "close enough".
