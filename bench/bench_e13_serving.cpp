@@ -13,13 +13,23 @@
 //      distances meet (1+ε) on probe sources (the e3 empirical-hopbound
 //      probe, run against exact Dijkstra), plus the achieved stretch at
 //      that budget — so every throughput row states the quality it serves;
-//   3. sweep point-to-point batch sizes through QueryEngine::run_batch on
-//      the run's pool and report queries/sec and p50/p99 latency. Queries
-//      are deterministic (hash-spread source/target pairs), so answers are
-//      bit-identical at any --threads; only the latency columns are
-//      machine-dependent.
+//   3. tighten the budget once more with a goal-undirected warmup probe of
+//      the batch workload itself (`auto_hops` — what `query --hops=auto`
+//      does), so even the dense baseline stops paying rounds past the
+//      workload's measured fixpoint;
+//   4. sweep point-to-point batch sizes × kernel policies
+//      {dense, frontier, auto} through QueryEngine::run_batch on the run's
+//      pool and report queries/sec, p50/p99/p999 latency, served rounds,
+//      and mean frontier occupancy. Queries are deterministic (hash-spread
+//      source/target pairs) and answers are bit-identical at any --threads
+//      AND across kernels — the sweep asserts the cross-kernel equality on
+//      every batch; only the latency columns are machine-dependent. The
+//      dense-vs-auto qps ratio at the largest batch is the headline
+//      (docs/query-engine.md §4).
 //
-// Full sweep: road/geo/gnm at n = 100k (the e12 mid-scale recipes);
+// Full sweep: road/geo/gnm at n = 100k (the e12 mid-scale recipes) plus
+// road-2k, the low-occupancy regime where the frontier kernels win big —
+// committing both regimes keeps the kernel_speedup story honest;
 // --tiny: the three 2k recipes. Workspaces persist across a recipe's
 // batches (the epoch-stamp reuse path — zero per-query allocations warm).
 #include <algorithm>
@@ -37,7 +47,7 @@ namespace {
 util::Json run_e13(const bench::RunOptions& opt) {
   const std::vector<std::string> names =
       opt.tiny ? std::vector<std::string>{"road-2k", "geo-2k", "gnm-2k"}
-               : std::vector<std::string>{"road-100k", "geo-100k",
+               : std::vector<std::string>{"road-2k", "road-100k", "geo-100k",
                                           "gnm-100k"};
   const std::vector<std::size_t> batches =
       bench::sweep<std::size_t>(opt, {16, 64, 256}, {4, 16});
@@ -50,8 +60,9 @@ util::Json run_e13(const bench::RunOptions& opt) {
   std::filesystem::create_directories(dir);
 
   util::Json rows = util::Json::array();
-  util::Table t({"recipe", "batch", "q/s", "p50_ms", "p99_ms", "serve_hops",
-                 "stretch", "phs_MB", "load/build"});
+  util::Json headline = util::Json::array();
+  util::Table t({"recipe", "kernel", "batch", "q/s", "p50_ms", "p99_ms",
+                 "p999_ms", "served", "front_frac", "stretch"});
   for (const std::string& name : names) {
     const workloads::Recipe* r = workloads::find_recipe(name);
     if (!r) throw std::runtime_error("e13: unknown recipe " + name);
@@ -115,6 +126,15 @@ util::Json run_e13(const bench::RunOptions& opt) {
     serve_hops = std::max(serve_hops, 1);
     engine.set_hop_budget(serve_hops);
 
+    // Warmup-probe budget (`--hops=auto`): the max fixpoint rounds over the
+    // batch workload itself — spread_queries(k) is a prefix-stable
+    // generator, so probing the largest batch covers every batch below and
+    // the tightened budget cannot change a single swept answer.
+    const int auto_hops =
+        engine.probe_hop_budget<pram::Metered>(opt.pool, batches.back());
+    engine.set_hop_budget(auto_hops);
+
+    // Stretch actually served, measured at the final (auto) budget.
     double probe_stretch = 1.0;
     {
       query::QueryWorkspace ws;
@@ -131,65 +151,117 @@ util::Json run_e13(const bench::RunOptions& opt) {
               << util::format("%.2f", load_s) << "s  prep "
               << util::format("%.2f", prep_s) << "s  serve_hops "
               << serve_hops << (budget_found ? "" : " (cap)")
-              << "  probe stretch " << util::format("%.4f", probe_stretch)
-              << "\n";
+              << "  auto_hops " << auto_hops << "  probe stretch "
+              << util::format("%.4f", probe_stretch) << "\n";
 
-    // Throughput sweep; slots persist across the recipe's batches so later
-    // rows run entirely on warm workspaces.
+    // Throughput sweep × kernel policy; slots persist across the recipe's
+    // batches and kernels so later rows run entirely on warm workspaces.
+    // Dense runs first — its answers are the reference the worklist
+    // kernels' rows are checked against, batch by batch.
+    const sssp::Kernel kernels[] = {sssp::Kernel::kDense,
+                                    sssp::Kernel::kFrontier,
+                                    sssp::Kernel::kAuto};
     std::vector<query::QueryWorkspace> slots;
-    for (std::size_t batch : batches) {
-      std::vector<query::PointQuery> queries =
-          query::spread_queries(batch, g.num_vertices());
-      bench::Timer batch_timer;
-      query::BatchResult br = engine.run_batch(opt.pool, queries, slots);
-      const double batch_s = batch_timer.seconds();
-      auto lat = util::summarize(br.latency_s);
-      const double qps = batch_s > 0 ? double(batch) / batch_s : 0.0;
+    std::vector<std::vector<graph::Weight>> dense_answers(batches.size());
+    double dense_top_qps = 0, auto_top_qps = 0;
+    for (sssp::Kernel kern : kernels) {
+      engine.set_kernel(kern);
+      for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+        const std::size_t batch = batches[bi];
+        std::vector<query::PointQuery> queries =
+            query::spread_queries(batch, g.num_vertices());
+        bench::Timer batch_timer;
+        query::BatchResult br = engine.run_batch(opt.pool, queries, slots);
+        const double batch_s = batch_timer.seconds();
+        auto lat = util::summarize(br.latency_s);
+        const double qps = batch_s > 0 ? double(batch) / batch_s : 0.0;
 
-      t.add_row({name, std::to_string(batch), util::format("%.1f", qps),
-                 util::format("%.2f", lat.p50 * 1e3),
-                 util::format("%.2f", lat.p99 * 1e3),
-                 std::to_string(serve_hops),
-                 util::format("%.4f", probe_stretch),
-                 util::format("%.1f", phs_bytes / 1048576.0),
-                 util::format("%.4f", load_s / build_s)});
+        if (kern == sssp::Kernel::kDense) {
+          dense_answers[bi] = br.answers;
+          if (bi + 1 == batches.size()) dense_top_qps = qps;
+        } else if (br.answers != dense_answers[bi]) {
+          throw std::runtime_error(
+              "e13: kernel answers diverge from dense on " + name +
+              " batch " + std::to_string(batch) + " (kernel " +
+              sssp::kernel_name(kern) + ")");
+        }
+        if (kern == sssp::Kernel::kAuto && bi + 1 == batches.size())
+          auto_top_qps = qps;
 
-      util::Json row = util::Json::object();
-      row.set("recipe", name);
-      row.set("family", r->family);
-      row.set("n", g.num_vertices());
-      row.set("m", g.num_edges());
-      row.set("hopset_edges", H2.edges.size());
-      row.set("beta", H2.schedule.beta);
-      row.set("union_edges", engine.num_union_edges());
-      row.set("phs_bytes", phs_bytes);
-      row.set("build_wall_s", build_s);
-      row.set("save_s", save_s);
-      row.set("load_s", load_s);
-      row.set("load_vs_build", load_s / build_s);
-      row.set("prep_s", prep_s);
-      row.set("serve_hops", serve_hops);
-      row.set("serve_hops_met_target", budget_found);
-      row.set("probe_stretch", probe_stretch);
-      row.set("stretch_target", 1 + p.epsilon);
-      row.set("batch", batch);
-      row.set("batch_wall_s", batch_s);
-      row.set("queries_per_s", qps);
-      row.set("latency_p50_ms", lat.p50 * 1e3);
-      row.set("latency_p99_ms", lat.p99 * 1e3);
-      row.set("work", br.cost.work);
-      row.set("depth", br.cost.depth);
-      rows.push_back(row);
+        t.add_row({name, sssp::kernel_name(kern), std::to_string(batch),
+                   util::format("%.1f", qps),
+                   util::format("%.2f", lat.p50 * 1e3),
+                   util::format("%.2f", lat.p99 * 1e3),
+                   util::format("%.2f", lat.p999 * 1e3),
+                   std::to_string(br.max_rounds_run),
+                   br.mean_frontier_fraction < 0
+                       ? std::string("-")
+                       : util::format("%.4f", br.mean_frontier_fraction),
+                   util::format("%.4f", probe_stretch)});
+
+        util::Json row = util::Json::object();
+        row.set("recipe", name);
+        row.set("family", r->family);
+        row.set("n", g.num_vertices());
+        row.set("m", g.num_edges());
+        row.set("hopset_edges", H2.edges.size());
+        row.set("beta", H2.schedule.beta);
+        row.set("union_edges", engine.num_union_edges());
+        row.set("phs_bytes", phs_bytes);
+        row.set("build_wall_s", build_s);
+        row.set("save_s", save_s);
+        row.set("load_s", load_s);
+        row.set("load_vs_build", load_s / build_s);
+        row.set("prep_s", prep_s);
+        row.set("serve_hops", serve_hops);
+        row.set("serve_hops_met_target", budget_found);
+        row.set("auto_hops", auto_hops);
+        row.set("probe_stretch", probe_stretch);
+        row.set("stretch_target", 1 + p.epsilon);
+        row.set("kernel", sssp::kernel_name(kern));
+        row.set("batch", batch);
+        row.set("batch_wall_s", batch_s);
+        row.set("queries_per_s", qps);
+        row.set("latency_p50_ms", lat.p50 * 1e3);
+        row.set("latency_p99_ms", lat.p99 * 1e3);
+        row.set("latency_p999_ms", lat.p999 * 1e3);
+        row.set("max_rounds_run", br.max_rounds_run);
+        row.set("mean_frontier_frac", br.mean_frontier_fraction);
+        row.set("work", br.cost.work);
+        row.set("depth", br.cost.depth);
+        rows.push_back(row);
+      }
     }
+    engine.set_kernel(sssp::Kernel::kAuto);
+
+    const double ratio =
+        dense_top_qps > 0 ? auto_top_qps / dense_top_qps : 0.0;
+    util::Json h = util::Json::object();
+    h.set("recipe", name);
+    h.set("batch", batches.back());
+    h.set("dense_qps", dense_top_qps);
+    h.set("auto_qps", auto_top_qps);
+    h.set("auto_vs_dense", ratio);
+    headline.push_back(h);
+    std::cout << name << ": auto vs dense at batch " << batches.back()
+              << ": " << util::format("%.1f", ratio) << "x ("
+              << util::format("%.1f", dense_top_qps) << " -> "
+              << util::format("%.1f", auto_top_qps) << " q/s)\n";
   }
   t.print(std::cout);
-  std::cout << "\nShape check: queries/sec flat-to-rising in batch size "
-               "(warm workspaces, zero per-query allocations), load/build "
+  std::cout << "\nShape check: identical answers for every kernel on every "
+               "batch (asserted above), queries/sec flat-to-rising in batch "
+               "size (warm workspaces, zero per-query allocations), "
+               "frontier/auto qps tracking mean_frontier_frac — a large "
+               "multiple of dense where rounds are near-empty (road-2k "
+               "~0.015), near-parity where the calibrated budget keeps 40-70% of "
+               "vertices churning per round (the 100k recipes), load/build "
                "orders of magnitude below 1 (the index amortizes), stretch "
                "<= target at the measured serving budget.\n";
 
   util::Json payload = util::Json::object();
   payload.set("rows", rows);
+  payload.set("kernel_speedup", headline);
   return payload;
 }
 

@@ -6,7 +6,8 @@
 //   example_parhop_cli gen   --list
 //   example_parhop_cli build --graph=g.gr --save=g.phs [--eps --kappa --rho]
 //   example_parhop_cli query --graph=g.gr --hopset=g.phs --source=0 [--target=17]
-//   example_parhop_cli query --graph=g.gr --hopset=g.phs --batch=256 [--hops=N]
+//   example_parhop_cli query --graph=g.gr --hopset=g.phs --batch=256
+//                            [--hops=N|auto] [--kernel=dense|frontier|auto]
 //   example_parhop_cli spt   --graph=g.gr --source=0 [--eps ...]
 //   example_parhop_cli info  --graph=g.gr
 //
@@ -20,6 +21,11 @@
 //   example_parhop_cli gen   --recipe=gnm-500k --out=g.gr
 //   example_parhop_cli build --graph=g.gr --save=g.phs
 //   example_parhop_cli query --graph=g.gr --hopset=g.phs --batch=1024
+//
+// query accepts --kernel={dense,frontier,auto} (default auto) to pick the
+// serving kernel — answers are bit-identical across all three
+// (docs/query-engine.md §4) — and --hops=auto to set the hop budget from a
+// warmup probe's measured fixpoint rounds instead of the schedule's β̂.
 //
 // Every command accepts --threads=N to size the thread pool the PRAM
 // primitives run on (default: PARHOP_THREADS env, then hardware
@@ -178,8 +184,20 @@ int run_query(const util::Flags& flags) {
   query::QueryEngine engine(g, H.edges, H.schedule.beta);
   std::cout << "merged G u H CSR: " << engine.num_union_edges()
             << " edges, prepared in " << engine.stats().prep_s << "s\n";
-  if (flags.has("hops"))
+  // --kernel={dense,frontier,auto}: the query-kernel policy
+  // (docs/query-engine.md §4). Answers are bit-identical across all three;
+  // auto (the default) is the fast one.
+  engine.set_kernel(sssp::parse_kernel(flags.get("kernel", "auto")));
+  if (flags.get("hops", "") == "auto") {
+    // Measured serving budget: the max rounds a warmup probe needed before
+    // its fixpoint — the budget the PR-6 "served N" line reports.
+    const int hops = engine.probe_hop_budget<Policy>(&pool);
+    engine.set_hop_budget(hops);
+    std::cout << "hop budget auto: probe served " << hops << " rounds (beta "
+              << engine.beta() << ")\n";
+  } else if (flags.has("hops")) {
     engine.set_hop_budget(static_cast<int>(flags.get_int("hops", 0)));
+  }
 
   const auto batch_size = flags.get_int("batch", 0);
   if (batch_size > 0) {
@@ -197,7 +215,8 @@ int run_query(const util::Flags& flags) {
     // --hops to without changing a single answer of this workload.
     std::cout << "batch " << batch_size << ": " << (batch_size / wall)
               << " queries/s  p50=" << lat.p50 * 1e3
-              << "ms p99=" << lat.p99 * 1e3 << "ms  (hop budget "
+              << "ms p99=" << lat.p99 * 1e3 << "ms  (kernel "
+              << sssp::kernel_name(engine.kernel()) << ", hop budget "
               << engine.hop_budget() << ", served " << r.max_rounds_run
               << ", " << pool.size() << " threads)\n";
     return 0;

@@ -81,8 +81,18 @@ std::span<const Weight> QueryEngine::single_source(pram::BasicCtx<Policy>& ctx,
                                                    Vertex source) const {
   check_vertex(source, gu_.num_vertices(), "source");
   Vertex srcs[1] = {source};
-  sssp::bellman_ford_reuse(ctx, gu_, srcs, hop_budget_, ws.bf_, nullptr,
-                           round_depth_);
+  if (kernel_ == sssp::Kernel::kDense) {
+    sssp::bellman_ford_reuse(ctx, gu_, srcs, hop_budget_, ws.bf_, nullptr,
+                             round_depth_);
+  } else {
+    sssp::FrontierOptions opt;
+    opt.kernel = kernel_;
+    sssp::bellman_ford_frontier(ctx, gu_, srcs, hop_budget_, ws.bf_, opt,
+                                round_depth_);
+    // The returned span promises a value for every vertex; densify the
+    // stale slots (one O(n) pass — still far below the rounds it replaced).
+    ws.bf_.materialize(ctx);
+  }
   ++ws.served_;
   return ws.bf_.dist();
 }
@@ -111,13 +121,46 @@ Weight QueryEngine::point_to_point(pram::BasicCtx<Policy>& ctx,
                                    QueryWorkspace& ws, Vertex s,
                                    Vertex t) const {
   check_vertex(t, gu_.num_vertices(), "target");
-  return single_source(ctx, ws, s)[t];
+  if (kernel_ == sssp::Kernel::kDense) return single_source(ctx, ws, s)[t];
+  check_vertex(s, gu_.num_vertices(), "source");
+  // Worklist kernels serve s–t goal-directed: the run stops as soon as the
+  // frontier can no longer improve t (answer unchanged, rounds shrink), and
+  // never pays the O(n) materialization a dense span would need.
+  Vertex srcs[1] = {s};
+  sssp::FrontierOptions opt;
+  opt.kernel = kernel_;
+  opt.goal = t;
+  sssp::bellman_ford_frontier(ctx, gu_, srcs, hop_budget_, ws.bf_, opt,
+                              round_depth_);
+  ++ws.served_;
+  return ws.bf_.dist_at(t);
 }
 
 template <class Policy>
 BatchResult QueryEngine::run_batch(pram::ThreadPool* pool,
                                    std::span<const PointQuery> queries,
                                    std::vector<QueryWorkspace>& slots) const {
+  return run_batch_impl<Policy>(pool, queries, slots, /*goal_directed=*/true);
+}
+
+template <class Policy>
+int QueryEngine::probe_hop_budget(pram::ThreadPool* pool,
+                                  std::size_t k) const {
+  // Goal cuts stay off: the probe measures the fixpoint round count, which
+  // a goal-directed run truncates. Workspaces are scratch — the probe warms
+  // nothing the caller owns.
+  std::vector<QueryWorkspace> scratch;
+  BatchResult br = run_batch_impl<Policy>(
+      pool, spread_queries(k, gu_.num_vertices()), scratch,
+      /*goal_directed=*/false);
+  return std::max(1, br.max_rounds_run);
+}
+
+template <class Policy>
+BatchResult QueryEngine::run_batch_impl(pram::ThreadPool* pool,
+                                        std::span<const PointQuery> queries,
+                                        std::vector<QueryWorkspace>& slots,
+                                        bool goal_directed) const {
   BatchResult out;
   const std::size_t k = queries.size();
   out.answers.assign(k, graph::kInfWeight);
@@ -141,11 +184,13 @@ BatchResult QueryEngine::run_batch(pram::ThreadPool* pool,
 
   // Per-query metered cost, reduced after the run under the parallel
   // composition rule (Σ work, max depth) so the batch charge is identical at
-  // every pool size. Rounds are recorded per query the same way so the
-  // served-budget probe (max rounds before fixpoint) is scheduling-free.
-  std::vector<std::uint64_t> work(k, 0), depth(k, 0);
+  // every pool size. Rounds and frontier occupancy are recorded per query
+  // the same way so the served-budget probe (max rounds before fixpoint) and
+  // the occupancy stat are scheduling-free.
+  std::vector<std::uint64_t> work(k, 0), depth(k, 0), fsum(k, 0);
   std::vector<int> rounds(k, 0);
   std::atomic<std::size_t> next_slot{0};
+  const sssp::Kernel kern = kernel_;
 
   pool->run_chunks(k, grain, [&](std::size_t b, std::size_t e) {
     QueryWorkspace& ws = slots[next_slot.fetch_add(1)];
@@ -157,9 +202,20 @@ BatchResult QueryEngine::run_batch(pram::ThreadPool* pool,
       // lint:allow randomness per-query latency stat — answers are clock-free
       const auto start = std::chrono::steady_clock::now();
       Vertex srcs[1] = {queries[i].source};
-      rounds[i] = sssp::bellman_ford_reuse(cx, gu_, srcs, hop_budget_, ws.bf_,
-                                           nullptr, round_depth_);
-      out.answers[i] = ws.bf_.dist()[queries[i].target];
+      if (kern == sssp::Kernel::kDense) {
+        rounds[i] = sssp::bellman_ford_reuse(cx, gu_, srcs, hop_budget_,
+                                             ws.bf_, nullptr, round_depth_);
+        out.answers[i] = ws.bf_.dist()[queries[i].target];
+      } else {
+        sssp::FrontierOptions opt;
+        opt.kernel = kern;
+        if (goal_directed) opt.goal = queries[i].target;
+        sssp::FrontierStats fs = sssp::bellman_ford_frontier(
+            cx, gu_, srcs, hop_budget_, ws.bf_, opt, round_depth_);
+        out.answers[i] = ws.bf_.dist_at(queries[i].target);
+        rounds[i] = fs.rounds_run;
+        fsum[i] = fs.frontier_sum;
+      }
       out.latency_s[i] = seconds_since(start);
       ++ws.served_;
       pram::Cost c = cx.meter.snapshot();
@@ -168,11 +224,20 @@ BatchResult QueryEngine::run_batch(pram::ThreadPool* pool,
     }
   });
 
+  std::uint64_t frontier_sum = 0, rounds_total = 0;
   for (std::size_t i = 0; i < k; ++i) {
     out.cost.work += work[i];
     out.cost.depth = std::max(out.cost.depth, depth[i]);
     out.max_rounds_run = std::max(out.max_rounds_run, rounds[i]);
+    frontier_sum += fsum[i];
+    rounds_total += static_cast<std::uint64_t>(rounds[i]);
   }
+  if (kern != sssp::Kernel::kDense && rounds_total > 0 &&
+      gu_.num_vertices() > 0)
+    out.mean_frontier_fraction =
+        static_cast<double>(frontier_sum) /
+        (static_cast<double>(rounds_total) *
+         static_cast<double>(gu_.num_vertices()));
   return out;
 }
 
@@ -197,5 +262,15 @@ template BatchResult QueryEngine::run_batch<pram::Metered>(
 template BatchResult QueryEngine::run_batch<pram::Unmetered>(
     pram::ThreadPool*, std::span<const PointQuery>,
     std::vector<QueryWorkspace>&) const;
+template int QueryEngine::probe_hop_budget<pram::Metered>(pram::ThreadPool*,
+                                                          std::size_t) const;
+template int QueryEngine::probe_hop_budget<pram::Unmetered>(
+    pram::ThreadPool*, std::size_t) const;
+template BatchResult QueryEngine::run_batch_impl<pram::Metered>(
+    pram::ThreadPool*, std::span<const PointQuery>,
+    std::vector<QueryWorkspace>&, bool) const;
+template BatchResult QueryEngine::run_batch_impl<pram::Unmetered>(
+    pram::ThreadPool*, std::span<const PointQuery>,
+    std::vector<QueryWorkspace>&, bool) const;
 
 }  // namespace parhop::query

@@ -70,6 +70,10 @@ struct BatchResult {
   /// before its fixpoint (≤ the configured hop_budget()). Deterministic —
   /// a property of the query set, not of scheduling.
   int max_rounds_run = 0;
+  /// Mean |frontier|/n over every round the batch executed — the occupancy
+  /// stat behind the worklist kernels' win (docs/query-engine.md §4).
+  /// −1 under Kernel::kDense (the dense sweep tracks no frontier).
+  double mean_frontier_fraction = -1.0;
 };
 
 /// Prepared build-once / query-many serving engine over G ∪ H.
@@ -117,6 +121,23 @@ class QueryEngine {
   }
   int hop_budget() const { return hop_budget_; }
 
+  /// Kernel policy for subsequent queries (docs/query-engine.md §4):
+  /// kDense is the baseline sweep, kFrontier the worklist kernel, kAuto
+  /// (the default) adds the dense fallback on arc-heavy rounds. Answers,
+  /// parents, and round counts are bit-identical across all three — the
+  /// policy only moves work around (and changes the metered charges,
+  /// which stay deterministic per policy).
+  void set_kernel(sssp::Kernel k) { kernel_ = k; }
+  sssp::Kernel kernel() const { return kernel_; }
+
+  /// Measured serving budget for `--hops=auto`: runs a goal-undirected
+  /// warmup probe of spread_queries(k) under the current budget and kernel
+  /// and returns the max rounds any probe query needed before its fixpoint
+  /// (≥ 1). Kernel- and pool-independent — without a goal the worklist
+  /// kernels run exactly the dense round count.
+  template <class Policy = pram::Metered>
+  int probe_hop_budget(pram::ThreadPool* pool, std::size_t k = 32) const;
+
   /// (1+ε)-approximate distances from `source`, parallel across ctx.pool.
   /// The returned view lives in `ws` — valid until its next query.
   /// Queries index raw distance slabs, so vertex ids are validated at this
@@ -153,9 +174,19 @@ class QueryEngine {
                         std::vector<QueryWorkspace>& slots) const;
 
  private:
+  /// run_batch with the goal cut switchable: the public entry serves
+  /// goal-directed, the warmup probe must not (the measured budget has to be
+  /// the true fixpoint round count, not a goal-truncated one).
+  template <class Policy>
+  BatchResult run_batch_impl(pram::ThreadPool* pool,
+                             std::span<const PointQuery> queries,
+                             std::vector<QueryWorkspace>& slots,
+                             bool goal_directed) const;
+
   graph::Graph gu_;
   int beta_ = 1;
   int hop_budget_ = 1;
+  sssp::Kernel kernel_ = sssp::Kernel::kAuto;
   std::uint64_t round_depth_ = 1;  ///< per-round depth charge, precomputed
   Stats stats_;
 };
@@ -184,5 +215,9 @@ extern template BatchResult QueryEngine::run_batch<pram::Metered>(
 extern template BatchResult QueryEngine::run_batch<pram::Unmetered>(
     pram::ThreadPool*, std::span<const PointQuery>,
     std::vector<QueryWorkspace>&) const;
+extern template int QueryEngine::probe_hop_budget<pram::Metered>(
+    pram::ThreadPool*, std::size_t) const;
+extern template int QueryEngine::probe_hop_budget<pram::Unmetered>(
+    pram::ThreadPool*, std::size_t) const;
 
 }  // namespace parhop::query

@@ -1,6 +1,7 @@
 #include "sssp/bellman_ford.hpp"
 
 #include <atomic>
+#include <stdexcept>
 
 namespace parhop::sssp {
 
@@ -12,6 +13,26 @@ using graph::kNoVertex;
 using graph::Vertex;
 using graph::Weight;
 
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kDense:
+      return "dense";
+    case Kernel::kFrontier:
+      return "frontier";
+    case Kernel::kAuto:
+      return "auto";
+  }
+  return "auto";
+}
+
+Kernel parse_kernel(const std::string& name) {
+  if (name == "dense") return Kernel::kDense;
+  if (name == "frontier") return Kernel::kFrontier;
+  if (name == "auto") return Kernel::kAuto;
+  throw std::invalid_argument("unknown kernel '" + name +
+                              "' (expected dense, frontier, or auto)");
+}
+
 void BfWorkspace::ensure(graph::Vertex n) {
   if (dist_.size() == n && parent_.size() == n) return;
   dist_.assign(n, kInfWeight);
@@ -20,6 +41,16 @@ void BfWorkspace::ensure(graph::Vertex n) {
   next_parent_.assign(n, kNoVertex);
   stamp_.assign(n, 0);
   epoch_ = 0;
+  dense_epoch_ = 0;
+  frontier_.clear();
+  targets_.clear();
+  target_stamp_.assign(n, 0);
+  tgen_ = 0;
+  t_dist_.assign(n, kInfWeight);
+  t_parent_.assign(n, kNoVertex);
+  t_state_.assign(n, 0);
+  chunk_bounds_.clear();
+  dense_partials_.clear();
 }
 
 template <class Policy>
@@ -95,7 +126,357 @@ int bellman_ford_reuse(pram::BasicCtx<Policy>& ctx, const Graph& g,
       ws.parent_[v] = kNoVertex;
     }
   }
+  // Either path leaves every slot valid for this epoch.
+  ws.dense_epoch_ = epoch;
   return rounds_run;
+}
+
+namespace {
+
+// Per-round strategy of the worklist kernel. The chooser only moves work
+// around — every strategy computes the identical round result.
+enum class RoundStrategy { kDenseSweep, kSparseVertex, kSparseEdge };
+
+// Dense fallback (kAuto only): once the frontier's arc mass is a quarter of
+// all arcs, T ≈ V and the worklist bookkeeping costs more than it saves.
+constexpr double kDenseArcFraction = 0.25;
+// PASL's algo_chooser_pred cutoffs (SNIPPETS.md Snippet 3): relax by edges
+// on high-degree graphs, by vertices on low-degree ones, and in between
+// whenever the frontier covers most vertices.
+constexpr double kLowAvgDeg = 20.0;
+constexpr double kHighAvgDeg = 200.0;
+constexpr double kEdgeFrontierFraction = 0.75;
+// Arc mass per edge-parallel chunk; fixed (never derived from the pool
+// size) so the cuts are deterministic, per the §2.1 grain contract.
+constexpr std::uint64_t kEdgeGrain = 2048;
+
+RoundStrategy choose_strategy(Kernel kernel, std::size_t frontier_size,
+                              std::uint64_t frontier_arcs, Vertex n,
+                              std::uint64_t arcs2m) {
+  if (kernel == Kernel::kAuto && static_cast<double>(frontier_arcs) >=
+                                     kDenseArcFraction *
+                                         static_cast<double>(arcs2m))
+    return RoundStrategy::kDenseSweep;
+  const double avg_deg =
+      n > 0 ? static_cast<double>(arcs2m) / static_cast<double>(n) : 0.0;
+  const double fraction =
+      n > 0 ? static_cast<double>(frontier_size) / static_cast<double>(n)
+            : 0.0;
+  const bool by_edges = avg_deg < kLowAvgDeg    ? false
+                        : avg_deg > kHighAvgDeg ? true
+                                                : fraction >
+                                                      kEdgeFrontierFraction;
+  return by_edges ? RoundStrategy::kSparseEdge : RoundStrategy::kSparseVertex;
+}
+
+}  // namespace
+
+template <class Policy>
+FrontierStats bellman_ford_frontier(pram::BasicCtx<Policy>& ctx,
+                                    const Graph& g,
+                                    std::span<const Vertex> sources, int hops,
+                                    BfWorkspace& ws,
+                                    const FrontierOptions& opt,
+                                    std::uint64_t round_depth) {
+  FrontierStats st;
+  if (opt.kernel == Kernel::kDense) {
+    // The dense policy IS the baseline kernel — delegate so results and
+    // metered charges stay byte-for-byte those of bellman_ford_reuse.
+    st.rounds_run =
+        bellman_ford_reuse(ctx, g, sources, hops, ws, nullptr, round_depth);
+    st.dense_rounds = st.rounds_run;
+    return st;
+  }
+
+  const Vertex n = g.num_vertices();
+  const std::uint64_t arcs2m = 2 * g.num_edges();
+  ws.ensure(n);
+  ++ws.epoch_;
+  const std::uint64_t epoch = ws.epoch_;
+
+  if (round_depth == 0) {
+    std::size_t max_deg = 0;
+    for (Vertex v = 0; v < n; ++v) max_deg = std::max(max_deg, g.degree(v));
+    round_depth = pram::ceil_log2(max_deg) + 1;
+  }
+
+  // F_0 = the source set (stamp-deduplicated, kept in first-seen order).
+  ws.frontier_.clear();
+  std::uint64_t frontier_arcs = 0;
+  for (Vertex s : sources) {
+    if (ws.stamp_[s] == epoch) continue;
+    ws.dist_[s] = 0;
+    ws.parent_[s] = kNoVertex;
+    ws.stamp_[s] = epoch;
+    ws.frontier_.push_back(s);
+    frontier_arcs += g.degree(s);
+  }
+
+  // Stamped reads: the logical previous-round state of any vertex,
+  // regardless of which strategy (or which earlier query) last wrote it.
+  auto read_dist = [&](Vertex u) {
+    return ws.dense_epoch_ == epoch || ws.stamp_[u] == epoch ? ws.dist_[u]
+                                                             : kInfWeight;
+  };
+  auto read_parent = [&](Vertex u) {
+    return ws.dense_epoch_ == epoch || ws.stamp_[u] == epoch ? ws.parent_[u]
+                                                             : kNoVertex;
+  };
+  // Once dense_epoch_ catches up every slot is valid for the rest of the
+  // epoch (sparse commits only overwrite valid slots), so per-arc stamp
+  // checks can be dropped — same values, minus a branch per arc read. The
+  // per-round loops below dispatch on ws.dense_epoch_ == epoch.
+  auto plain_dist = [&](Vertex u) { return ws.dist_[u]; };
+  auto plain_parent = [&](Vertex u) { return ws.parent_[u]; };
+  // The exact dense per-vertex fold — same full arc row, same scan order,
+  // same tie-break — into the T-slot scratch. A vertex this touches is
+  // therefore bit-identical to what the dense sweep would compute; the
+  // kernel's claim is that no other vertex can change (see the §4 argument
+  // in docs/query-engine.md).
+  auto relax_into = [&](Vertex v, std::size_t slot, auto rd, auto rp) {
+    const Weight prev = rd(v);
+    const Vertex arg0 = rp(v);
+    Weight best = prev;
+    Vertex arg = arg0;
+    for (const Arc& a : g.arcs(v)) {
+      const Weight cand = rd(a.to) + a.w;
+      if (cand < best || (cand == best && arg != kNoVertex && a.to < arg)) {
+        best = cand;
+        arg = a.to;
+      }
+    }
+    ws.t_dist_[slot] = best;
+    ws.t_parent_[slot] = arg;
+    ws.t_state_[slot] = best < prev ? 1 : (arg != arg0 ? 2 : 0);
+  };
+
+  int rounds_run = 0;
+  std::size_t fsz = ws.frontier_.size();
+  // After a dense-fallback sweep F lives in the t_state_ flags (indexed by
+  // vertex) plus the counts below; the list itself is materialized lazily,
+  // only if a later round actually goes sparse. Back-to-back dense rounds —
+  // the common case at high churn — never pay the O(n) rebuild scan.
+  bool frontier_lazy = false;
+  Weight min_new = kInfWeight;  // min tentative dist over the new frontier
+  const std::size_t sweep_chunks =
+      (static_cast<std::size_t>(n) + pram::kGrain - 1) / pram::kGrain;
+  if (ws.dense_partials_.size() < sweep_chunks)
+    ws.dense_partials_.resize(sweep_chunks);
+
+  auto dense_round = [&]() {
+    ++st.dense_rounds;
+    // One dense gather round (work 2m, depth the balanced-min-tree bound, as
+    // the baseline) plus an O(n) frontier-flag pass fused into the sweep —
+    // 2m + 2n work, round_depth + 1 depth, matching the separate-pass
+    // charges this replaces (parallel_for's n + 1 replicated explicitly).
+    ctx.charge_work(arcs2m + n);
+    ctx.charge_depth(round_depth);
+    if (n > 0) {
+      ctx.charge_work(n);
+      ctx.charge_depth(1);
+      auto sweep = [&](auto rd, auto rp) {
+        ctx.pool->run_chunks(n, pram::kGrain,
+                             [&](std::size_t b, std::size_t e) {
+          std::uint64_t cnt = 0;
+          std::uint64_t arcs = 0;
+          Weight mn = kInfWeight;
+          for (std::size_t vi = b; vi < e; ++vi) {
+            const Vertex v = static_cast<Vertex>(vi);
+            const Weight prev = rd(v);
+            Weight best = prev;
+            Vertex arg = rp(v);
+            for (const Arc& a : g.arcs(v)) {
+              const Weight cand = rd(a.to) + a.w;
+              if (cand < best ||
+                  (cand == best && arg != kNoVertex && a.to < arg)) {
+                best = cand;
+                arg = a.to;
+              }
+            }
+            ws.next_dist_[vi] = best;
+            ws.next_parent_[vi] = arg;
+            const bool improved = best < prev;
+            ws.t_state_[vi] = improved ? 1 : 0;
+            if (improved) {
+              ++cnt;
+              arcs += g.degree(v);
+              mn = std::min(mn, best);
+            }
+          }
+          ws.dense_partials_[b / pram::kGrain] = {cnt, arcs, mn};
+        });
+      };
+      if (ws.dense_epoch_ == epoch)
+        sweep(plain_dist, plain_parent);
+      else
+        sweep(read_dist, read_parent);
+    }
+    ws.dist_.swap(ws.next_dist_);
+    ws.parent_.swap(ws.next_parent_);
+    ws.dense_epoch_ = epoch;  // the sweep wrote every slot
+    // Combine the per-chunk partials sequentially in chunk order — count,
+    // arc mass, and goal bound are order-independent folds, so the values
+    // are pool-independent and identical to the old rebuild pass's.
+    fsz = 0;
+    frontier_arcs = 0;
+    for (std::size_t c = 0; c < sweep_chunks; ++c) {
+      fsz += ws.dense_partials_[c].cnt;
+      frontier_arcs += ws.dense_partials_[c].arcs;
+      min_new = std::min(min_new, ws.dense_partials_[c].min_new);
+    }
+    frontier_lazy = true;
+  };
+
+  for (int h = 1; h <= hops; ++h) {
+    st.frontier_sum += fsz;
+    const RoundStrategy strat =
+        choose_strategy(opt.kernel, fsz, frontier_arcs, n, arcs2m);
+    min_new = kInfWeight;
+    if (strat == RoundStrategy::kDenseSweep) {
+      dense_round();
+    } else {
+      if (frontier_lazy) {
+        // A sparse round follows a dense one: turn the flags back into the
+        // list, sequentially in vertex order — the same order the old
+        // rebuild pass produced (its work was charged with that sweep).
+        ws.frontier_.clear();
+        for (Vertex v = 0; v < n; ++v)
+          if (ws.t_state_[v]) ws.frontier_.push_back(v);
+        frontier_lazy = false;
+      }
+      // T = N(F): the only vertices whose fold can differ this round.
+      // Sequential claim through a generation stamp keeps T's order — and
+      // every downstream pass — independent of the pool size.
+      ++ws.tgen_;
+      ws.targets_.clear();
+      std::uint64_t target_arcs = 0;
+      for (Vertex u : ws.frontier_) {
+        for (const Arc& a : g.arcs(u)) {
+          if (ws.target_stamp_[a.to] == ws.tgen_) continue;
+          ws.target_stamp_[a.to] = ws.tgen_;
+          ws.targets_.push_back(a.to);
+          target_arcs += g.degree(a.to);
+        }
+      }
+      const std::size_t tsz = ws.targets_.size();
+      // Second chooser stage (kAuto only): F's arc mass said "sparse", but
+      // the sparse round's true cost is dominated by Σdeg T, unknowable
+      // until T is built. Now that it is, abandon the round for the sweep
+      // whenever the measured cost reaches the sweep's 2m + 2n — near the
+      // crossover T ≈ V and the worklist would only add overhead. The
+      // discarded probe charges its own scan (Σdeg F + |T|) on top of the
+      // sweep's charges; the chooser never changes the round's result.
+      if (opt.kernel == Kernel::kAuto &&
+          frontier_arcs + target_arcs + 2 * static_cast<std::uint64_t>(tsz) >=
+              arcs2m + 2 * static_cast<std::uint64_t>(n)) {
+        ctx.charge_work(frontier_arcs + tsz);
+        dense_round();
+        rounds_run = h;
+        if (fsz == 0) break;
+        if (opt.goal != kNoVertex && min_new >= read_dist(opt.goal)) {
+          st.goal_cut = true;
+          break;
+        }
+        continue;
+      }
+      const bool by_edges = strat == RoundStrategy::kSparseEdge;
+      if (by_edges)
+        ++st.edge_rounds;
+      else
+        ++st.sparse_rounds;
+      // Sparse-round charge: scan F's arcs to build T, re-fold T's full
+      // rows, commit and pack T — work Σdeg F + Σdeg T + 2|T|, depth the
+      // dense round bound + 1. Both variants charge identically (the
+      // vertex-parallel loop self-charges |T| + 1 of it).
+      if (by_edges) {
+        ctx.charge_work(frontier_arcs + target_arcs + 2 * tsz);
+        ctx.charge_depth(round_depth + 1);
+        if (tsz > 0) {
+          // Degree-balanced cuts every ~kEdgeGrain arcs: the edge-parallel
+          // strategy balances chunks by arc mass, not vertex count, so one
+          // hub cannot serialize the round. Each vertex still folds whole.
+          ws.chunk_bounds_.clear();
+          ws.chunk_bounds_.push_back(0);
+          std::uint64_t acc = 0;
+          for (std::size_t i = 0; i < tsz; ++i) {
+            acc += g.degree(ws.targets_[i]);
+            if (acc >= kEdgeGrain) {
+              ws.chunk_bounds_.push_back(i + 1);
+              acc = 0;
+            }
+          }
+          if (ws.chunk_bounds_.back() != tsz) ws.chunk_bounds_.push_back(tsz);
+          const std::size_t chunks = ws.chunk_bounds_.size() - 1;
+          auto run_edges = [&](auto rd, auto rp) {
+            ctx.pool->run_chunks(
+                chunks, 1, [&](std::size_t cb, std::size_t ce) {
+                  for (std::size_t c = cb; c < ce; ++c)
+                    for (std::size_t i = ws.chunk_bounds_[c];
+                         i < ws.chunk_bounds_[c + 1]; ++i)
+                      relax_into(ws.targets_[i], i, rd, rp);
+                });
+          };
+          if (ws.dense_epoch_ == epoch)
+            run_edges(plain_dist, plain_parent);
+          else
+            run_edges(read_dist, read_parent);
+        }
+      } else {
+        ctx.charge_work(frontier_arcs + target_arcs + tsz);
+        ctx.charge_depth(round_depth);
+        auto run_vertices = [&](auto rd, auto rp) {
+          pram::parallel_for(ctx, tsz, [&](std::size_t i) {
+            relax_into(ws.targets_[i], i, rd, rp);
+          });
+        };
+        if (ws.dense_epoch_ == epoch)
+          run_vertices(plain_dist, plain_parent);
+        else
+          run_vertices(read_dist, read_parent);
+      }
+      // Commit the changed folds and pack the next frontier, sequentially in
+      // T order (all gathers above finished; commits touch distinct slots).
+      ws.frontier_.clear();
+      frontier_arcs = 0;
+      for (std::size_t i = 0; i < tsz; ++i) {
+        if (!ws.t_state_[i]) continue;
+        const Vertex v = ws.targets_[i];
+        ws.dist_[v] = ws.t_dist_[i];
+        ws.parent_[v] = ws.t_parent_[i];
+        ws.stamp_[v] = epoch;
+        if (ws.t_state_[i] == 1) {
+          ws.frontier_.push_back(v);
+          frontier_arcs += g.degree(v);
+          min_new = std::min(min_new, ws.dist_[v]);
+        }
+      }
+      fsz = ws.frontier_.size();
+    }
+    rounds_run = h;
+    // Fixpoint first (same round count as the dense early exit), then the
+    // goal cut: with strictly positive weights every future change derives
+    // from the new frontier with a positive increment, so once its min
+    // tentative distance reaches dist(goal) the goal can neither improve
+    // nor re-tie — the answer is already final.
+    if (fsz == 0) break;
+    if (opt.goal != kNoVertex && min_new >= read_dist(opt.goal)) {
+      st.goal_cut = true;
+      break;
+    }
+  }
+
+  if (rounds_run == 0) {
+    // hops < 1: mirror the dense kernel's materialized initial state.
+    for (Vertex v = 0; v < n; ++v) {
+      if (ws.stamp_[v] != epoch) {
+        ws.dist_[v] = kInfWeight;
+        ws.parent_[v] = kNoVertex;
+      }
+    }
+    ws.dense_epoch_ = epoch;
+  }
+  st.rounds_run = rounds_run;
+  return st;
 }
 
 template <class Policy>
@@ -161,6 +542,12 @@ template int bellman_ford_reuse<pram::Metered>(pram::Ctx&, const Graph&,
 template int bellman_ford_reuse<pram::Unmetered>(
     pram::UnmeteredCtx&, const Graph&, std::span<const Vertex>, int,
     BfWorkspace&, const RoundHook&, std::uint64_t);
+template FrontierStats bellman_ford_frontier<pram::Metered>(
+    pram::Ctx&, const Graph&, std::span<const Vertex>, int, BfWorkspace&,
+    const FrontierOptions&, std::uint64_t);
+template FrontierStats bellman_ford_frontier<pram::Unmetered>(
+    pram::UnmeteredCtx&, const Graph&, std::span<const Vertex>, int,
+    BfWorkspace&, const FrontierOptions&, std::uint64_t);
 template BellmanFordResult bellman_ford<pram::Metered>(
     pram::Ctx&, const Graph&, std::span<const Vertex>, int, const RoundHook&);
 template BellmanFordResult bellman_ford<pram::Unmetered>(

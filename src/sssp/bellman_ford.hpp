@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -33,6 +34,43 @@ namespace parhop::sssp {
 /// Per-round observer: on_round(h, dist) after round h (used by the hopbound
 /// experiment and serving-budget probes).
 using RoundHook = std::function<void(int, std::span<const graph::Weight>)>;
+
+/// Query-kernel policy (docs/query-engine.md §4). `kDense` is the baseline
+/// per-round sweep over all n vertices; `kFrontier` relaxes only the
+/// neighborhood of the vertices whose distance changed last round;
+/// `kAuto` additionally falls back to a dense sweep on arc-heavy rounds
+/// (the PASL `algo_chooser_pred` shape, SNIPPETS.md Snippet 3). All three
+/// produce bit-identical distances, parents, and round counts.
+enum class Kernel { kDense, kFrontier, kAuto };
+
+/// "dense" / "frontier" / "auto" — the CLI `--kernel=` spelling.
+const char* kernel_name(Kernel k);
+/// Inverse of kernel_name; throws std::invalid_argument on anything else.
+Kernel parse_kernel(const std::string& name);
+
+/// Options of a worklist run.
+struct FrontierOptions {
+  Kernel kernel = Kernel::kAuto;
+  /// Goal-directed early termination for point-to-point queries: stop once
+  /// the new frontier's min tentative distance reaches dist(goal) — with
+  /// strictly positive weights no later round can improve (or re-tie) the
+  /// goal, so the reported distance is unchanged; only rounds_run shrinks.
+  /// kNoVertex (the default) disables the cut. Ignored under Kernel::kDense
+  /// (the dense sweep tracks no frontier to bound).
+  graph::Vertex goal = graph::kNoVertex;
+};
+
+/// Outcome of a worklist run (rounds by strategy + frontier occupancy).
+struct FrontierStats {
+  int rounds_run = 0;     ///< equals the dense kernel's round count
+  int dense_rounds = 0;   ///< rounds served by the dense sweep (kAuto)
+  int sparse_rounds = 0;  ///< vertex-parallel worklist rounds
+  int edge_rounds = 0;    ///< degree-balanced edge-parallel worklist rounds
+  bool goal_cut = false;  ///< stopped by the goal bound, not the fixpoint
+  /// Σ|F| over executed rounds; frontier_sum / (rounds_run · n) is the mean
+  /// frontier fraction e13 reports.
+  std::uint64_t frontier_sum = 0;
+};
 
 class BfWorkspace;
 
@@ -50,22 +88,73 @@ int bellman_ford_reuse(pram::BasicCtx<Policy>& ctx, const graph::Graph& g,
                        BfWorkspace& ws, const RoundHook& on_round = nullptr,
                        std::uint64_t round_depth = 0);
 
+/// Frontier worklist kernel: same semantics as bellman_ford_reuse (exact
+/// h-hop-bounded distances, smallest-neighbor-ID tie-break, early exit on
+/// fixpoint) but each round only re-folds the full arc rows of T = N(F),
+/// the neighborhood of the vertices whose distance changed last round —
+/// every other vertex provably keeps its distance and parent
+/// (docs/query-engine.md §4 has the argument). Distances, parents, and
+/// round counts are bit-identical to the dense kernel at any pool size;
+/// only the metered charges differ (Σdeg F + Σdeg T + 2|T| work per sparse
+/// round instead of 2m + n). Under Kernel::kDense this delegates to
+/// bellman_ford_reuse unchanged, charges included. After the call the
+/// workspace holds a sparse result — read it through dist_at()/parent_at(),
+/// or call materialize() for the dense-span contract.
+template <class Policy>
+FrontierStats bellman_ford_frontier(pram::BasicCtx<Policy>& ctx,
+                                    const graph::Graph& g,
+                                    std::span<const graph::Vertex> sources,
+                                    int hops, BfWorkspace& ws,
+                                    const FrontierOptions& opt = {},
+                                    std::uint64_t round_depth = 0);
+
 /// Reusable storage for hop-limited runs. Owns the double-buffered
 /// dist/parent slabs plus an epoch stamp per vertex: a new query bumps the
-/// epoch and stamps only its sources; the first gather round maps entries
-/// carrying a stale stamp to +inf / kNoVertex, and every later round reads
-/// plainly (the gather writes all n slots each round, so the slabs are dense
-/// after round 1). Results are bit-identical to a fresh run regardless of
-/// what was served before — pinned by tests/test_query_engine.cpp.
+/// epoch and stamps only its sources. The logical state of vertex v is
+/// (dist_[v], parent_[v]) when its entry is valid — stamp_[v] == epoch_, or
+/// dense_epoch_ == epoch_ after a dense sweep wrote every slot — and
+/// (+inf, kNoVertex) otherwise. The dense kernel densifies the slabs in its
+/// first round; the frontier kernel instead stamps only the vertices it
+/// commits, so a point-to-point query never touches O(n) state. Results are
+/// bit-identical to a fresh run regardless of what was served before —
+/// pinned by tests/test_query_engine.cpp and tests/test_frontier_kernel.cpp.
 class BfWorkspace {
  public:
   /// Hop-limited runs served by this workspace so far.
   std::uint64_t runs() const { return epoch_; }
 
   /// Views of the last run's result; valid until the next run against this
-  /// workspace (or a take_*() call). Dense: every vertex has a value.
+  /// workspace (or a take_*() call). Dense contract: every vertex has a
+  /// value — guaranteed after the dense kernel or materialize(); after a
+  /// frontier run use dist_at()/parent_at() instead.
   std::span<const graph::Weight> dist() const { return dist_; }
   std::span<const graph::Vertex> parent() const { return parent_; }
+
+  /// Stamped single-vertex reads: the last run's result for v, +inf /
+  /// kNoVertex when v was never reached. Valid after any kernel.
+  graph::Weight dist_at(graph::Vertex v) const {
+    return dense_epoch_ == epoch_ || stamp_[v] == epoch_ ? dist_[v]
+                                                         : graph::kInfWeight;
+  }
+  graph::Vertex parent_at(graph::Vertex v) const {
+    return dense_epoch_ == epoch_ || stamp_[v] == epoch_ ? parent_[v]
+                                                         : graph::kNoVertex;
+  }
+
+  /// Densifies the slabs after a frontier run (one O(n) parallel pass
+  /// writing +inf / kNoVertex into stale slots) so dist()/parent() satisfy
+  /// the dense contract. No-op when the slabs are already dense.
+  template <class Policy>
+  void materialize(pram::BasicCtx<Policy>& ctx) {
+    if (dense_epoch_ == epoch_) return;
+    pram::parallel_for(ctx, dist_.size(), [&](std::size_t v) {
+      if (stamp_[v] != epoch_) {
+        dist_[v] = graph::kInfWeight;
+        parent_[v] = graph::kNoVertex;
+      }
+    });
+    dense_epoch_ = epoch_;
+  }
 
   /// Moves the result out (the one-shot bellman_ford() path). The workspace
   /// re-initializes itself on its next run.
@@ -78,6 +167,13 @@ class BfWorkspace {
                                 std::span<const graph::Vertex>, int,
                                 BfWorkspace&, const RoundHook&,
                                 std::uint64_t);
+  template <class Policy>
+  friend FrontierStats bellman_ford_frontier(pram::BasicCtx<Policy>&,
+                                             const graph::Graph&,
+                                             std::span<const graph::Vertex>,
+                                             int, BfWorkspace&,
+                                             const FrontierOptions&,
+                                             std::uint64_t);
 
   void ensure(graph::Vertex n);
 
@@ -85,6 +181,29 @@ class BfWorkspace {
   std::vector<graph::Vertex> parent_, next_parent_;
   std::vector<std::uint64_t> stamp_;
   std::uint64_t epoch_ = 0;
+  /// Epoch whose run left the slabs dense (every slot valid); stamped reads
+  /// short-circuit when it matches epoch_.
+  std::uint64_t dense_epoch_ = 0;
+
+  // Frontier-kernel scratch (sized once by ensure(), reused every round).
+  std::vector<graph::Vertex> frontier_;  ///< F: vertices changed last round
+  std::vector<graph::Vertex> targets_;   ///< T = N(F), claim order
+  std::vector<std::uint64_t> target_stamp_;  ///< per-round claim generation
+  std::uint64_t tgen_ = 0;
+  std::vector<graph::Weight> t_dist_;        ///< per-T-slot folded distance
+  std::vector<graph::Vertex> t_parent_;      ///< per-T-slot folded parent
+  std::vector<unsigned char> t_state_;       ///< 0 none / 1 dist / 2 parent
+  std::vector<std::size_t> chunk_bounds_;    ///< edge-parallel chunk cuts
+  /// Per-chunk (|F|, Σdeg F, min dist) partials of a dense-fallback sweep,
+  /// combined sequentially in chunk order (fixed pram::kGrain chunks) so the
+  /// frontier stats come out of the sweep itself, pool-independently,
+  /// without a second O(n) pass.
+  struct DensePartial {
+    std::uint64_t cnt;
+    std::uint64_t arcs;
+    graph::Weight min_new;
+  };
+  std::vector<DensePartial> dense_partials_;
 };
 
 /// Result of a hop-limited run from one source set.
@@ -123,6 +242,12 @@ extern template int bellman_ford_reuse<pram::Metered>(
 extern template int bellman_ford_reuse<pram::Unmetered>(
     pram::UnmeteredCtx&, const graph::Graph&, std::span<const graph::Vertex>,
     int, BfWorkspace&, const RoundHook&, std::uint64_t);
+extern template FrontierStats bellman_ford_frontier<pram::Metered>(
+    pram::Ctx&, const graph::Graph&, std::span<const graph::Vertex>, int,
+    BfWorkspace&, const FrontierOptions&, std::uint64_t);
+extern template FrontierStats bellman_ford_frontier<pram::Unmetered>(
+    pram::UnmeteredCtx&, const graph::Graph&, std::span<const graph::Vertex>,
+    int, BfWorkspace&, const FrontierOptions&, std::uint64_t);
 extern template BellmanFordResult bellman_ford<pram::Metered>(
     pram::Ctx&, const graph::Graph&, std::span<const graph::Vertex>, int,
     const RoundHook&);

@@ -28,6 +28,7 @@ Summary summarize(std::span<const double> xs) {
   s.p50 = pct(0.50);
   s.p95 = pct(0.95);
   s.p99 = pct(0.99);
+  s.p999 = pct(0.999);
   return s;
 }
 

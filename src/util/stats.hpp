@@ -17,6 +17,7 @@ struct Summary {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+  double p999 = 0;
 };
 
 /// Computes a Summary; copies and sorts the input internally.

@@ -1,0 +1,428 @@
+// Cross-kernel bit-identity for the frontier worklist kernels (ISSUE 8 /
+// docs/query-engine.md §4): dense, frontier, and auto must produce
+// identical distances, parents, round counts, and batch answers at pools
+// {1, 2, 4, 8} under both metering policies; metered charges must be
+// deterministic per kernel policy (and zero under pram::Unmetered); the
+// goal-directed point-to-point cut must shrink rounds without changing a
+// single answer (checked against exact Dijkstra).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "hopset/hopset.hpp"
+#include "query/query_engine.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/dijkstra.hpp"
+#include "test_helpers.hpp"
+#include "workloads/workloads.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+using graph::Weight;
+
+const std::vector<std::string> kRecipes = {"road-2k", "geo-2k", "gnm-2k"};
+const std::size_t kPools[] = {1, 2, 4, 8};
+
+Graph recipe_graph(const std::string& name) {
+  const workloads::Recipe* r = workloads::find_recipe(name);
+  if (!r) throw std::runtime_error("unknown recipe " + name);
+  return workloads::build_recipe(*r);
+}
+
+/// One run's full observable state, normalized through the stamped reads so
+/// dense and sparse results compare slot for slot.
+struct RunResult {
+  std::vector<Weight> dist;
+  std::vector<Vertex> parent;
+  int rounds = 0;
+  pram::Cost cost;
+};
+
+template <class Policy>
+RunResult run_kernel(pram::ThreadPool* pool, const Graph& g,
+                     std::span<const Vertex> sources, int hops,
+                     sssp::Kernel kernel) {
+  pram::BasicCtx<Policy> cx(pool);
+  sssp::BfWorkspace ws;
+  RunResult out;
+  if (kernel == sssp::Kernel::kDense) {
+    out.rounds = sssp::bellman_ford_reuse(cx, g, sources, hops, ws);
+  } else {
+    sssp::FrontierOptions opt;
+    opt.kernel = kernel;
+    out.rounds = sssp::bellman_ford_frontier(cx, g, sources, hops, ws, opt)
+                     .rounds_run;
+  }
+  const Vertex n = g.num_vertices();
+  out.dist.reserve(n);
+  out.parent.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    out.dist.push_back(ws.dist_at(v));
+    out.parent.push_back(ws.parent_at(v));
+  }
+  out.cost = cx.meter.snapshot();
+  return out;
+}
+
+// The tentpole claim: on every workload family, at every pool size, both
+// worklist kernels reproduce the dense kernel's distances, parents, and
+// round counts bit for bit — and their metered charges, while smaller than
+// dense's, are identical at every pool size (deterministic per policy).
+TEST(FrontierKernel, BitIdenticalToDenseOnRecipesAtPools1248) {
+  for (const std::string& name : kRecipes) {
+    Graph g = recipe_graph(name);
+    hopset::Params p;
+    auto build_cx = testing::ctx();
+    hopset::Hopset H = hopset::build_hopset(build_cx, g, p);
+    Graph gu = sssp::union_graph(g, H.edges);
+    // Multi-source exercises frontier seeding beyond the single-source
+    // serving path; 96 hops covers the 2k recipes' fixpoints.
+    const std::vector<Vertex> sources = {0, g.num_vertices() / 3,
+                                         g.num_vertices() - 1};
+    const int hops = 96;
+
+    pram::ThreadPool ref_pool(1);
+    RunResult dense =
+        run_kernel<pram::Metered>(&ref_pool, gu, sources, hops,
+                                  sssp::Kernel::kDense);
+    ASSERT_GT(dense.rounds, 1) << name;
+
+    for (sssp::Kernel kern :
+         {sssp::Kernel::kFrontier, sssp::Kernel::kAuto}) {
+      RunResult ref = run_kernel<pram::Metered>(&ref_pool, gu, sources, hops,
+                                                kern);
+      EXPECT_EQ(ref.rounds, dense.rounds)
+          << name << " " << sssp::kernel_name(kern);
+      ASSERT_EQ(ref.dist.size(), dense.dist.size());
+      for (Vertex v = 0; v < gu.num_vertices(); ++v) {
+        ASSERT_EQ(ref.dist[v], dense.dist[v])
+            << name << " " << sssp::kernel_name(kern) << " vertex " << v;
+        ASSERT_EQ(ref.parent[v], dense.parent[v])
+            << name << " " << sssp::kernel_name(kern) << " vertex " << v;
+      }
+      EXPECT_LT(ref.cost.work, dense.cost.work)
+          << name << ": the worklist kernel must charge less than the "
+                     "dense sweep on these sparse-frontier instances";
+
+      for (std::size_t threads : kPools) {
+        pram::ThreadPool pool(threads);
+        RunResult rm =
+            run_kernel<pram::Metered>(&pool, gu, sources, hops, kern);
+        RunResult ru =
+            run_kernel<pram::Unmetered>(&pool, gu, sources, hops, kern);
+        EXPECT_EQ(rm.rounds, ref.rounds);
+        EXPECT_EQ(ru.rounds, ref.rounds);
+        EXPECT_EQ(rm.dist, ref.dist) << name << " " << threads << " threads";
+        EXPECT_EQ(rm.parent, ref.parent);
+        EXPECT_EQ(ru.dist, ref.dist);
+        EXPECT_EQ(ru.parent, ref.parent);
+        // Charges are a property of the kernel policy, not the pool.
+        EXPECT_EQ(rm.cost.work, ref.cost.work)
+            << name << " " << sssp::kernel_name(kern) << " " << threads;
+        EXPECT_EQ(rm.cost.depth, ref.cost.depth);
+        EXPECT_EQ(ru.cost.work, 0u);
+        EXPECT_EQ(ru.cost.depth, 0u);
+      }
+    }
+  }
+}
+
+// The chooser must actually exercise all three strategies somewhere — and
+// the result must not depend on which ones ran.
+TEST(FrontierKernel, ChooserExecutesAllStrategiesWithIdenticalResults) {
+  graph::GenOptions o;
+  o.seed = 120;
+  // avg degree ≈ 62 (within the PASL 20..200 band): rounds go edge-parallel
+  // once the frontier covers > 75% of vertices, and the auto kernel's
+  // arc-mass fallback fires once Σdeg(F) ≥ ¼·2m.
+  Graph dense_g = graph::gnm(256, 8000, o);
+  // avg degree ≈ 4: always vertex-parallel under kFrontier.
+  o.seed = 121;
+  Graph sparse_g = graph::gnm(512, 1024, o);
+
+  pram::ThreadPool pool(1);
+  const Vertex srcs[1] = {0};
+
+  pram::Ctx c1(&pool);
+  sssp::BfWorkspace w1;
+  sssp::FrontierOptions frontier_opt;
+  frontier_opt.kernel = sssp::Kernel::kFrontier;
+  auto st_sparse =
+      sssp::bellman_ford_frontier(c1, sparse_g, srcs, 64, w1, frontier_opt);
+  EXPECT_GT(st_sparse.sparse_rounds, 0);
+  EXPECT_EQ(st_sparse.edge_rounds, 0) << "avg degree 4 must stay by-vertex";
+  EXPECT_EQ(st_sparse.dense_rounds, 0) << "kFrontier never falls back";
+
+  pram::Ctx c2(&pool);
+  sssp::BfWorkspace w2;
+  auto st_edge =
+      sssp::bellman_ford_frontier(c2, dense_g, srcs, 64, w2, frontier_opt);
+  EXPECT_GT(st_edge.edge_rounds, 0)
+      << "a >75% frontier at avg degree 62 must go by-edges";
+
+  pram::Ctx c3(&pool);
+  sssp::BfWorkspace w3;
+  sssp::FrontierOptions auto_opt;
+  auto_opt.kernel = sssp::Kernel::kAuto;
+  auto st_auto =
+      sssp::bellman_ford_frontier(c3, dense_g, srcs, 64, w3, auto_opt);
+  EXPECT_GT(st_auto.dense_rounds, 0)
+      << "the arc-mass fallback must fire on a dense expander";
+
+  // Whatever mix ran, both runs equal the dense baseline bit for bit.
+  for (const Graph* g : {&dense_g, &sparse_g}) {
+    RunResult d = run_kernel<pram::Metered>(&pool, *g, srcs, 64,
+                                            sssp::Kernel::kDense);
+    for (sssp::Kernel kern :
+         {sssp::Kernel::kFrontier, sssp::Kernel::kAuto}) {
+      RunResult r = run_kernel<pram::Metered>(&pool, *g, srcs, 64, kern);
+      EXPECT_EQ(r.rounds, d.rounds);
+      EXPECT_EQ(r.dist, d.dist);
+      EXPECT_EQ(r.parent, d.parent);
+    }
+  }
+}
+
+// Goal-directed early termination: the p2p answer equals the dense answer
+// bit for bit and exact Dijkstra up to float association, while the round
+// count shrinks.
+TEST(FrontierKernel, GoalCutMatchesDenseAndDijkstra) {
+  Graph g = recipe_graph("road-2k");
+  hopset::Params p;
+  auto build_cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(build_cx, g, p);
+  query::QueryEngine engine(g, H.edges, H.schedule.beta);
+  // Budget past any fixpoint so the served distance is the exact d_{G∪H}
+  // = d_G (hopset edge weights are real path lengths, so the union
+  // preserves shortest distances) — comparable against Dijkstra.
+  engine.set_hop_budget(static_cast<int>(g.num_vertices()));
+
+  pram::ThreadPool pool(1);
+  pram::Ctx cx(&pool);
+  query::QueryWorkspace ws_auto, ws_dense;
+  const auto queries = query::spread_queries(24, g.num_vertices());
+
+  bool any_cut = false;
+  for (const query::PointQuery& q : queries) {
+    engine.set_kernel(sssp::Kernel::kAuto);
+    const Weight w_auto = engine.point_to_point(cx, ws_auto, q.source,
+                                                q.target);
+    engine.set_kernel(sssp::Kernel::kDense);
+    const Weight w_dense = engine.point_to_point(cx, ws_dense, q.source,
+                                                 q.target);
+    EXPECT_EQ(w_auto, w_dense)
+        << "s=" << q.source << " t=" << q.target
+        << ": the goal cut must not change the answer";
+    const auto exact = sssp::dijkstra_distances(g, q.source);
+    if (exact[q.target] == graph::kInfWeight) {
+      EXPECT_EQ(w_auto, graph::kInfWeight);
+    } else {
+      // Near, not bit-equal: the hopset shortcut sums weights in a
+      // different association order than Dijkstra's prefix sums.
+      EXPECT_NEAR(w_auto, exact[q.target],
+                  1e-9 * std::max(1.0, exact[q.target]));
+    }
+
+    // The cut itself, pinned at the sssp layer: same distance at the goal,
+    // fewer (or equal) rounds than the goal-free run.
+    Vertex srcs[1] = {q.source};
+    sssp::BfWorkspace wf, wg;
+    sssp::FrontierOptions free_opt, goal_opt;
+    free_opt.kernel = goal_opt.kernel = sssp::Kernel::kAuto;
+    goal_opt.goal = q.target;
+    pram::Ctx cf(&pool), cg(&pool);
+    auto st_free = sssp::bellman_ford_frontier(
+        cf, engine.merged(), srcs, engine.hop_budget(), wf, free_opt);
+    auto st_goal = sssp::bellman_ford_frontier(
+        cg, engine.merged(), srcs, engine.hop_budget(), wg, goal_opt);
+    EXPECT_EQ(wg.dist_at(q.target), wf.dist_at(q.target));
+    EXPECT_LE(st_goal.rounds_run, st_free.rounds_run);
+    if (st_goal.goal_cut) {
+      any_cut = true;
+      EXPECT_LT(st_goal.rounds_run, st_free.rounds_run);
+    }
+  }
+  EXPECT_TRUE(any_cut)
+      << "on a road grid at full budget the cut must fire somewhere";
+}
+
+// One workspace serving dense, frontier, and auto queries back to back:
+// every answer must match a fresh-workspace run regardless of what kernel
+// wrote the slabs last (the dense_epoch_/stamp hygiene).
+TEST(FrontierKernel, WorkspaceReuseAcrossKernelSwitches) {
+  Graph g = recipe_graph("geo-2k");
+  hopset::Params p;
+  auto build_cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(build_cx, g, p);
+  query::QueryEngine engine(g, H.edges, H.schedule.beta);
+  engine.set_hop_budget(64);
+
+  pram::ThreadPool pool(1);
+  query::QueryWorkspace warm;
+  const sssp::Kernel mix[] = {sssp::Kernel::kDense, sssp::Kernel::kFrontier,
+                              sssp::Kernel::kDense, sssp::Kernel::kAuto,
+                              sssp::Kernel::kFrontier};
+  const Vertex srcs[] = {3, 500, 3, 999, 500};
+  for (std::size_t i = 0; i < std::size(mix); ++i) {
+    engine.set_kernel(mix[i]);
+    pram::Ctx cw(&pool), cf(&pool);
+    auto warm_view = engine.single_source(cw, warm, srcs[i]);
+    std::vector<Weight> got(warm_view.begin(), warm_view.end());
+    query::QueryWorkspace fresh;
+    auto fresh_view = engine.single_source(cf, fresh, srcs[i]);
+    std::vector<Weight> want(fresh_view.begin(), fresh_view.end());
+    EXPECT_EQ(got, want) << "query " << i << " kernel "
+                         << sssp::kernel_name(mix[i]);
+  }
+  EXPECT_EQ(warm.queries_served(), std::size(mix));
+}
+
+// run_batch under the worklist kernels: answers and charges pool-
+// independent per policy, occupancy stat deterministic, unmetered zero.
+TEST(FrontierKernel, BatchChargesDeterministicAcrossPools) {
+  Graph g = recipe_graph("gnm-2k");
+  hopset::Params p;
+  auto build_cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(build_cx, g, p);
+  query::QueryEngine engine(g, H.edges, H.schedule.beta);
+  engine.set_hop_budget(64);
+  const auto queries = query::spread_queries(48, engine.num_vertices());
+
+  for (sssp::Kernel kern : {sssp::Kernel::kDense, sssp::Kernel::kFrontier,
+                            sssp::Kernel::kAuto}) {
+    engine.set_kernel(kern);
+    pram::ThreadPool ref_pool(1);
+    std::vector<query::QueryWorkspace> ref_slots;
+    query::BatchResult ref = engine.run_batch(&ref_pool, queries, ref_slots);
+    EXPECT_GT(ref.cost.work, 0u);
+    if (kern == sssp::Kernel::kDense) {
+      EXPECT_EQ(ref.mean_frontier_fraction, -1.0)
+          << "the dense sweep tracks no frontier";
+    } else {
+      EXPECT_GT(ref.mean_frontier_fraction, 0.0);
+      EXPECT_LE(ref.mean_frontier_fraction, 1.0);
+    }
+
+    for (std::size_t threads : kPools) {
+      pram::ThreadPool pool(threads);
+      std::vector<query::QueryWorkspace> mslots, uslots;
+      query::BatchResult rm =
+          engine.run_batch<pram::Metered>(&pool, queries, mslots);
+      query::BatchResult ru =
+          engine.run_batch<pram::Unmetered>(&pool, queries, uslots);
+      EXPECT_EQ(rm.answers, ref.answers)
+          << sssp::kernel_name(kern) << " " << threads << " threads";
+      EXPECT_EQ(ru.answers, ref.answers);
+      EXPECT_EQ(rm.cost.work, ref.cost.work);
+      EXPECT_EQ(rm.cost.depth, ref.cost.depth);
+      EXPECT_EQ(ru.cost.work, 0u);
+      EXPECT_EQ(ru.cost.depth, 0u);
+      EXPECT_EQ(rm.max_rounds_run, ref.max_rounds_run);
+      EXPECT_EQ(ru.max_rounds_run, ref.max_rounds_run);
+      EXPECT_EQ(rm.mean_frontier_fraction, ref.mean_frontier_fraction);
+      EXPECT_EQ(ru.mean_frontier_fraction, ref.mean_frontier_fraction);
+    }
+  }
+
+  // Batch answers are also identical across the three kernels.
+  engine.set_kernel(sssp::Kernel::kDense);
+  pram::ThreadPool pool(2);
+  std::vector<query::QueryWorkspace> slots;
+  query::BatchResult dense = engine.run_batch(&pool, queries, slots);
+  for (sssp::Kernel kern :
+       {sssp::Kernel::kFrontier, sssp::Kernel::kAuto}) {
+    engine.set_kernel(kern);
+    query::BatchResult r = engine.run_batch(&pool, queries, slots);
+    EXPECT_EQ(r.answers, dense.answers) << sssp::kernel_name(kern);
+  }
+}
+
+// `--hops=auto`: the probe budget is kernel- and pool-independent (without
+// a goal the worklist kernels run exactly the dense round count), and
+// serving the probed workload at that budget changes no answer.
+TEST(FrontierKernel, ProbeHopBudgetKernelAndPoolIndependent) {
+  Graph g = recipe_graph("road-2k");
+  hopset::Params p;
+  auto build_cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(build_cx, g, p);
+  query::QueryEngine engine(g, H.edges, H.schedule.beta);
+
+  pram::ThreadPool pool1(1), pool4(4);
+  engine.set_kernel(sssp::Kernel::kAuto);
+  const int budget = engine.probe_hop_budget<pram::Metered>(&pool1, 32);
+  EXPECT_GE(budget, 1);
+  EXPECT_LE(budget, engine.hop_budget());
+  EXPECT_EQ(engine.probe_hop_budget<pram::Metered>(&pool4, 32), budget);
+  EXPECT_EQ(engine.probe_hop_budget<pram::Unmetered>(&pool1, 32), budget);
+  engine.set_kernel(sssp::Kernel::kDense);
+  EXPECT_EQ(engine.probe_hop_budget<pram::Metered>(&pool1, 32), budget)
+      << "the probe must measure the same fixpoint under every kernel";
+
+  // Serving the probed workload at the tightened budget is answer-free.
+  engine.set_kernel(sssp::Kernel::kAuto);
+  const auto queries = query::spread_queries(32, engine.num_vertices());
+  std::vector<query::QueryWorkspace> s1, s2;
+  query::BatchResult full = engine.run_batch(&pool1, queries, s1);
+  engine.set_hop_budget(budget);
+  query::BatchResult tight = engine.run_batch(&pool1, queries, s2);
+  EXPECT_EQ(tight.answers, full.answers);
+  EXPECT_EQ(tight.max_rounds_run, full.max_rounds_run);
+}
+
+// Degenerate inputs: hops < 1 materializes the initial state exactly like
+// the dense kernel; empty source sets and unreachable components read as
+// +inf / kNoVertex through both the stamped and materialized views.
+TEST(FrontierKernel, EdgeCasesMatchDense) {
+  // Two components: a 4-cycle and an edge, plus an isolated vertex.
+  std::vector<graph::Edge> edges = {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 1.5},
+                                    {3, 0, 2.5}, {4, 5, 3.0}};
+  Graph g = Graph::from_edges(7, edges);
+  pram::ThreadPool pool(2);
+
+  for (int hops : {0, 1, 5}) {
+    for (auto& sources :
+         std::vector<std::vector<Vertex>>{{}, {0}, {0, 4}, {2, 2, 0}}) {
+      RunResult d = run_kernel<pram::Metered>(&pool, g, sources, hops,
+                                              sssp::Kernel::kDense);
+      for (sssp::Kernel kern :
+           {sssp::Kernel::kFrontier, sssp::Kernel::kAuto}) {
+        RunResult r = run_kernel<pram::Metered>(&pool, g, sources, hops, kern);
+        EXPECT_EQ(r.rounds, d.rounds)
+            << "hops " << hops << " |S|=" << sources.size();
+        EXPECT_EQ(r.dist, d.dist);
+        EXPECT_EQ(r.parent, d.parent);
+      }
+    }
+  }
+
+  // materialize() must agree with the stamped reads slot for slot.
+  pram::Ctx cx(&pool);
+  sssp::BfWorkspace ws;
+  sssp::FrontierOptions opt;
+  opt.kernel = sssp::Kernel::kFrontier;
+  const Vertex srcs[1] = {0};
+  sssp::bellman_ford_frontier(cx, g, srcs, 8, ws, opt);
+  std::vector<Weight> stamped;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    stamped.push_back(ws.dist_at(v));
+  ws.materialize(cx);
+  std::vector<Weight> dense_view(ws.dist().begin(), ws.dist().end());
+  EXPECT_EQ(dense_view, stamped);
+  EXPECT_EQ(ws.dist_at(6), graph::kInfWeight);
+  EXPECT_EQ(ws.parent_at(6), graph::kNoVertex);
+}
+
+TEST(FrontierKernel, KernelNamesRoundTrip) {
+  for (sssp::Kernel k : {sssp::Kernel::kDense, sssp::Kernel::kFrontier,
+                         sssp::Kernel::kAuto})
+    EXPECT_EQ(sssp::parse_kernel(sssp::kernel_name(k)), k);
+  EXPECT_THROW(sssp::parse_kernel("fast"), std::invalid_argument);
+  EXPECT_THROW(sssp::parse_kernel(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parhop

@@ -293,6 +293,10 @@ TEST(QueryEngine, MultiSourceMatchesApproxMultiSourceWithCharges) {
   Graph g = graph::grid2d(12, 12, o);
   hopset::Hopset H = build_small(g);
   query::QueryEngine engine(g, H.edges, H.schedule.beta);
+  // Pin the baseline kernel: the charge oracle below is the dense sweep.
+  // (The worklist kernels return the same rows with cheaper charges —
+  // tests/test_frontier_kernel.cpp pins those.)
+  engine.set_kernel(sssp::Kernel::kDense);
   std::vector<Vertex> S = {0, 71, 143};
 
   pram::Ctx ref_cx(&pram::ThreadPool::global());
@@ -308,6 +312,16 @@ TEST(QueryEngine, MultiSourceMatchesApproxMultiSourceWithCharges) {
   // graph, so the metered query cost must agree exactly.
   EXPECT_EQ(eng_cx.meter.work(), ref_cx.meter.work());
   EXPECT_EQ(eng_cx.meter.depth(), ref_cx.meter.depth());
+
+  // The default (auto) kernel serves bit-identical rows.
+  engine.set_kernel(sssp::Kernel::kAuto);
+  pram::Ctx auto_cx(&pram::ThreadPool::global());
+  auto auto_rows = engine.multi_source(auto_cx, ws, S);
+  ASSERT_EQ(auto_rows.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_EQ(auto_rows[i], rows[i]) << "source " << S[i];
+  EXPECT_LT(auto_cx.meter.work(), eng_cx.meter.work())
+      << "the worklist kernel should charge strictly less on this instance";
 }
 
 TEST(QueryEngine, BatchReuseBitIdenticalAcrossPools1248) {
