@@ -1,0 +1,112 @@
+// parhop_serve: long-lived concurrent hopset query daemon
+// (docs/serving-daemon.md). Loads a DIMACS graph and a checksummed `.phs`
+// hopset once (graph-identity fingerprint verified), then answers the line
+// protocol
+//
+//   SSSP s | P2P s t | BATCH k | STATS | RELOAD path.phs | QUIT
+//
+// over stdin/stdout (the default — pipe a script in, or drive it from a
+// supervisor) or a unix stream socket (--socket=/path). Queries execute on
+// a fixed worker pool behind a bounded admission queue: overload answers
+// BUSY instead of queueing unboundedly. RELOAD hot-swaps the hopset with
+// zero dropped queries; a stale or wrong-graph `.phs` is rejected and the
+// live index keeps serving.
+//
+//   example_parhop_cli gen   --recipe=gnm-2k --out=g.gr --integral
+//   example_parhop_cli build --graph=g.gr --save=g.phs
+//   example_parhop_serve --graph=g.gr --hopset=g.phs [--workers=N]
+//       [--queue-depth=N] [--hops=N|auto] [--kernel=dense|frontier|auto]
+//       [--max-batch=N] [--socket=/tmp/parhop.sock]
+//
+// SIGTERM/SIGINT dump the final STATS line to stderr before exiting, so a
+// supervisor's stop always captures the serving counters.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "util/flags.hpp"
+
+using namespace parhop;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: example_parhop_serve --graph=g.gr --hopset=g.phs\n"
+               "         [--workers=N] [--queue-depth=N] [--hops=N|auto]\n"
+               "         [--kernel=dense|frontier|auto] [--max-batch=N]\n"
+               "         [--socket=/path/to.sock]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const std::string graph_path = flags.get("graph", "");
+  const std::string hopset_path = flags.get("hopset", "");
+  if (graph_path.empty() || hopset_path.empty()) return usage();
+  try {
+    serve::ServerOptions opt;
+    opt.workers = static_cast<std::size_t>(flags.get_int("workers", 2));
+    opt.queue_depth = static_cast<std::size_t>(flags.get_int("queue-depth", 8));
+    opt.kernel = sssp::parse_kernel(flags.get("kernel", "auto"));
+    opt.max_batch =
+        static_cast<std::size_t>(flags.get_int("max-batch", 1 << 16));
+    if (flags.get("hops", "") == "auto") {
+      opt.hops_auto = true;
+    } else if (flags.has("hops")) {
+      opt.hops = static_cast<int>(flags.get_int("hops", 0));
+    }
+
+#ifdef __unix__
+    // Block the termination signals before any thread exists so every
+    // thread inherits the mask; a dedicated sigwait thread owns delivery.
+    sigset_t term_set;
+    sigemptyset(&term_set);
+    sigaddset(&term_set, SIGTERM);
+    sigaddset(&term_set, SIGINT);
+    pthread_sigmask(SIG_BLOCK, &term_set, nullptr);
+#endif
+
+    serve::Server server =
+        serve::Server::from_files(graph_path, hopset_path, opt);
+    std::cerr << "serving " << graph_path << " + " << hopset_path
+              << " (n=" << server.num_vertices() << ", workers=" << opt.workers
+              << ", queue depth=" << opt.queue_depth << ")\n";
+
+#ifdef __unix__
+    std::thread([&server, term_set] {
+      sigset_t set = term_set;
+      int sig = 0;
+      if (sigwait(&set, &sig) != 0) return;
+      // The main thread may be blocked in getline/accept; dump the final
+      // counters here and exit without running destructors (in-flight
+      // queries are abandoned by definition of SIGTERM).
+      std::cerr << "signal " << sig << ": " << server.handle_line("STATS")
+                << "\n";
+      std::_Exit(0);
+    }).detach();
+#endif
+
+    const std::string socket_path = flags.get("socket", "");
+    if (!socket_path.empty()) {
+#ifdef __unix__
+      server.serve_socket(socket_path, std::cerr);
+#else
+      std::cerr << "--socket requires a unix platform\n";
+      return 2;
+#endif
+    } else {
+      server.serve_stream(std::cin, std::cout);
+    }
+    std::cerr << "exit: " << server.handle_line("STATS") << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

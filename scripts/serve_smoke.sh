@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# serve_smoke.sh <build_dir> <out_dir>
+#
+# End-to-end smoke for the serving daemon (docs/serving-daemon.md): drive a
+# scripted session through example_parhop_serve on gnm-2k and diff every
+# answer against `parhop_cli query --hopset` ground truth — before AND after
+# a mid-session RELOAD to a coarser-epsilon hopset. Integral edge weights
+# keep distances exact integers, so both surfaces print them identically
+# and the diff is textual-exact, not approximate.
+set -euo pipefail
+
+BUILD=${1:?usage: serve_smoke.sh <build_dir> <out_dir>}
+OUT=${2:?usage: serve_smoke.sh <build_dir> <out_dir>}
+CLI="$BUILD/example_parhop_cli"
+SERVE="$BUILD/example_parhop_serve"
+mkdir -p "$OUT"
+
+PAIRS="0 1999
+17 1003
+421 77
+1500 2
+999 998"
+
+echo "== gen + build (gnm-2k, integral weights) =="
+"$CLI" gen --recipe=gnm-2k --out="$OUT/g.gr" --integral >/dev/null
+"$CLI" build --graph="$OUT/g.gr" --save="$OUT/g0.phs" >/dev/null
+"$CLI" build --graph="$OUT/g.gr" --save="$OUT/g1.phs" --eps=0.5 >/dev/null
+
+# Ground truth: one CLI invocation per (source, target) pair per hopset,
+# plus the reachable count for SSSP 0. `d(s,t) ~ X` / `N reachable vertices`.
+ref() { # ref <phs> <s> <t>
+  "$CLI" query --graph="$OUT/g.gr" --hopset="$1" --source="$2" --target="$3" |
+    sed -n 's/.*~ //p'
+}
+reach() { # reach <phs>
+  "$CLI" query --graph="$OUT/g.gr" --hopset="$1" --source=0 |
+    sed -n 's/.*: \([0-9]*\) reachable vertices/\1/p'
+}
+
+echo "== collecting CLI ground truth =="
+: >"$OUT/expect.txt"
+while read -r s t; do
+  echo "P2P $s $t epoch=0 dist=$(ref "$OUT/g0.phs" "$s" "$t")" >>"$OUT/expect.txt"
+done <<<"$PAIRS"
+echo "SSSP 0 epoch=0 reachable=$(reach "$OUT/g0.phs")" >>"$OUT/expect.txt"
+while read -r s t; do
+  echo "P2P $s $t epoch=1 dist=$(ref "$OUT/g1.phs" "$s" "$t")" >>"$OUT/expect.txt"
+done <<<"$PAIRS"
+echo "SSSP 0 epoch=1 reachable=$(reach "$OUT/g1.phs")" >>"$OUT/expect.txt"
+
+echo "== scripted daemon session =="
+{
+  while read -r s t; do echo "P2P $s $t"; done <<<"$PAIRS"
+  echo "SSSP 0"
+  echo "RELOAD $OUT/g1.phs"
+  while read -r s t; do echo "P2P $s $t"; done <<<"$PAIRS"
+  echo "SSSP 0"
+  echo "STATS"
+  echo "QUIT"
+} >"$OUT/session.txt"
+"$SERVE" --graph="$OUT/g.gr" --hopset="$OUT/g0.phs" --workers=2 \
+  <"$OUT/session.txt" >"$OUT/responses.txt" 2>"$OUT/serve.log"
+
+# Normalize daemon responses into the expect.txt shape and diff.
+#   OK P2P <s> <t> dist=<w> epoch=<e>   -> P2P <s> <t> epoch=<e> dist=<w>
+#   OK SSSP <s> reachable=<n> fnv=.. epoch=<e> -> SSSP <s> epoch=<e> reachable=<n>
+awk '
+  $1 == "OK" && $2 == "P2P"  { split($5, d, "="); split($6, e, "=");
+                               print "P2P", $3, $4, "epoch=" e[2], "dist=" d[2] }
+  $1 == "OK" && $2 == "SSSP" { split($4, r, "="); n = split($0, f, "epoch=");
+                               print "SSSP", $3, "epoch=" f[n], "reachable=" r[2] }
+' "$OUT/responses.txt" >"$OUT/got.txt"
+
+if ! diff -u "$OUT/expect.txt" "$OUT/got.txt"; then
+  echo "serve smoke FAILED: daemon answers diverge from query --hopset" >&2
+  exit 1
+fi
+
+grep -q "^OK RELOAD epoch=1 " "$OUT/responses.txt" ||
+  { echo "serve smoke FAILED: RELOAD did not swap to epoch 1" >&2; exit 1; }
+grep -q "^OK STATS .* reloads=1 " "$OUT/responses.txt" ||
+  { echo "serve smoke FAILED: STATS does not report reloads=1" >&2; exit 1; }
+grep -q "^OK BYE$" "$OUT/responses.txt" ||
+  { echo "serve smoke FAILED: session did not end with OK BYE" >&2; exit 1; }
+
+echo "serve smoke OK: $(wc -l <"$OUT/expect.txt") answers bit-identical across both epochs"

@@ -77,6 +77,20 @@ struct BatchResult {
 };
 
 /// Prepared build-once / query-many serving engine over G ∪ H.
+///
+/// Concurrent-read contract (audited for the serving daemon, src/serve/):
+/// after construction — and after any set_kernel/set_hop_budget calls have
+/// been sequenced-before via an external happens-before edge (the daemon
+/// publishes engines through a mutex-guarded EngineCell) — the const query
+/// methods (single_source, multi_source, point_to_point, run_batch,
+/// probe_hop_budget) are safe to call from any number of threads
+/// concurrently. They read only the immutable merged CSR (graph::Graph has
+/// no mutable members) and the scalar configuration; all per-query mutable
+/// state lives in the caller-owned QueryWorkspace / slots arguments, which
+/// must not be shared between concurrent callers. The configuration
+/// mutators are NOT safe to interleave with queries — reconfigure by
+/// building a new engine off-path and swapping it in (docs/serving-daemon.md
+/// §2), never by mutating one that is being read.
 class QueryEngine {
  public:
   /// Prepares the engine from in-memory parts; the merged G ∪ H CSR is

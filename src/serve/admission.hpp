@@ -1,0 +1,76 @@
+// Bounded admission queue between protocol connections and the serving
+// worker pool (docs/serving-daemon.md §3). The backpressure contract: a
+// query whose admission would push the number of *waiting* jobs past the
+// configured depth is rejected immediately (the connection answers BUSY) —
+// the daemon never queues unboundedly and never blocks a client on
+// admission. Workers drain in FIFO order; jobs already admitted are always
+// executed, including during shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace parhop::serve {
+
+/// Bounded MPMC FIFO of move-only jobs. `Job` needs only move semantics.
+template <class Job>
+class AdmissionQueue {
+ public:
+  /// `depth` is the maximum number of admitted-but-not-yet-running jobs
+  /// (>= 1 enforced by the server options).
+  explicit AdmissionQueue(std::size_t depth) : depth_(depth) {}
+
+  std::size_t depth() const { return depth_; }
+
+  /// Current number of waiting jobs (a statistics read for STATS —
+  /// momentarily stale by design).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_.size();
+  }
+
+  /// Admits `job` unless the queue is at depth or stopped. Returns false
+  /// without blocking on rejection — the caller owns the BUSY response.
+  bool try_push(Job&& job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_ || jobs_.size() >= depth_) return false;
+      jobs_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a job is available or the queue is stopped *and* drained;
+  /// returns false only in the latter case (workers exit then). Admitted
+  /// jobs always execute — stop() wakes waiters but never drops work.
+  bool pop(Job& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return stopped_ || !jobs_.empty(); });
+    if (jobs_.empty()) return false;
+    out = std::move(jobs_.front());
+    jobs_.pop_front();
+    return true;
+  }
+
+  /// Refuses new admissions and wakes every worker; queued jobs still drain.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  const std::size_t depth_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> jobs_;
+  bool stopped_ = false;
+};
+
+}  // namespace parhop::serve

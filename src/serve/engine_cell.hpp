@@ -1,0 +1,61 @@
+// Hot-swap cell for the serving engine (docs/serving-daemon.md §2): the
+// daemon double-buffers two query::QueryEngines across a RELOAD — the next
+// engine is built entirely off the serving path, then published here with
+// one pointer flip. Queries snapshot the cell at admission, so in-flight
+// (and already-queued) queries finish on the engine that admitted them and
+// the old engine is destroyed only when its last query releases it. A
+// failed RELOAD (unreadable, corrupt, or wrong-fingerprint `.phs`) never
+// reaches publish(), so the live index is never dropped.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "query/query_engine.hpp"
+
+namespace parhop::serve {
+
+/// One published serving engine plus its provenance. Immutable after
+/// publication: every configuration mutator (set_kernel, set_hop_budget)
+/// runs before the state enters the cell, and the publish/snapshot mutex
+/// pair is the happens-before edge that makes those writes visible to every
+/// worker — workers only ever call const QueryEngine methods on it
+/// (the concurrent-read contract in query/query_engine.hpp).
+struct EngineState {
+  query::QueryEngine engine;
+  std::uint64_t epoch = 0;    ///< 0 for the boot engine, +1 per swap
+  std::string source;         ///< `.phs` path (or "<memory>" for the boot one)
+  double build_s = 0;         ///< wall seconds the off-path build took
+};
+
+/// Shared cell the server publishes engines through.
+class EngineCell {
+ public:
+  explicit EngineCell(std::shared_ptr<const EngineState> initial)
+      : state_(std::move(initial)) {}
+
+  /// The engine serving right now. The returned shared_ptr keeps the state
+  /// alive across a concurrent swap — hold it for the duration of one query.
+  std::shared_ptr<const EngineState> current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+  /// Atomically flips the serving engine. The caller (the RELOAD handler)
+  /// has already stamped next->epoch = epoch() + 1 under its own reload
+  /// serialization.
+  void publish(std::shared_ptr<const EngineState> next) {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = std::move(next);
+  }
+
+  std::uint64_t epoch() const { return current()->epoch; }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const EngineState> state_;
+};
+
+}  // namespace parhop::serve

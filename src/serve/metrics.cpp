@@ -1,0 +1,55 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace parhop::serve {
+
+MetricsRegistry::MetricsRegistry()
+    // lint:allow randomness serving uptime/qps stats only — never feeds an answer
+    : start_(std::chrono::steady_clock::now()) {
+  latencies_.reserve(1024);
+}
+
+void MetricsRegistry::end_query(double latency_s) {
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    if (latencies_.size() < kLatencyWindow) {
+      latencies_.push_back(latency_s);
+    } else {
+      latencies_[latency_next_] = latency_s;
+      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    }
+  }
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  s.served = served_.load(std::memory_order_relaxed);
+  s.busy_rejected = busy_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
+  s.uptime_s = util::seconds_since(start_);
+  s.qps = s.uptime_s > 0 ? static_cast<double>(s.served) / s.uptime_s : 0.0;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    window = latencies_;
+  }
+  s.latency_window = window.size();
+  if (!window.empty()) {
+    const util::Summary lat = util::summarize(window);
+    s.p50_ms = lat.p50 * 1e3;
+    s.p99_ms = lat.p99 * 1e3;
+    s.p999_ms = lat.p999 * 1e3;
+  }
+  return s;
+}
+
+}  // namespace parhop::serve

@@ -1,0 +1,86 @@
+// Live serving metrics for the parhop_serve daemon (ARCHITECTURE.md §7,
+// docs/serving-daemon.md §3): monotonic counters (served, BUSY rejections,
+// protocol errors, reloads), an in-flight gauge, and a bounded ring of
+// recent client-observed latencies from which STATS derives qps and
+// p50/p99/p999. Thread-safe: counters are relaxed atomics (independent
+// monotonic tallies — STATS is a statistics read, not a synchronization
+// point), the latency ring is mutex-guarded.
+//
+// Determinism note (ARCHITECTURE.md §2.1): everything in here is *reported*,
+// never fed back into an answer — the wall-clock reads carry lint:allow
+// markers for exactly that reason.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace parhop::serve {
+
+/// Point-in-time view of the registry, assembled by snapshot().
+struct MetricsSnapshot {
+  std::uint64_t served = 0;           ///< queries completed (SSSP/P2P/BATCH)
+  std::uint64_t busy_rejected = 0;    ///< admissions refused with BUSY
+  std::uint64_t protocol_errors = 0;  ///< lines answered with ERR
+  std::uint64_t reloads = 0;          ///< successful hot swaps
+  std::uint64_t reload_failures = 0;  ///< RELOADs rejected (old engine kept)
+  int in_flight = 0;                  ///< queries executing right now
+  double uptime_s = 0;                ///< wall time since registry creation
+  double qps = 0;                     ///< served / uptime_s
+  // Percentiles of the retained latency window (client-observed:
+  // admission to completion), in milliseconds. 0 when nothing served yet.
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  std::size_t latency_window = 0;  ///< samples backing the percentiles
+};
+
+/// Metrics registry shared by every connection and worker of one server.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  void count_busy() { busy_.fetch_add(1, std::memory_order_relaxed); }
+  void count_protocol_error() {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_reload(bool ok) {
+    (ok ? reloads_ : reload_failures_).fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Query lifecycle: begin_query() when a worker dequeues it, end_query()
+  /// with the client-observed latency (admission to completion) when its
+  /// response is ready.
+  void begin_query() { in_flight_.fetch_add(1, std::memory_order_relaxed); }
+  void end_query(double latency_s);
+
+  /// Monotonic uptime seconds — the shared timestamp base the server uses
+  /// to stamp admissions (latency = now_s() at completion − stamp).
+  double now_s() const { return util::seconds_since(start_); }
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> busy_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> reload_failures_{0};
+  std::atomic<int> in_flight_{0};
+  // lint:allow randomness serving uptime/qps stats only — never feeds an answer
+  std::chrono::steady_clock::time_point start_;
+
+  /// Fixed-capacity ring of the most recent latencies; percentile quality
+  /// degrades gracefully under sustained load instead of memory growing
+  /// unboundedly with queries served.
+  static constexpr std::size_t kLatencyWindow = 1 << 16;
+  mutable std::mutex latency_mu_;
+  std::vector<double> latencies_;
+  std::size_t latency_next_ = 0;
+};
+
+}  // namespace parhop::serve

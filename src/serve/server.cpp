@@ -1,0 +1,457 @@
+#include "serve/server.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "graph/io.hpp"
+#include "hopset/serialize.hpp"
+#include "pram/primitives.hpp"
+#include "query/query_engine.hpp"
+#include "util/parse.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+#ifdef __unix__
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#endif
+
+namespace parhop::serve {
+
+namespace {
+
+/// FNV-1a 64 over raw bytes — the answer digest in SSSP/BATCH responses.
+/// Hashing the weight bit patterns (not a formatting) is what lets clients
+/// assert bit-identity across epochs, workers, and reload interleavings.
+std::uint64_t fnv1a(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Shortest round-trip formatting (same policy as the DIMACS writer):
+/// strtod on the printed form recovers the exact weight bits, so protocol
+/// responses are loss-free. Infinity prints as "inf".
+std::string format_weight(graph::Weight w) {
+  char buf[64];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), w);
+  if (ec != std::errc{}) return "inf";
+  return std::string(buf, p);
+}
+
+/// Responses are one line by contract, but error messages echo client
+/// bytes and exception texts — strip control characters and cap the length
+/// so a hostile token can't smuggle a newline (or a terminal escape) into
+/// the stream.
+std::string sanitize(std::string_view s) {
+  constexpr std::size_t kCap = 160;
+  std::string out;
+  out.reserve(std::min(s.size(), kCap));
+  for (const char c : s) {
+    if (out.size() >= kCap) {
+      out += "...";
+      break;
+    }
+    out += (static_cast<unsigned char>(c) < 0x20 || c == '\x7f') ? '?' : c;
+  }
+  return out;
+}
+
+std::future<std::string> ready(std::string response) {
+  std::promise<std::string> p;
+  p.set_value(std::move(response));
+  return p.get_future();
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line, graph::Vertex n,
+                      std::size_t max_batch) {
+  std::string_view sv(line);
+  if (!sv.empty() && sv.back() == '\r') sv.remove_suffix(1);  // CRLF clients
+  std::vector<std::string_view> tok;
+  for (std::size_t i = 0; i < sv.size();) {
+    while (i < sv.size() && (sv[i] == ' ' || sv[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < sv.size() && sv[j] != ' ' && sv[j] != '\t') ++j;
+    if (j > i) tok.push_back(sv.substr(i, j - i));
+    i = j;
+  }
+  if (tok.empty()) throw ProtocolError("empty line");
+  const std::string_view cmd = tok[0];
+  const auto arity = [&](std::size_t want) {
+    if (tok.size() != want)
+      throw ProtocolError(std::string(cmd) + " takes " +
+                          std::to_string(want - 1) +
+                          (want == 2 ? " argument, got " : " arguments, got ") +
+                          std::to_string(tok.size() - 1));
+  };
+  // istream-style extraction would wrap negatives and accept junk suffixes;
+  // ids go through the hardened parser and are range-checked right here so
+  // no invalid Request ever reaches a worker (util/parse.hpp).
+  const auto vertex_arg = [&](std::string_view t, const char* what) {
+    const auto v =
+        util::parse_uint(t, std::numeric_limits<std::uint64_t>::max());
+    if (!v)
+      throw ProtocolError(std::string("bad ") + what + " '" + sanitize(t) +
+                          "'");
+    if (*v >= n)
+      throw ProtocolError(std::string(what) + " " + std::to_string(*v) +
+                          " out of range (graph has " + std::to_string(n) +
+                          " vertices)");
+    return static_cast<graph::Vertex>(*v);
+  };
+  Request r;
+  if (cmd == "SSSP") {
+    arity(2);
+    r.kind = Request::Kind::kSssp;
+    r.source = vertex_arg(tok[1], "source");
+  } else if (cmd == "P2P") {
+    arity(3);
+    r.kind = Request::Kind::kP2p;
+    r.source = vertex_arg(tok[1], "source");
+    r.target = vertex_arg(tok[2], "target");
+  } else if (cmd == "BATCH") {
+    arity(2);
+    r.kind = Request::Kind::kBatch;
+    const auto k =
+        util::parse_uint(tok[1], std::numeric_limits<std::uint64_t>::max());
+    if (!k) throw ProtocolError("bad batch size '" + sanitize(tok[1]) + "'");
+    if (*k == 0) throw ProtocolError("batch size must be >= 1");
+    if (*k > max_batch)
+      throw ProtocolError("batch size " + std::to_string(*k) +
+                          " exceeds max_batch " + std::to_string(max_batch));
+    r.batch = static_cast<std::size_t>(*k);
+  } else if (cmd == "STATS") {
+    arity(1);
+    r.kind = Request::Kind::kStats;
+  } else if (cmd == "RELOAD") {
+    arity(2);  // paths with whitespace are not representable in the protocol
+    r.kind = Request::Kind::kReload;
+    r.path = std::string(tok[1]);
+  } else if (cmd == "QUIT") {
+    arity(1);
+    r.kind = Request::Kind::kQuit;
+  } else {
+    throw ProtocolError("unknown command '" + sanitize(cmd) + "'");
+  }
+  return r;
+}
+
+struct Server::Worker {
+  /// One-thread pool: every query this worker serves runs sequentially, the
+  /// determinism contract of the daemon (answers independent of worker
+  /// count and interleaving). Unmetered is the production serving policy —
+  /// cross-policy bit-identity makes the answers comparable to any metered
+  /// reference.
+  pram::ThreadPool seq{1};
+  pram::UnmeteredCtx cx{&seq};
+  query::QueryWorkspace ws;
+  std::vector<query::QueryWorkspace> slots;  ///< run_batch strip workspaces
+};
+
+Server::Server(graph::Graph g, const hopset::Hopset& h, ServerOptions opt,
+               std::string hopset_source)
+    : graph_(std::move(g)),
+      opt_(std::move(opt)),
+      cell_(boot_state(h, std::move(hopset_source))),
+      queue_(opt_.queue_depth) {
+  workers_.reserve(opt_.workers);
+  for (std::size_t i = 0; i < opt_.workers; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(opt_.workers);
+  for (auto& w : workers_)
+    threads_.emplace_back([this, worker = w.get()] { worker_loop(*worker); });
+}
+
+Server Server::from_files(const std::string& graph_path,
+                          const std::string& hopset_path, ServerOptions opt) {
+  graph::Graph g = graph::read_dimacs_file(graph_path);
+  const hopset::Hopset h = hopset::read_hopset_file(hopset_path);
+  return Server(std::move(g), h, std::move(opt), hopset_path);
+}
+
+Server::~Server() {
+  stopping_.store(true);
+  queue_.stop();  // admitted jobs still drain; their futures resolve
+  for (std::thread& t : threads_) t.join();
+}
+
+std::shared_ptr<const EngineState> Server::boot_state(const hopset::Hopset& h,
+                                                      std::string source) {
+  if (opt_.workers < 1)
+    throw std::invalid_argument("serve: workers must be >= 1");
+  if (opt_.queue_depth < 1)
+    throw std::invalid_argument("serve: queue depth must be >= 1");
+  if (opt_.hops < 0)
+    throw std::invalid_argument("serve: hop budget must be >= 1 (or 0 for β̂)");
+  return build_state(h, std::move(source), 0);
+}
+
+std::shared_ptr<const EngineState> Server::build_state(
+    const hopset::Hopset& h, std::string source, std::uint64_t epoch) const {
+  // lint:allow randomness RELOAD build wall stat only — never feeds an answer
+  const auto start = std::chrono::steady_clock::now();
+  // Same rejection the boot path gets: a structurally valid .phs built for
+  // a different graph must not replace the live engine.
+  hopset::check_graph_identity(h, graph_, source);
+  auto st = std::make_shared<EngineState>(EngineState{
+      query::QueryEngine(graph_, h.edges, h.schedule.beta), epoch,
+      std::move(source), 0.0});
+  st->engine.set_kernel(opt_.kernel);
+  if (opt_.hops > 0) st->engine.set_hop_budget(opt_.hops);
+  if (opt_.hops_auto) {
+    pram::ThreadPool probe_pool(1);
+    st->engine.set_hop_budget(
+        st->engine.probe_hop_budget<pram::Unmetered>(&probe_pool));
+  }
+  st->build_s = util::seconds_since(start);
+  return st;
+}
+
+std::future<std::string> Server::submit(const std::string& line) {
+  Request req;
+  try {
+    req = parse_request(line, num_vertices(), opt_.max_batch);
+  } catch (const ProtocolError& e) {
+    metrics_.count_protocol_error();
+    return ready(std::string("ERR ") + e.what());
+  }
+  switch (req.kind) {
+    case Request::Kind::kStats:
+      return ready(do_stats());
+    case Request::Kind::kQuit:
+      stopping_.store(true);
+      return ready("OK BYE");
+    case Request::Kind::kReload:
+      if (stopping_.load()) {
+        metrics_.count_reload(false);
+        return ready("ERR reload: server stopping");
+      }
+      return ready(do_reload(req.path));
+    default:
+      break;
+  }
+  if (stopping_.load()) {
+    metrics_.count_protocol_error();
+    return ready("ERR server stopping");
+  }
+  Job job;
+  job.req = std::move(req);
+  job.engine = cell_.current();  // the swap-snapshot point (§2)
+  job.admitted_s = metrics_.now_s();
+  std::future<std::string> fut = job.done.get_future();
+  if (!queue_.try_push(std::move(job))) {
+    metrics_.count_busy();
+    return ready(util::format("BUSY queue full (depth %zu)", queue_.depth()));
+  }
+  return fut;
+}
+
+std::string Server::handle_line(const std::string& line) {
+  return submit(line).get();
+}
+
+void Server::worker_loop(Worker& w) {
+  Job job;
+  while (queue_.pop(job)) {
+    metrics_.begin_query();
+    if (opt_.before_execute) opt_.before_execute(job.req);
+    std::string resp;
+    try {
+      resp = execute(w, job);
+    } catch (const std::exception& e) {
+      // Parsing validated ids and sizes, so this is a should-not-happen
+      // path — still answer the client one line and keep serving.
+      metrics_.count_protocol_error();
+      resp = std::string("ERR query: ") + sanitize(e.what());
+    }
+    metrics_.end_query(metrics_.now_s() - job.admitted_s);
+    job.done.set_value(std::move(resp));
+  }
+}
+
+std::string Server::execute(Worker& w, const Job& job) const {
+  const query::QueryEngine& e = job.engine->engine;
+  const auto epoch = static_cast<unsigned long long>(job.engine->epoch);
+  switch (job.req.kind) {
+    case Request::Kind::kSssp: {
+      const std::span<const graph::Weight> dist =
+          e.single_source(w.cx, w.ws, job.req.source);
+      std::size_t reachable = 0;
+      for (const graph::Weight d : dist)
+        if (d < graph::kInfWeight) ++reachable;
+      const std::uint64_t h =
+          fnv1a(dist.data(), dist.size() * sizeof(graph::Weight));
+      return util::format(
+          "OK SSSP %u reachable=%zu fnv=%016llx epoch=%llu", job.req.source,
+          reachable, static_cast<unsigned long long>(h), epoch);
+    }
+    case Request::Kind::kP2p: {
+      const graph::Weight d =
+          e.point_to_point(w.cx, w.ws, job.req.source, job.req.target);
+      return util::format("OK P2P %u %u dist=%s epoch=%llu", job.req.source,
+                          job.req.target, format_weight(d).c_str(), epoch);
+    }
+    case Request::Kind::kBatch: {
+      const std::vector<query::PointQuery> queries =
+          query::spread_queries(job.req.batch, e.num_vertices());
+      const query::BatchResult res =
+          e.run_batch<pram::Unmetered>(&w.seq, queries, w.slots);
+      const std::uint64_t h =
+          fnv1a(res.answers.data(), res.answers.size() * sizeof(graph::Weight));
+      return util::format("OK BATCH %zu fnv=%016llx rounds=%d epoch=%llu",
+                          job.req.batch, static_cast<unsigned long long>(h),
+                          res.max_rounds_run, epoch);
+    }
+    default:
+      return "ERR internal: unexpected request kind";  // unreachable
+  }
+}
+
+std::string Server::do_reload(const std::string& path) {
+  // Double-buffered, not N-buffered: one off-path build at a time. Queries
+  // are never blocked here — they keep draining on the published engine.
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  try {
+    const hopset::Hopset h = hopset::read_hopset_file(path);
+    const auto next = build_state(h, path, cell_.epoch() + 1);
+    cell_.publish(next);
+    metrics_.count_reload(true);
+    return util::format(
+        "OK RELOAD epoch=%llu hopset_edges=%zu beta=%d hops=%d build_s=%.3f "
+        "path=%s",
+        static_cast<unsigned long long>(next->epoch), h.edges.size(),
+        next->engine.beta(), next->engine.hop_budget(), next->build_s,
+        sanitize(path).c_str());
+  } catch (const std::exception& e) {
+    // The failed build never reached publish(): the live engine is intact.
+    metrics_.count_reload(false);
+    return std::string("ERR reload: ") + sanitize(e.what());
+  }
+}
+
+std::string Server::do_stats() const {
+  const MetricsSnapshot s = metrics_.snapshot();
+  return util::format(
+      "OK STATS uptime_s=%.3f qps=%.1f served=%llu busy=%llu errors=%llu "
+      "reloads=%llu reload_failures=%llu in_flight=%d queue=%zu depth=%zu "
+      "p50_ms=%.3f p99_ms=%.3f p999_ms=%.3f window=%zu epoch=%llu",
+      s.uptime_s, s.qps, static_cast<unsigned long long>(s.served),
+      static_cast<unsigned long long>(s.busy_rejected),
+      static_cast<unsigned long long>(s.protocol_errors),
+      static_cast<unsigned long long>(s.reloads),
+      static_cast<unsigned long long>(s.reload_failures), s.in_flight,
+      queue_.size(), queue_.depth(), s.p50_ms, s.p99_ms, s.p999_ms,
+      s.latency_window, static_cast<unsigned long long>(epoch()));
+}
+
+void Server::serve_stream(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!stopping_.load() && std::getline(in, line)) {
+    out << handle_line(line) << '\n' << std::flush;
+  }
+}
+
+#ifdef __unix__
+
+void Server::serve_socket(const std::string& path, std::ostream& log) {
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0)
+    throw std::runtime_error("serve: socket: " +
+                             std::string(std::strerror(errno)));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd);
+    throw std::runtime_error("serve: socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());  // replace a stale socket file from a past run
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd);
+    throw std::runtime_error("serve: bind/listen " + path + ": " + err);
+  }
+  log << "serving on unix socket " << path << "\n" << std::flush;
+  std::vector<std::thread> conns;
+  std::mutex fds_mu;
+  std::vector<int> fds;  // open connections, for shutdown-on-QUIT wakeups
+  while (!stopping_.load()) {
+    // Poll with a timeout instead of a bare accept so a QUIT arriving on
+    // any connection stops the listener within one tick.
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(fds_mu);
+      fds.push_back(fd);
+    }
+    conns.emplace_back([this, fd, &fds_mu, &fds] {
+      std::string buf;
+      char chunk[4096];
+      bool done = false;
+      while (!done) {
+        const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+        if (got <= 0) break;
+        buf.append(chunk, static_cast<std::size_t>(got));
+        std::size_t nl = 0;
+        while (!done && (nl = buf.find('\n')) != std::string::npos) {
+          std::string resp = handle_line(buf.substr(0, nl));
+          buf.erase(0, nl + 1);
+          resp += '\n';
+          for (std::size_t off = 0; off < resp.size();) {
+            const ssize_t put =
+                ::write(fd, resp.data() + off, resp.size() - off);
+            if (put <= 0) {
+              done = true;
+              break;
+            }
+            off += static_cast<std::size_t>(put);
+          }
+          if (stopping_.load()) done = true;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(fds_mu);
+        fds.erase(std::find(fds.begin(), fds.end(), fd));
+      }
+      ::close(fd);
+    });
+  }
+  {
+    // Wake connections blocked in read() so their threads join promptly.
+    std::lock_guard<std::mutex> lock(fds_mu);
+    for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : conns) t.join();
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  log << "socket server stopped after " << metrics_.snapshot().served
+      << " queries served\n"
+      << std::flush;
+}
+
+#endif  // __unix__
+
+}  // namespace parhop::serve

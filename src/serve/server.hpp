@@ -1,0 +1,165 @@
+// Long-lived concurrent query daemon core (ARCHITECTURE.md §7,
+// docs/serving-daemon.md). The Server owns the deployment shape the paper's
+// build-once / query-many object implies: load the graph and hopset once,
+// materialize one immutable merged CSR, then answer a line protocol
+//
+//   SSSP s | P2P s t | BATCH k | STATS | RELOAD path.phs | QUIT
+//
+// from a fixed worker pool behind a bounded admission queue. Three moving
+// parts, each in its own header:
+//
+//   admission.hpp — bounded FIFO; over-depth admissions answer BUSY,
+//   engine_cell.hpp — the hot-swap pointer the RELOAD handler flips,
+//   metrics.hpp — counters + latency window behind STATS.
+//
+// Determinism contract: every query executes sequentially inside one worker
+// (a private one-thread pool, Unmetered policy — the production serving
+// path), so answers are bit-identical to a fresh single-threaded
+// QueryEngine regardless of worker count, interleaving, or reload history
+// on the same epoch. Only STATS output is machine-dependent.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hopset/hopset.hpp"
+#include "serve/admission.hpp"
+#include "serve/engine_cell.hpp"
+#include "serve/metrics.hpp"
+#include "sssp/bellman_ford.hpp"
+
+namespace parhop::serve {
+
+/// One parsed protocol line. Produced by parse_request; malformed lines
+/// throw ProtocolError there and never construct a Request.
+struct Request {
+  enum class Kind { kSssp, kP2p, kBatch, kStats, kReload, kQuit };
+  Kind kind = Kind::kStats;
+  graph::Vertex source = 0;  ///< SSSP/P2P
+  graph::Vertex target = 0;  ///< P2P
+  std::size_t batch = 0;     ///< BATCH
+  std::string path;          ///< RELOAD
+};
+
+/// A malformed protocol line: unknown command, wrong arity, non-numeric or
+/// out-of-range id, oversized batch. The message is the one-line ERR body.
+struct ProtocolError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses one protocol line against a graph of `n` vertices. Hardened the
+/// same way as the DIMACS reader (util/parse.hpp): signs, junk suffixes,
+/// and overflow are parse errors, ids are range-checked here so workers
+/// never see an invalid Request. Throws ProtocolError; the caller answers
+/// `ERR <what>` and the server state does not change.
+Request parse_request(const std::string& line, graph::Vertex n,
+                      std::size_t max_batch);
+
+struct ServerOptions {
+  std::size_t workers = 1;      ///< query worker threads (>= 1)
+  std::size_t queue_depth = 8;  ///< admitted-but-waiting jobs (>= 1)
+  int hops = 0;                 ///< serving hop budget; 0 = serve at β̂
+  bool hops_auto = false;       ///< probe the empirical budget at boot/reload
+  sssp::Kernel kernel = sssp::Kernel::kAuto;
+  std::size_t max_batch = std::size_t{1} << 16;  ///< BATCH k ceiling
+  /// Test seam: runs on the worker thread after dequeue, before the query
+  /// executes. Lets tests hold a query in-flight deterministically
+  /// (backpressure contract) without sleeping. Not for production use.
+  std::function<void(const Request&)> before_execute;
+};
+
+/// The daemon core: protocol in, responses out. Thread-safe — any number of
+/// connection threads may call submit()/handle_line() concurrently.
+class Server {
+ public:
+  /// Boots from in-memory parts. Verifies hopset/graph identity the same
+  /// way the file path does (stale pairings are a boot error, not a serving
+  /// surprise). Throws on bad options or identity mismatch.
+  Server(graph::Graph g, const hopset::Hopset& h, ServerOptions opt,
+         std::string hopset_source = "<memory>");
+
+  /// Boots from a `.gr` + `.phs` pair; `.phs` v2 checksum and graph
+  /// fingerprint are verified before the first line is served.
+  static Server from_files(const std::string& graph_path,
+                           const std::string& hopset_path, ServerOptions opt);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submits one protocol line. Control lines (STATS/RELOAD/QUIT), parse
+  /// errors, and BUSY rejections resolve on the calling thread; queries
+  /// resolve when a worker finishes them. The future always holds exactly
+  /// one response line (no trailing newline).
+  std::future<std::string> submit(const std::string& line);
+
+  /// submit() + wait: the one-connection synchronous path.
+  std::string handle_line(const std::string& line);
+
+  /// Serves newline-delimited requests from `in`, one response line per
+  /// request on `out` (flushed per line — pipes and sockets see answers
+  /// immediately). Returns on QUIT or EOF.
+  void serve_stream(std::istream& in, std::ostream& out);
+
+#ifdef __unix__
+  /// Binds a unix stream socket at `path` (replacing any stale file) and
+  /// serves until QUIT, one thread per connection. Logs lifecycle lines to
+  /// `log`. Throws std::runtime_error on socket errors.
+  void serve_socket(const std::string& path, std::ostream& log);
+#endif
+
+  const MetricsRegistry& metrics() const { return metrics_; }
+  std::uint64_t epoch() const { return cell_.epoch(); }
+  graph::Vertex num_vertices() const { return graph_.num_vertices(); }
+  bool stopping() const { return stopping_.load(); }
+
+ private:
+  struct Job {
+    Request req;
+    /// Engine snapshotted at admission: the query runs on the engine that
+    /// admitted it even if a RELOAD lands while it waits (§2 swap contract).
+    std::shared_ptr<const EngineState> engine;
+    std::promise<std::string> done;
+    double admitted_s = 0;  ///< uptime stamp for client-observed latency
+  };
+
+  /// Per-worker private state: one workspace (plus batch slots) over the
+  /// immutable merged CSR, and a one-thread pool so every query executes
+  /// sequentially (the determinism contract above).
+  struct Worker;
+
+  /// Option validation + the epoch-0 build, callable from the member-init
+  /// list (graph_ and opt_ are initialized before cell_).
+  std::shared_ptr<const EngineState> boot_state(const hopset::Hopset& h,
+                                                std::string source);
+  std::shared_ptr<const EngineState> build_state(const hopset::Hopset& h,
+                                                 std::string source,
+                                                 std::uint64_t epoch) const;
+  std::string execute(Worker& w, const Job& job) const;
+  std::string do_reload(const std::string& path);
+  std::string do_stats() const;
+  void worker_loop(Worker& w);
+
+  graph::Graph graph_;  ///< kept for RELOAD identity checks
+  ServerOptions opt_;
+  MetricsRegistry metrics_;
+  EngineCell cell_;
+  AdmissionQueue<Job> queue_;
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex reload_mu_;  ///< serializes RELOADs (double-buffer, not N-buffer)
+};
+
+}  // namespace parhop::serve

@@ -1,0 +1,32 @@
+// Hardened unsigned-integer token parsing, shared by every boundary that
+// turns untrusted text into ids or counts (DIMACS reader, serving-daemon
+// protocol). istream extraction into an unsigned type silently wraps
+// negative input ("-3" becomes 2^64-3), so those fields go through
+// parse_uint instead: a sign, stray suffix, empty token, or value above
+// `max` is a hard error carrying the offending token.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace parhop::util {
+
+/// Parses `tok` as an unsigned decimal integer in [0, max]. Returns
+/// std::nullopt on an empty token, a sign, non-digit characters, trailing
+/// garbage, overflow past uint64, or a value above `max` — the caller owns
+/// the error message (boundaries differ: the DIMACS reader names a line
+/// number, the serve protocol echoes the command).
+inline std::optional<std::uint64_t> parse_uint(std::string_view tok,
+                                               std::uint64_t max) {
+  std::uint64_t value = 0;
+  auto [end, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  if (tok.empty() || ec != std::errc{} || end != tok.data() + tok.size() ||
+      value > max)
+    return std::nullopt;
+  return value;
+}
+
+}  // namespace parhop::util

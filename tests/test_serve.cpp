@@ -1,0 +1,624 @@
+// Serving-daemon harness tests (src/serve/, docs/serving-daemon.md).
+//
+// The contract under test: answers served concurrently are bit-identical
+// to a fresh single-threaded QueryEngine; RELOAD swaps engines with zero
+// dropped or torn answers (every response matches the epoch it reports,
+// exactly); malformed protocol lines get one-line ERRs and change no
+// state; overload answers BUSY immediately instead of queueing without
+// bound. Suites are named Serve* so the TSan ctest subset
+// (CMakePresets.json) picks all of them up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <charconv>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "hopset/hopset.hpp"
+#include "hopset/serialize.hpp"
+#include "query/query_engine.hpp"
+#include "serve/server.hpp"
+#include "test_helpers.hpp"
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace parhop {
+namespace {
+
+namespace fs = std::filesystem;
+
+using graph::Graph;
+using graph::Vertex;
+using graph::Weight;
+
+Graph make_graph(const std::string& family, unsigned seed) {
+  graph::GenOptions o;
+  o.seed = seed;
+  if (family == "road") return graph::grid2d(30, 30, o);
+  if (family == "geo") return graph::geometric(500, 0.08, o);
+  return graph::gnm(1000, 4000, o);
+}
+
+hopset::Hopset build(const Graph& g, double eps = 0.0) {
+  hopset::Params p;
+  if (eps > 0) p.epsilon = eps;
+  auto cx = testing::ctx();
+  return hopset::build_hopset(cx, g, p);
+}
+
+/// Shortest round-trip — the same formatting the server uses, so expected
+/// response strings can be assembled bit-exactly.
+std::string fmt_weight(Weight w) {
+  char buf[64];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), w);
+  return ec == std::errc{} ? std::string(buf, p) : std::string("inf");
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Extracts `key=value` from a response line; fails the test if absent.
+std::string field(const std::string& resp, const std::string& key) {
+  const std::string needle = key + "=";
+  const auto pos = resp.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "no " << key << " in: " << resp;
+  if (pos == std::string::npos) return "";
+  const auto start = pos + needle.size();
+  auto end = resp.find(' ', start);
+  if (end == std::string::npos) end = resp.size();
+  return resp.substr(start, end - start);
+}
+
+/// The reference the daemon's answers must be bit-identical to: a fresh
+/// engine queried single-threaded.
+struct Reference {
+  explicit Reference(const Graph& g, const hopset::Hopset& h)
+      : engine(g, h.edges, h.schedule.beta) {}
+
+  Weight p2p(Vertex s, Vertex t) {
+    auto cx = testing::ctx();
+    return engine.point_to_point(cx, ws, s, t);
+  }
+
+  /// Expected `fnv=` digest of `SSSP s` (FNV-1a over the distance bits).
+  std::uint64_t sssp_fnv(Vertex s) {
+    auto cx = testing::ctx();
+    const auto dist = engine.single_source(cx, ws, s);
+    return fnv1a(dist.data(), dist.size() * sizeof(Weight));
+  }
+
+  query::QueryEngine engine;
+  query::QueryWorkspace ws;
+};
+
+// ------------------------------------------------------------- protocol --
+
+TEST(ServeProtocol, MalformedLinesAnswerOneErrAndChangeNothing) {
+  const Graph g = make_graph("gnm", 301);
+  const hopset::Hopset H = build(g);
+  serve::ServerOptions opt;
+  opt.workers = 2;
+  serve::Server server(g, H, opt);
+  Reference ref(g, H);
+
+  // A known-good answer before the junk, to compare against after.
+  const std::string good = "P2P 3 44";
+  const std::string expect =
+      "OK P2P 3 44 dist=" + fmt_weight(ref.p2p(3, 44)) + " epoch=0";
+  EXPECT_EQ(server.handle_line(good), expect);
+
+  const std::vector<std::string> bad = {
+      "",                              // empty line
+      "   \t  ",                       // whitespace only
+      "JUNK 1 2",                      // unknown command
+      "sssp 4",                        // commands are case-sensitive
+      "SSSP",                          // missing argument
+      "SSSP 1 2",                      // too many arguments
+      "SSSP -3",                       // sign — ids are unsigned
+      "SSSP 12x",                      // junk suffix
+      "SSSP 99999999999999999999999",  // overflows uint64
+      "SSSP 1000000",                  // out of range for the graph
+      "P2P 1",                         // truncated
+      "P2P 1 2 3",                     // too many arguments
+      "P2P 0 1000000",                 // target out of range
+      "BATCH",                         // truncated
+      "BATCH 0",                       // zero batch
+      "BATCH -5",                      // sign
+      "BATCH 99999999999",             // exceeds max_batch
+      "RELOAD",                        // missing path
+      "RELOAD a b",                    // too many arguments
+      "QUIT now",                      // QUIT takes no arguments
+      "STATS verbose",                 // STATS takes no arguments
+      std::string("P2P \x01\x02 7", 9),  // junk bytes inside a token
+  };
+  for (const std::string& line : bad) {
+    const std::string resp = server.handle_line(line);
+    EXPECT_TRUE(resp.rfind("ERR ", 0) == 0) << line << " -> " << resp;
+    EXPECT_EQ(resp.find('\n'), std::string::npos) << "multi-line: " << resp;
+  }
+
+  // No state change: the same query still answers bit-identically, the ERR
+  // counter matched the junk exactly, and nothing was served for it.
+  EXPECT_EQ(server.handle_line(good), expect);
+  const auto s = server.metrics().snapshot();
+  EXPECT_EQ(s.protocol_errors, bad.size());
+  EXPECT_EQ(s.served, 2u);
+  EXPECT_EQ(s.busy_rejected, 0u);
+  EXPECT_EQ(server.epoch(), 0u);
+}
+
+TEST(ServeProtocol, ParseRequestValidatesBeforeAnyWorkerSeesIt) {
+  using serve::parse_request;
+  using serve::ProtocolError;
+  const auto r = parse_request("P2P 4 7", 100, 16);
+  EXPECT_EQ(r.kind, serve::Request::Kind::kP2p);
+  EXPECT_EQ(r.source, 4u);
+  EXPECT_EQ(r.target, 7u);
+  // CRLF and repeated whitespace are client realities, not errors.
+  EXPECT_EQ(parse_request("SSSP  12\r", 100, 16).source, 12u);
+  EXPECT_EQ(parse_request("\tBATCH\t16", 100, 16).batch, 16u);
+  EXPECT_EQ(parse_request("RELOAD /tmp/x.phs", 100, 16).path, "/tmp/x.phs");
+  EXPECT_THROW(parse_request("P2P 4 100", 100, 16), ProtocolError);
+  EXPECT_THROW(parse_request("BATCH 17", 100, 16), ProtocolError);
+  EXPECT_THROW(parse_request("NOPE", 100, 16), ProtocolError);
+}
+
+// --------------------------------------------------------------- stress --
+
+// N client threads × M queries per family; every answer must equal the
+// fresh single-threaded reference bit-for-bit. Runs under TSan via the
+// ctest Serve subset.
+TEST(ServeStress, ConcurrentClientsMatchSingleThreadedReference) {
+  for (const std::string family : {"road", "geo", "gnm"}) {
+    const Graph g = make_graph(family, 311);
+    const hopset::Hopset H = build(g);
+    Reference ref(g, H);
+    const Vertex n = g.num_vertices();
+
+    constexpr int kClients = 8;
+    constexpr int kQueries = 25;
+    // Expected responses precomputed single-threaded (deterministic query
+    // mix: mostly P2P, every 8th an SSSP digest).
+    std::vector<std::vector<std::string>> lines(kClients);
+    std::vector<std::vector<std::string>> expect(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      for (int i = 0; i < kQueries; ++i) {
+        const auto s = static_cast<Vertex>((c * 977u + i * 131u) % n);
+        const auto t = static_cast<Vertex>((i * 29u + c * 7u) % n);
+        if (i % 8 == 3) {
+          char hex[32];
+          std::snprintf(hex, sizeof(hex), "%016llx",
+                        static_cast<unsigned long long>(ref.sssp_fnv(s)));
+          lines[c].push_back("SSSP " + std::to_string(s));
+          expect[c].push_back(std::string("fnv=") + hex);
+        } else {
+          lines[c].push_back("P2P " + std::to_string(s) + " " +
+                             std::to_string(t));
+          expect[c].push_back("dist=" + fmt_weight(ref.p2p(s, t)));
+        }
+      }
+    }
+
+    serve::ServerOptions opt;
+    opt.workers = 4;
+    opt.queue_depth = 32;  // 8 synchronous clients never overflow this
+    serve::Server server(g, H, opt);
+
+    std::vector<std::string> failures;
+    std::mutex failures_mu;
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kQueries; ++i) {
+          const std::string resp = server.handle_line(lines[c][i]);
+          if (resp.rfind("OK ", 0) != 0 ||
+              resp.find(expect[c][i]) == std::string::npos) {
+            std::lock_guard<std::mutex> lock(failures_mu);
+            failures.push_back(lines[c][i] + " -> " + resp + " (want " +
+                               expect[c][i] + ")");
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    EXPECT_TRUE(failures.empty())
+        << family << ": " << failures.size()
+        << " mismatches, first: " << failures.front();
+    const auto s = server.metrics().snapshot();
+    EXPECT_EQ(s.served, static_cast<std::uint64_t>(kClients * kQueries))
+        << family;
+    EXPECT_EQ(s.busy_rejected, 0u) << family;
+    EXPECT_EQ(s.protocol_errors, 0u) << family;
+  }
+}
+
+// ------------------------------------------------------------- hot swap --
+
+// ctest runs test processes in parallel; a fixed directory name would let
+// one test's cleanup delete another's .phs mid-RELOAD. Key by pid + counter.
+struct TempDir {
+  TempDir() {
+    static std::atomic<int> counter{0};
+#ifdef __unix__
+    const long pid = static_cast<long>(::getpid());
+#else
+    const long pid = 0;
+#endif
+    path = fs::temp_directory_path() /
+           ("parhop_test_serve." + std::to_string(pid) + "." +
+            std::to_string(counter.fetch_add(1)));
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  fs::path path;
+};
+
+// RELOAD lands mid-stream under concurrent clients: every one of the 1000
+// answers must match the engine of the epoch it reports — exactly the old
+// or exactly the new, never a torn mix — and none may be dropped.
+TEST(ServeSwap, ReloadUnderLoadDropsAndTearsNothing) {
+  TempDir tmp;
+  const Graph g = make_graph("gnm", 321);
+  const hopset::Hopset H0 = build(g);
+  const hopset::Hopset H1 = build(g, /*eps=*/0.5);
+  const fs::path phs1 = tmp.path / "g1.phs";
+  hopset::write_hopset_file(phs1.string(), H1);
+
+  Reference ref0(g, H0);
+  Reference ref1(g, H1);
+  const Vertex n = g.num_vertices();
+
+  constexpr int kClients = 4;
+  constexpr int kQueries = 250;  // 1000 total, spanning one swap
+  // expected[epoch][client][i]
+  std::vector<std::vector<std::vector<Weight>>> expected(2);
+  for (auto& per : expected) per.resize(kClients);
+  std::vector<std::vector<std::string>> lines(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kQueries; ++i) {
+      const auto s = static_cast<Vertex>((c * 811u + i * 37u) % n);
+      const auto t = static_cast<Vertex>((i * 53u + c * 11u) % n);
+      lines[c].push_back("P2P " + std::to_string(s) + " " + std::to_string(t));
+      expected[0][c].push_back(ref0.p2p(s, t));
+      expected[1][c].push_back(ref1.p2p(s, t));
+    }
+  }
+
+  serve::ServerOptions opt;
+  opt.workers = 3;
+  opt.queue_depth = 16;
+  serve::Server server(g, H0, opt);
+
+  std::atomic<int> done{0};
+  std::atomic<bool> reload_ok{false};
+  std::string reload_resp;  // written by swapper, read after join
+  std::vector<std::string> failures;
+  std::mutex failures_mu;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kQueries; ++i) {
+        const std::string resp = server.handle_line(lines[c][i]);
+        const std::string dist = field(resp, "dist");
+        const std::string ep = field(resp, "epoch");
+        bool ok = resp.rfind("OK P2P", 0) == 0 && (ep == "0" || ep == "1");
+        if (ok) {
+          const Weight want = expected[ep == "1" ? 1 : 0][c][i];
+          ok = std::strtod(dist.c_str(), nullptr) == want ||
+               (dist == "inf" && want == graph::kInfWeight);
+        }
+        if (!ok) {
+          std::lock_guard<std::mutex> lock(failures_mu);
+          failures.push_back(lines[c][i] + " -> " + resp);
+        }
+        done.fetch_add(1);
+      }
+    });
+  }
+  // Trigger the swap roughly a quarter of the way through the stream.
+  std::thread swapper([&] {
+    while (done.load() < kClients * kQueries / 4) std::this_thread::yield();
+    reload_resp = server.handle_line("RELOAD " + phs1.string());
+    reload_ok.store(reload_resp.rfind("OK RELOAD epoch=1", 0) == 0);
+  });
+  for (std::thread& t : clients) t.join();
+  swapper.join();
+
+  EXPECT_TRUE(reload_ok.load()) << "RELOAD answered: " << reload_resp;
+  EXPECT_TRUE(failures.empty())
+      << failures.size() << " torn/dropped answers, first: "
+      << failures.front();
+  const auto s = server.metrics().snapshot();
+  EXPECT_EQ(s.served, static_cast<std::uint64_t>(kClients * kQueries));
+  EXPECT_EQ(s.reloads, 1u);
+  EXPECT_EQ(s.reload_failures, 0u);
+  EXPECT_EQ(server.epoch(), 1u);
+  // Post-swap queries serve epoch 1 exclusively.
+  const std::string after = server.handle_line(lines[0][0]);
+  EXPECT_EQ(field(after, "epoch"), "1");
+  EXPECT_EQ(std::strtod(field(after, "dist").c_str(), nullptr),
+            expected[1][0][0]);
+}
+
+TEST(ServeSwap, BadReloadsKeepTheLiveEngineServing) {
+  TempDir tmp;
+  const Graph g = make_graph("gnm", 331);
+  const hopset::Hopset H = build(g);
+  Reference ref(g, H);
+  serve::ServerOptions opt;
+  serve::Server server(g, H, opt);
+
+  const std::string probe = "P2P 5 99";
+  const std::string expect =
+      "OK P2P 5 99 dist=" + fmt_weight(ref.p2p(5, 99)) + " epoch=0";
+  EXPECT_EQ(server.handle_line(probe), expect);
+
+  // Unreadable path.
+  const std::string missing =
+      server.handle_line("RELOAD " + (tmp.path / "missing.phs").string());
+  EXPECT_TRUE(missing.rfind("ERR reload:", 0) == 0) << missing;
+
+  // Corrupt payload: flip one byte mid-file — the v2 checksum rejects it
+  // before any engine is built.
+  const fs::path corrupt = tmp.path / "corrupt.phs";
+  hopset::write_hopset_file(corrupt.string(), H);
+  {
+    std::fstream f(corrupt, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(120);
+    f.put('X');
+  }
+  const std::string bad = server.handle_line("RELOAD " + corrupt.string());
+  EXPECT_TRUE(bad.rfind("ERR reload:", 0) == 0) << bad;
+
+  // Wrong graph: a structurally valid .phs whose recorded identity is a
+  // different graph's must be rejected by name.
+  const Graph other = make_graph("gnm", 999);
+  const fs::path wrong = tmp.path / "wrong.phs";
+  hopset::write_hopset_file(wrong.string(), build(other));
+  const std::string mismatch = server.handle_line("RELOAD " + wrong.string());
+  EXPECT_TRUE(mismatch.rfind("ERR reload:", 0) == 0) << mismatch;
+  EXPECT_NE(mismatch.find("built for a graph"), std::string::npos) << mismatch;
+
+  // Three failures, zero swaps, and the live engine still answers
+  // bit-identically on epoch 0.
+  const auto s = server.metrics().snapshot();
+  EXPECT_EQ(s.reload_failures, 3u);
+  EXPECT_EQ(s.reloads, 0u);
+  EXPECT_EQ(server.epoch(), 0u);
+  EXPECT_EQ(server.handle_line(probe), expect);
+}
+
+// --------------------------------------------------------- backpressure --
+
+// workers=1 + depth=1 + a gated in-flight query: the third submission must
+// answer BUSY immediately (no deadlock, no unbounded queue), and releasing
+// the gate drains the two admitted queries correctly.
+TEST(ServeBackpressure, OverDepthSubmissionAnswersBusyImmediately) {
+  const Graph g = make_graph("gnm", 341);
+  const hopset::Hopset H = build(g);
+  Reference ref(g, H);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  bool first = true;
+  serve::ServerOptions opt;
+  opt.workers = 1;
+  opt.queue_depth = 1;
+  opt.before_execute = [&](const serve::Request&) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (!first) return;  // only the first query is held in-flight
+    first = false;
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  serve::Server server(g, H, opt);
+
+  std::future<std::string> a = server.submit("P2P 1 2");
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });  // A is in-flight on the worker
+  }
+  std::future<std::string> b = server.submit("P2P 3 4");  // fills the queue
+  std::future<std::string> c = server.submit("P2P 5 6");  // over depth
+  ASSERT_EQ(c.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+      << "over-depth submission must resolve immediately, not queue";
+  const std::string busy = c.get();
+  EXPECT_TRUE(busy.rfind("BUSY", 0) == 0) << busy;
+  EXPECT_EQ(server.metrics().snapshot().busy_rejected, 1u);
+  EXPECT_EQ(b.wait_for(std::chrono::milliseconds(0)),
+            std::future_status::timeout)
+      << "admitted job must wait for the worker, not resolve early";
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_EQ(a.get(),
+            "OK P2P 1 2 dist=" + fmt_weight(ref.p2p(1, 2)) + " epoch=0");
+  EXPECT_EQ(b.get(),
+            "OK P2P 3 4 dist=" + fmt_weight(ref.p2p(3, 4)) + " epoch=0");
+  const auto s = server.metrics().snapshot();
+  EXPECT_EQ(s.served, 2u);
+  EXPECT_EQ(s.busy_rejected, 1u);
+}
+
+// ------------------------------------------------------ stream & socket --
+
+TEST(ServeStream, ScriptedSessionAnswersInOrderAndStopsAtQuit) {
+  const Graph g = make_graph("gnm", 351);
+  const hopset::Hopset H = build(g);
+  Reference ref(g, H);
+  serve::ServerOptions opt;
+  opt.workers = 2;
+  serve::Server server(g, H, opt);
+
+  std::istringstream in(
+      "P2P 0 17\n"
+      "SSSP 3\n"
+      "BATCH 32\n"
+      "NOT-A-COMMAND\n"
+      "STATS\n"
+      "QUIT\n"
+      "P2P 1 2\n");  // after QUIT: must not be answered
+  std::ostringstream out;
+  server.serve_stream(in, out);
+
+  std::vector<std::string> resp;
+  std::istringstream lines(out.str());
+  for (std::string l; std::getline(lines, l);) resp.push_back(l);
+  ASSERT_EQ(resp.size(), 6u) << out.str();
+  EXPECT_EQ(resp[0],
+            "OK P2P 0 17 dist=" + fmt_weight(ref.p2p(0, 17)) + " epoch=0");
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(ref.sssp_fnv(3)));
+  EXPECT_EQ(field(resp[1], "fnv"), hex);
+  EXPECT_TRUE(resp[2].rfind("OK BATCH 32 fnv=", 0) == 0) << resp[2];
+  EXPECT_TRUE(resp[3].rfind("ERR ", 0) == 0) << resp[3];
+  EXPECT_TRUE(resp[4].rfind("OK STATS ", 0) == 0) << resp[4];
+  EXPECT_EQ(resp[5], "OK BYE");
+  EXPECT_TRUE(server.stopping());
+}
+
+// BATCH must serve the same digest as the canonical spread_queries batch
+// run on a fresh engine (the CLI `query --batch` workload).
+TEST(ServeStream, BatchDigestMatchesCanonicalSpreadBatch) {
+  const Graph g = make_graph("gnm", 361);
+  const hopset::Hopset H = build(g);
+  serve::ServerOptions opt;
+  serve::Server server(g, H, opt);
+
+  query::QueryEngine ref(g, H.edges, H.schedule.beta);
+  pram::ThreadPool seq(1);
+  std::vector<query::QueryWorkspace> slots;
+  const auto queries = query::spread_queries(64, ref.num_vertices());
+  const auto res = ref.run_batch<pram::Unmetered>(&seq, queries, slots);
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(
+                    fnv1a(res.answers.data(),
+                          res.answers.size() * sizeof(Weight))));
+  const std::string resp = server.handle_line("BATCH 64");
+  EXPECT_EQ(field(resp, "fnv"), hex) << resp;
+}
+
+#ifdef __unix__
+TEST(ServeSocket, UnixSocketRoundTrip) {
+  TempDir tmp;
+  const Graph g = make_graph("gnm", 371);
+  const hopset::Hopset H = build(g);
+  Reference ref(g, H);
+  serve::ServerOptions opt;
+  serve::Server server(g, H, opt);
+
+  const std::string sock_path = (tmp.path / "s.sock").string();
+  std::ostringstream log;
+  std::thread srv([&] { server.serve_socket(sock_path, log); });
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                sock_path.c_str());
+  // The listener may not be bound yet; retry briefly.
+  int rc = -1;
+  for (int i = 0; i < 200 && rc != 0; ++i) {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+    if (rc != 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(rc, 0) << "connect failed";
+  const std::string script = "P2P 2 9\nQUIT\n";
+  ASSERT_EQ(::write(fd, script.data(), script.size()),
+            static_cast<ssize_t>(script.size()));
+  std::string got;
+  char chunk[256];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    got.append(chunk, static_cast<std::size_t>(n));
+    if (got.find("OK BYE\n") != std::string::npos) break;
+  }
+  ::close(fd);
+  srv.join();
+  EXPECT_EQ(got, "OK P2P 2 9 dist=" + fmt_weight(ref.p2p(2, 9)) +
+                     " epoch=0\nOK BYE\n");
+  EXPECT_FALSE(fs::exists(sock_path)) << "socket file not cleaned up";
+}
+#endif  // __unix__
+
+// ----------------------------------------------------------------- boot --
+
+TEST(ServeBoot, RejectsBadOptionsAndWrongGraphPairings) {
+  const Graph g = make_graph("gnm", 381);
+  const hopset::Hopset H = build(g);
+  {
+    serve::ServerOptions opt;
+    opt.workers = 0;
+    EXPECT_THROW(serve::Server(g, H, opt), std::invalid_argument);
+  }
+  {
+    serve::ServerOptions opt;
+    opt.queue_depth = 0;
+    EXPECT_THROW(serve::Server(g, H, opt), std::invalid_argument);
+  }
+  {
+    // A hopset recorded for a different graph must not boot.
+    const Graph other = make_graph("gnm", 881);
+    serve::ServerOptions opt;
+    EXPECT_THROW(serve::Server(other, H, opt), std::runtime_error);
+  }
+}
+
+TEST(ServeBoot, FromFilesMatchesInMemoryBoot) {
+  TempDir tmp;
+  const Graph g = make_graph("gnm", 391);
+  const hopset::Hopset H = build(g);
+  const fs::path gr = tmp.path / "g.gr";
+  const fs::path phs = tmp.path / "g.phs";
+  graph::write_dimacs_file(gr.string(), g);
+  hopset::write_hopset_file(phs.string(), H);
+
+  serve::ServerOptions opt;
+  serve::Server from_files =
+      serve::Server::from_files(gr.string(), phs.string(), opt);
+  serve::Server in_memory(g, H, opt);
+  for (const std::string line :
+       {"P2P 0 11", "SSSP 5", "BATCH 16", "P2P 40 41"}) {
+    const std::string a = from_files.handle_line(line);
+    const std::string b = in_memory.handle_line(line);
+    EXPECT_EQ(a, b) << line;
+    EXPECT_TRUE(a.rfind("OK ", 0) == 0) << a;
+  }
+}
+
+}  // namespace
+}  // namespace parhop
