@@ -1,0 +1,267 @@
+// e15 — incremental maintenance: patch latency, dirty-cluster locality, and
+// patched-vs-rebuilt stretch drift (docs/dynamic-updates.md, hopset/dynamic).
+//
+// The paper's object is a build-once index; e13 priced the serving side of
+// that bargain, this experiment prices the *maintenance* side: when the
+// graph changes by a handful of edges, hopset::apply_updates re-runs only
+// the explorations whose input subgraph the change touched instead of
+// rebuilding. Per workload recipe:
+//
+//   1. build the base hopset (the rebuild reference everything is measured
+//      against) and record the frontier occupancy a query batch sees on it
+//      (`mean_frontier_frac_base` — the PR-8 follow-up metric);
+//   2. apply deterministic update batches at rates {1, 16} ops/batch,
+//      chained (each batch patches the result of the previous one), and
+//      record per batch: patch wall, dirty clusters / total (the locality
+//      claim), suspects removed, edges added/improved, and whether the
+//      patch fell back to a rebuild;
+//   3. rebuild from scratch on the final updated graph — the wall is the
+//      cost the patches avoided, and its hopset is the drift reference:
+//      both indexes are probed against exact Dijkstra on the same graph,
+//      and `stretch_drift` = patched / rebuilt worst stretch;
+//   4. re-run the query batch on the patched index
+//      (`mean_frontier_frac_patched`): patching must not silently thicken
+//      the serving frontier.
+//
+// Headline per recipe: median single-update patch wall vs the rebuild wall
+// — the ratio is the reason the dynamic layer exists (target: >= 10x at
+// 100k). At 100k with library-default params every family's effective
+// diameter sits below the relevant scale bands, so patches ride the
+// scale-relevance fast path (dirty = 0; cost ~ two endpoint Dijkstras plus
+// the suspect pass); the dirty-cluster rule proper is exercised by the
+// DynamicStretchAudit suite's wider-aspect instances.
+//
+// Full sweep: road/geo/gnm-100k; --tiny: the 2k recipes (where the small
+// aspect ratio makes fallbacks legitimate — tiny rows are smoke, not data).
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common.hpp"
+#include "hopset/dynamic.hpp"
+#include "hopset/serialize.hpp"
+#include "query/query_engine.hpp"
+#include "registry.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace parhop {
+namespace {
+
+using EdgeMap = std::map<std::pair<graph::Vertex, graph::Vertex>,
+                         graph::Weight>;
+
+EdgeMap edge_map_of(const graph::Graph& g) {
+  EdgeMap m;
+  for (const graph::Edge& e : g.edge_list())
+    m[std::minmax(e.u, e.v)] = e.w;
+  return m;
+}
+
+/// One deterministic op batch against the current edge set. Rate-1 batches
+/// are pure weight perturbations (the single-update latency headline);
+/// larger batches mix in inserts and deletes. The map is updated in step so
+/// chained batches stay valid (no op ever references a stale edge).
+std::vector<hopset::UpdateOp> make_ops(EdgeMap& edges, graph::Vertex n,
+                                       std::size_t rate,
+                                       util::Xoshiro256& rng) {
+  std::vector<hopset::UpdateOp> ops;
+  ops.reserve(rate);
+  while (ops.size() < rate) {
+    const std::uint64_t kind = rate == 1 ? 0 : rng.next_below(8);
+    if (kind == 6) {  // insert a fresh edge
+      const auto u = static_cast<graph::Vertex>(rng.next_below(n));
+      const auto v = static_cast<graph::Vertex>(rng.next_below(n));
+      if (u == v || edges.count(std::minmax(u, v))) continue;
+      const graph::Weight w = 1 + 8 * rng.next_double();
+      edges[std::minmax(u, v)] = w;
+      ops.push_back({hopset::UpdateOp::Kind::kInsert, u, v, w});
+    } else if (kind == 7) {  // delete a random existing edge
+      auto it = edges.begin();
+      std::advance(it, static_cast<long>(rng.next_below(edges.size())));
+      ops.push_back(
+          {hopset::UpdateOp::Kind::kDelete, it->first.first,
+           it->first.second, 0});
+      edges.erase(it);
+    } else {  // perturb a random existing edge's weight
+      auto it = edges.begin();
+      std::advance(it, static_cast<long>(rng.next_below(edges.size())));
+      const double f =
+          (kind % 2) ? 1.3 + rng.next_double() : 0.3 + 0.5 * rng.next_double();
+      it->second = static_cast<graph::Weight>(it->second * f);
+      ops.push_back({hopset::UpdateOp::Kind::kWeight, it->first.first,
+                     it->first.second, it->second});
+    }
+  }
+  return ops;
+}
+
+/// Frontier occupancy of a deterministic query batch on (g, H) — the
+/// before/after serving metric patching must not regress.
+double frontier_frac(const graph::Graph& g, const hopset::Hopset& h,
+                     std::size_t batch, pram::ThreadPool* pool) {
+  query::QueryEngine engine(g, h.edges, h.schedule.beta);
+  engine.set_kernel(sssp::Kernel::kAuto);
+  std::vector<query::PointQuery> queries =
+      query::spread_queries(batch, g.num_vertices());
+  std::vector<query::QueryWorkspace> slots;
+  const query::BatchResult br = engine.run_batch(pool, queries, slots);
+  return br.mean_frontier_fraction;
+}
+
+util::Json run_e15(const bench::RunOptions& opt) {
+  const std::vector<std::string> names =
+      opt.tiny ? std::vector<std::string>{"road-2k", "geo-2k", "gnm-2k"}
+               : std::vector<std::string>{"road-100k", "geo-100k",
+                                          "gnm-100k"};
+  // Rounds per rate: enough rate-1 patches for a stable median.
+  const std::size_t kSingleRounds = opt.tiny ? 3 : 7;
+  const std::size_t kBatchRounds = opt.tiny ? 1 : 3;
+  const std::size_t kBatchRate = 16;
+  const std::size_t kQueryBatch = opt.tiny ? 16 : 64;
+
+  util::Json rows = util::Json::array();
+  util::Json summaries = util::Json::array();
+  util::Table t({"recipe", "rate", "round", "patch_s", "dirty", "total",
+                 "frac", "suspects", "added", "improved", "rebuilt"});
+  for (const std::string& name : names) {
+    const workloads::Recipe* r = workloads::find_recipe(name);
+    if (!r) throw std::runtime_error("e15: unknown recipe " + name);
+    graph::Graph g = workloads::build_recipe(*r);
+
+    hopset::Params p;  // library defaults, matching the e12/e13 builds
+    pram::Ctx build_cx(opt.pool);
+    bench::Timer build_timer;
+    hopset::Hopset base = hopset::build_hopset(build_cx, g, p);
+    const double build_s = build_timer.seconds();
+    const double frac_base = frontier_frac(g, base, kQueryBatch, opt.pool);
+
+    graph::Graph g_cur = g;
+    hopset::Hopset h_cur = base;
+    EdgeMap edges = edge_map_of(g);
+    util::Xoshiro256 rng(0xE15 ^ std::hash<std::string>{}(name));
+
+    hopset::DynamicOptions dopt;
+    dopt.rebuild_params = &p;  // fallback armed; st.rebuilt records it
+
+    std::vector<double> single_walls;
+    const std::size_t rates[] = {1, kBatchRate};
+    const std::size_t rounds[] = {kSingleRounds, kBatchRounds};
+    for (int ri = 0; ri < 2; ++ri) {
+      for (std::size_t round = 0; round < rounds[ri]; ++round) {
+        const std::vector<hopset::UpdateOp> ops =
+            make_ops(edges, g_cur.num_vertices(), rates[ri], rng);
+        bench::Timer patch_timer;
+        const hopset::PatchStats st =
+            hopset::apply_updates(build_cx, g_cur, h_cur, ops, dopt);
+        const double patch_s = patch_timer.seconds();
+        if (rates[ri] == 1) single_walls.push_back(patch_s);
+
+        t.add_row({name, std::to_string(rates[ri]), std::to_string(round),
+                   util::format("%.3f", patch_s),
+                   std::to_string(st.dirty_clusters),
+                   std::to_string(st.total_clusters),
+                   util::format("%.4f", st.dirty_fraction),
+                   std::to_string(st.suspects_removed),
+                   std::to_string(st.edges_added),
+                   std::to_string(st.edges_improved),
+                   st.rebuilt ? "yes" : "no"});
+
+        util::Json row = util::Json::object();
+        row.set("recipe", name);
+        row.set("family", r->family);
+        row.set("n", g_cur.num_vertices());
+        row.set("m", g_cur.num_edges());
+        row.set("update_rate", rates[ri]);
+        row.set("round", round);
+        row.set("patch_wall_s", patch_s);
+        row.set("ops", st.ops);
+        row.set("endpoints", st.endpoints);
+        row.set("suspects_removed", st.suspects_removed);
+        row.set("dirty_clusters", st.dirty_clusters);
+        row.set("total_clusters", st.total_clusters);
+        row.set("dirty_fraction", st.dirty_fraction);
+        row.set("edges_added", st.edges_added);
+        row.set("edges_improved", st.edges_improved);
+        row.set("rebuilt", st.rebuilt);
+        rows.push_back(row);
+      }
+    }
+
+    // Rebuild reference on the final graph: the avoided cost and the drift
+    // baseline.
+    bench::Timer rebuild_timer;
+    const hopset::Hopset rebuilt = hopset::build_hopset(build_cx, g_cur, p);
+    const double rebuild_s = rebuild_timer.seconds();
+
+    const auto probes = bench::probe_sources(g_cur.num_vertices());
+    const bench::StretchProbe sp_patched = bench::probe_stretch(
+        g_cur, h_cur.edges, p.epsilon, h_cur.schedule.beta, probes, opt.pool);
+    const bench::StretchProbe sp_rebuilt = bench::probe_stretch(
+        g_cur, rebuilt.edges, p.epsilon, rebuilt.schedule.beta, probes,
+        opt.pool);
+    const double frac_patched =
+        frontier_frac(g_cur, h_cur, kQueryBatch, opt.pool);
+
+    std::sort(single_walls.begin(), single_walls.end());
+    const double median_single = single_walls[single_walls.size() / 2];
+    const double speedup = median_single > 0 ? rebuild_s / median_single : 0;
+    const double drift = sp_rebuilt.max_stretch > 0
+                             ? sp_patched.max_stretch / sp_rebuilt.max_stretch
+                             : 0;
+
+    std::cout << name << ": build " << util::format("%.1f", build_s)
+              << "s  rebuild " << util::format("%.1f", rebuild_s)
+              << "s  median single-update patch "
+              << util::format("%.3f", median_single) << "s ("
+              << util::format("%.0f", speedup)
+              << "x below rebuild)  stretch patched "
+              << util::format("%.4f", sp_patched.max_stretch) << " vs rebuilt "
+              << util::format("%.4f", sp_rebuilt.max_stretch) << " (drift "
+              << util::format("%.4f", drift) << ")  frontier_frac "
+              << util::format("%.4f", frac_base) << " -> "
+              << util::format("%.4f", frac_patched) << "\n";
+
+    util::Json s = util::Json::object();
+    s.set("recipe", name);
+    s.set("family", r->family);
+    s.set("n", g_cur.num_vertices());
+    s.set("build_wall_s", build_s);
+    s.set("rebuild_wall_s", rebuild_s);
+    s.set("median_single_update_s", median_single);
+    s.set("speedup_vs_rebuild", speedup);
+    s.set("stretch_patched", sp_patched.max_stretch);
+    s.set("stretch_rebuilt", sp_rebuilt.max_stretch);
+    s.set("stretch_drift", drift);
+    s.set("stretch_target", 1 + p.epsilon);
+    s.set("patched_covered", sp_patched.covered);
+    s.set("hopset_edges_base", base.edges.size());
+    s.set("hopset_edges_patched", h_cur.edges.size());
+    s.set("hopset_edges_rebuilt", rebuilt.edges.size());
+    s.set("mean_frontier_frac_base", frac_base);
+    s.set("mean_frontier_frac_patched", frac_patched);
+    summaries.push_back(s);
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: single-update patches orders of magnitude "
+               "below the rebuild wall on the 100k recipes (dirty "
+               "fractions at the percent scale or below — locality, never "
+               "a fallback rebuild), patched stretch <= (1+eps) with "
+               "drift near 1.0 against the rebuilt reference, and "
+               "mean_frontier_frac_patched staying close to _base — "
+               "patching does not materially thicken the serving "
+               "frontier.\n";
+
+  util::Json payload = util::Json::object();
+  payload.set("rows", rows);
+  payload.set("summary", summaries);
+  return payload;
+}
+
+PARHOP_REGISTER_EXPERIMENT(
+    "e15",
+    "incremental maintenance: patch latency, locality, and stretch drift",
+    run_e15);
+
+}  // namespace
+}  // namespace parhop

@@ -10,6 +10,19 @@
 //                            [--hops=N|auto] [--kernel=dense|frontier|auto]
 //   example_parhop_cli spt   --graph=g.gr --source=0 [--eps ...]
 //   example_parhop_cli info  --graph=g.gr
+//   example_parhop_cli update --graph=g.gr --hopset=g.phs --ops=ops.txt
+//                             --delta=g1.phsd [--save=g1.phs --save-graph=g1.gr]
+//   example_parhop_cli build --graph=g.gr --hopset=g.phs --apply-delta=g1.phsd
+//                            --save=g1.phs
+//
+// `update` is the dynamic-maintenance entry point (docs/dynamic-updates.md):
+// it reads an op script (`w u v weight` / `i u v weight` / `d u v`, one per
+// line), cuts a `.phsd` delta record bound to the loaded base by checksum,
+// then patches the in-memory pair and reports what the patch did. --save /
+// --save-graph persist the patched hopset and updated graph; --delta alone
+// ships the record to a serving daemon (`RELOAD g1.phsd`). `build
+// --apply-delta` replays such a record against its base instead of building
+// from scratch — the offline twin of the daemon's delta RELOAD.
 //
 // `gen` materializes a named large-graph workload recipe (workloads/) as a
 // DIMACS .gr file, so big instances stream through the same build/query
@@ -42,6 +55,7 @@
 #include "graph/aspect_ratio.hpp"
 #include "graph/io.hpp"
 #include "workloads/workloads.hpp"
+#include "hopset/dynamic.hpp"
 #include "hopset/hopset.hpp"
 #include "hopset/path_reporting.hpp"
 #include "hopset/serialize.hpp"
@@ -123,8 +137,120 @@ int cmd_info(const util::Flags& flags) {
 
 using util::seconds_since;
 
+void print_patch_stats(const hopset::PatchStats& st, double wall_s) {
+  std::cout << "patched: ops=" << st.ops << " endpoints=" << st.endpoints
+            << " suspects=" << st.suspects_removed
+            << " dirty=" << st.dirty_clusters << "/" << st.total_clusters
+            << " (frac " << st.dirty_fraction << ")"
+            << " added=" << st.edges_added
+            << " improved=" << st.edges_improved
+            << (st.rebuilt ? " [fell back to full rebuild]" : "")
+            << " wall=" << wall_s << "s\n";
+}
+
+/// Persists the patched pair: --save writes the `.phs` (the next delta
+/// chains on its checksum), --save-graph the updated `.gr` the queries and
+/// future builds must use.
+void save_patched(const util::Flags& flags, const graph::Graph& g,
+                  const hopset::Hopset& h) {
+  const std::string save = flags.get("save", "");
+  if (!save.empty()) {
+    hopset::write_hopset_file(save, h);
+    std::cout << "wrote " << save << " (" << std::filesystem::file_size(save)
+              << " bytes, checksum " << std::hex << hopset::hopset_checksum(h)
+              << std::dec << ")\n";
+  }
+  const std::string save_graph = flags.get("save-graph", "");
+  if (!save_graph.empty()) {
+    graph::write_dimacs_file(save_graph, g, false);
+    std::cout << "wrote " << save_graph << "\n";
+  }
+}
+
+template <class Policy>
+int run_update(const util::Flags& flags) {
+  const std::string ops_path = flags.get("ops", "");
+  const std::string hopset_path = flags.get("hopset", "");
+  if (ops_path.empty() || hopset_path.empty()) {
+    std::cerr << "usage: example_parhop_cli update --graph=g.gr "
+                 "--hopset=g.phs --ops=FILE [--delta=OUT --save=g1.phs "
+                 "--save-graph=g1.gr --rebuild-threshold=F]\n";
+    return 2;
+  }
+  graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
+  hopset::Hopset h = hopset::read_hopset_file(hopset_path);
+  hopset::check_graph_identity(h, g, hopset_path);
+  const std::vector<hopset::UpdateOp> ops = hopset::parse_ops_file(ops_path);
+
+  // The delta must bind to the base, so cut it before apply_updates mutates
+  // the pair. Written only after the patch succeeds — a rejected op batch
+  // leaves no half-valid record behind.
+  const hopset::DeltaRecord delta = hopset::make_delta(g, h, ops);
+
+  pram::ThreadPool pool(threads_from(flags));
+  pram::BasicCtx<Policy> ctx(&pool);
+  const hopset::Params rebuild_params = params_from(flags);
+  hopset::DynamicOptions opt;
+  opt.rebuild_threshold =
+      flags.get_double("rebuild-threshold", opt.rebuild_threshold);
+  opt.rebuild_params = &rebuild_params;
+  const auto start = std::chrono::steady_clock::now();
+  const hopset::PatchStats st = hopset::apply_updates(ctx, g, h, ops, opt);
+  print_patch_stats(st, seconds_since(start));
+
+  const std::string delta_out = flags.get("delta", "");
+  if (!delta_out.empty()) {
+    hopset::write_delta_file(delta_out, delta);
+    std::cout << "wrote " << delta_out << " ("
+              << std::filesystem::file_size(delta_out) << " bytes, "
+              << delta.ops.size() << " ops, base "
+              << std::hex << delta.base_checksum << std::dec << ")\n";
+  }
+  save_patched(flags, g, h);
+  return 0;
+}
+
+int cmd_update(const util::Flags& flags) {
+  return metering_off(flags) ? run_update<pram::Unmetered>(flags)
+                             : run_update<pram::Metered>(flags);
+}
+
+/// build --apply-delta: replay a `.phsd` record against its saved base
+/// instead of building from scratch — the offline twin of the serving
+/// daemon's delta RELOAD, with the fallback rebuild armed.
+template <class Policy>
+int run_apply_delta(const util::Flags& flags) {
+  const std::string hopset_path = flags.get("hopset", "");
+  const std::string delta_path = flags.get("apply-delta", "");
+  if (hopset_path.empty()) {
+    std::cerr << "usage: example_parhop_cli build --graph=g.gr "
+                 "--hopset=base.phs --apply-delta=d.phsd --save=g1.phs\n";
+    return 2;
+  }
+  graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
+  hopset::Hopset h = hopset::read_hopset_file(hopset_path);
+  hopset::check_graph_identity(h, g, hopset_path);
+  const hopset::DeltaRecord delta = hopset::read_delta_file(delta_path);
+  hopset::check_delta_base(delta, g, h, delta_path);
+
+  pram::ThreadPool pool(threads_from(flags));
+  pram::BasicCtx<Policy> ctx(&pool);
+  const hopset::Params rebuild_params = params_from(flags);
+  hopset::DynamicOptions opt;
+  opt.rebuild_threshold =
+      flags.get_double("rebuild-threshold", opt.rebuild_threshold);
+  opt.rebuild_params = &rebuild_params;
+  const auto start = std::chrono::steady_clock::now();
+  const hopset::PatchStats st =
+      hopset::apply_updates(ctx, g, h, delta.ops, opt);
+  print_patch_stats(st, seconds_since(start));
+  save_patched(flags, g, h);
+  return 0;
+}
+
 template <class Policy>
 int run_build(const util::Flags& flags) {
+  if (flags.has("apply-delta")) return run_apply_delta<Policy>(flags);
   graph::Graph g = graph::read_dimacs_file(flags.get("graph", ""));
   pram::ThreadPool pool(threads_from(flags));
   pram::BasicCtx<Policy> ctx(&pool);
@@ -282,8 +408,8 @@ int cmd_spt(const util::Flags& flags) {
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   if (flags.positional().empty()) {
-    std::cerr << "usage: parhop_cli <gen|info|build|query|spt> --graph=FILE "
-                 "[--threads=N] [options]\n";
+    std::cerr << "usage: parhop_cli <gen|info|build|query|spt|update> "
+                 "--graph=FILE [--threads=N] [options]\n";
     return 2;
   }
   const std::string& cmd = flags.positional()[0];
@@ -293,6 +419,7 @@ int main(int argc, char** argv) {
     if (cmd == "build") return cmd_build(flags);
     if (cmd == "query") return cmd_query(flags);
     if (cmd == "spt") return cmd_spt(flags);
+    if (cmd == "update") return cmd_update(flags);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {

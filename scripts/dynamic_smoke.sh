@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# dynamic_smoke.sh <build_dir> <out_dir>
+#
+# End-to-end smoke for incremental maintenance (docs/dynamic-updates.md):
+# gen -> build --save -> scripted ops -> update --delta, then prove
+#   1. replaying the .phsd via `build --apply-delta` reproduces the patched
+#      index byte-for-byte (the two apply routes are deterministic twins);
+#   2. the patched index is within (1+eps) of exact Dijkstra on the updated
+#      graph (`query --verify`);
+#   3. against a from-scratch rebuild, every sampled pair answers within the
+#      stretch band, and pairs the update did not affect answer exactly;
+#   4. the serving daemon applies the same .phsd live (RELOAD d.phsd) and its
+#      post-swap answers equal the patched index's, textually exact.
+# Integral edge weights keep every printed distance an exact integer, so all
+# diffs are textual-exact, not approximate.
+set -euo pipefail
+
+BUILD=${1:?usage: dynamic_smoke.sh <build_dir> <out_dir>}
+OUT=${2:?usage: dynamic_smoke.sh <build_dir> <out_dir>}
+CLI="$BUILD/example_parhop_cli"
+SERVE="$BUILD/example_parhop_serve"
+mkdir -p "$OUT"
+
+PAIRS="0 1999
+17 1003
+421 77
+1500 2
+999 998"
+
+echo "== gen + base build (gnm-2k, integral weights) =="
+"$CLI" gen --recipe=gnm-2k --out="$OUT/g.gr" --integral >/dev/null
+"$CLI" build --graph="$OUT/g.gr" --save="$OUT/base.phs" >/dev/null
+
+# Scripted deltas against real edges of the generated graph: congest one,
+# cheapen one, close one. DIMACS arcs are 1-indexed and listed both ways;
+# ops are 0-indexed and undirected.
+awk '$1 == "a" && $2 < $3 { e[++k] = ($2 - 1) " " ($3 - 1) }
+     END { split(e[100], a, " "); print "w", a[1], a[2], 25
+           split(e[500], b, " "); print "w", b[1], b[2], 1
+           split(e[900], c, " "); print "d", c[1], c[2] }' \
+  "$OUT/g.gr" >"$OUT/ops.txt"
+
+echo "== update --delta (patch in place, cut the .phsd) =="
+"$CLI" update --graph="$OUT/g.gr" --hopset="$OUT/base.phs" \
+  --ops="$OUT/ops.txt" --delta="$OUT/d.phsd" \
+  --save="$OUT/patched.phs" --save-graph="$OUT/patched.gr" \
+  | tee "$OUT/update.log"
+grep -q "fell back to full rebuild" "$OUT/update.log" &&
+  { echo "dynamic smoke FAILED: 3-op update fell back to a rebuild" >&2; exit 1; }
+
+echo "== build --apply-delta replays the record bit-identically =="
+"$CLI" build --graph="$OUT/g.gr" --hopset="$OUT/base.phs" \
+  --apply-delta="$OUT/d.phsd" --save="$OUT/replayed.phs" >/dev/null
+cmp "$OUT/patched.phs" "$OUT/replayed.phs" ||
+  { echo "dynamic smoke FAILED: update and --apply-delta disagree" >&2; exit 1; }
+
+echo "== stretch audit vs exact Dijkstra on the updated graph =="
+for src in 0 1021; do
+  WORST=$("$CLI" query --graph="$OUT/patched.gr" --hopset="$OUT/patched.phs" \
+    --source="$src" --verify | sed -n 's/^verified max stretch: //p')
+  awk -v w="$WORST" 'BEGIN { exit !(w <= 1.25 + 1e-9) }' ||
+    { echo "dynamic smoke FAILED: stretch $WORST > 1.25 from $src" >&2; exit 1; }
+done
+
+echo "== diff vs a from-scratch rebuild on the updated graph =="
+"$CLI" build --graph="$OUT/patched.gr" --save="$OUT/rebuilt.phs" >/dev/null
+ref() { # ref <graph> <phs> <s> <t>
+  "$CLI" query --graph="$1" --hopset="$2" --source="$3" --target="$4" |
+    sed -n 's/.*~ //p'
+}
+UNAFFECTED=0
+while read -r s t; do
+  BASE=$(ref "$OUT/g.gr" "$OUT/base.phs" "$s" "$t")
+  PATCHED=$(ref "$OUT/patched.gr" "$OUT/patched.phs" "$s" "$t")
+  REBUILT=$(ref "$OUT/patched.gr" "$OUT/rebuilt.phs" "$s" "$t")
+  # Both indexes answer in [d, (1+eps)d], so their ratio stays in the band.
+  awk -v p="$PATCHED" -v r="$REBUILT" \
+    'BEGIN { exit !(p <= r * 1.25 + 1e-9 && r <= p * 1.25 + 1e-9) }' ||
+    { echo "dynamic smoke FAILED: pair $s $t patched=$PATCHED rebuilt=$REBUILT" >&2
+      exit 1; }
+  # A pair the update left untouched (same served answer before and after
+  # under a rebuild) must answer exactly the same on the patched index.
+  if [ "$BASE" = "$REBUILT" ]; then
+    UNAFFECTED=$((UNAFFECTED + 1))
+    [ "$PATCHED" = "$REBUILT" ] ||
+      { echo "dynamic smoke FAILED: unaffected pair $s $t drifted: patched=$PATCHED rebuilt=$REBUILT" >&2
+        exit 1; }
+  fi
+done <<<"$PAIRS"
+[ "$UNAFFECTED" -ge 1 ] ||
+  { echo "dynamic smoke FAILED: no unaffected pair in the sample (weak test)" >&2; exit 1; }
+
+echo "== live delta RELOAD in the serving daemon =="
+{
+  while read -r s t; do echo "P2P $s $t"; done <<<"$PAIRS"
+  echo "RELOAD $OUT/d.phsd"
+  while read -r s t; do echo "P2P $s $t"; done <<<"$PAIRS"
+  echo "STATS"
+  echo "QUIT"
+} >"$OUT/session.txt"
+"$SERVE" --graph="$OUT/g.gr" --hopset="$OUT/base.phs" --workers=2 \
+  <"$OUT/session.txt" >"$OUT/responses.txt" 2>"$OUT/serve.log"
+
+grep -q "^OK RELOAD epoch=1 .* ops=3 " "$OUT/responses.txt" ||
+  { echo "dynamic smoke FAILED: delta RELOAD did not swap to epoch 1" >&2; exit 1; }
+grep -q "^OK STATS .* reloads=1 " "$OUT/responses.txt" ||
+  { echo "dynamic smoke FAILED: STATS does not report reloads=1" >&2; exit 1; }
+
+# Post-swap daemon answers must equal the patched index's, textually exact.
+: >"$OUT/expect_serve.txt"
+while read -r s t; do
+  echo "P2P $s $t epoch=1 dist=$(ref "$OUT/patched.gr" "$OUT/patched.phs" "$s" "$t")" \
+    >>"$OUT/expect_serve.txt"
+done <<<"$PAIRS"
+awk '$1 == "OK" && $2 == "P2P" { split($5, d, "="); split($6, e, "=");
+       if (e[2] == 1) print "P2P", $3, $4, "epoch=" e[2], "dist=" d[2] }' \
+  "$OUT/responses.txt" >"$OUT/got_serve.txt"
+if ! diff -u "$OUT/expect_serve.txt" "$OUT/got_serve.txt"; then
+  echo "dynamic smoke FAILED: post-RELOAD answers diverge from patched index" >&2
+  exit 1
+fi
+
+echo "dynamic smoke OK: delta replay bit-identical, stretch verified, rebuild diff in band ($UNAFFECTED unaffected pairs exact), live RELOAD serves the patched index"

@@ -1,0 +1,658 @@
+#include "hopset/dynamic.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "hopset/exploration.hpp"
+#include "hopset/serialize.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace parhop::hopset {
+
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+/// Unordered endpoint pair, canonical (min, max) form.
+using EdgeKey = std::pair<Vertex, Vertex>;
+
+EdgeKey key_of(Vertex u, Vertex v) {
+  return {std::min(u, v), std::max(u, v)};
+}
+
+/// A graph edge whose final weight exceeds its original one, or that was
+/// deleted — the only changes that can leave a kept hopset edge unsound.
+struct IncreaseLike {
+  Vertex a = 0;
+  Vertex b = 0;
+  Weight w_before = 0;
+};
+
+[[noreturn]] void dfail(std::size_t lineno, const std::string& what) {
+  throw std::runtime_error("hopset delta: " + what + " at line " +
+                           std::to_string(lineno));
+}
+
+/// Parses one op line (`w u v weight` / `i u v weight` / `d u v`) into op.
+/// Returns an empty string on success, else the problem (the caller wraps
+/// it with its own prefix and line number).
+std::string parse_op_line(const std::string& line, UpdateOp& op) {
+  std::istringstream ls(line);
+  std::string tag;
+  ls >> tag;
+  if (tag == "w" || tag == "i") {
+    op.kind = tag == "w" ? UpdateOp::Kind::kWeight : UpdateOp::Kind::kInsert;
+    ls >> op.u >> op.v >> op.w;
+    if (!ls) return "malformed op (expected '" + tag + " <u> <v> <weight>')";
+    if (!(op.w > 0) || !std::isfinite(op.w))
+      return "op weight must be finite and positive";
+  } else if (tag == "d") {
+    op.kind = UpdateOp::Kind::kDelete;
+    op.w = 0;
+    ls >> op.u >> op.v;
+    if (!ls) return "malformed op (expected 'd <u> <v>')";
+  } else {
+    return "unknown op tag '" + tag + "' (expected w, i, or d)";
+  }
+  if (op.u == op.v) return "op endpoints form a self-loop";
+  return {};
+}
+
+}  // namespace
+
+template <class Policy>
+PatchStats apply_updates(pram::BasicCtx<Policy>& ctx, Graph& g, Hopset& h,
+                         std::span<const UpdateOp> ops,
+                         const DynamicOptions& opt) {
+  PatchStats st;
+  st.ops = ops.size();
+  if (ops.empty()) return st;
+  check_graph_identity(h, g, "apply_updates");
+  const Vertex n = g.num_vertices();
+
+  // ---- 1. Validate the ops against an ordered edge map and form G′.
+  // Every throw below happens before g or h is touched.
+  std::map<EdgeKey, Weight> emap;
+  for (const Edge& e : g.edge_list()) emap[key_of(e.u, e.v)] = e.w;
+  const std::map<EdgeKey, Weight> original = emap;
+  {
+    std::size_t idx = 0;
+    for (const UpdateOp& op : ops) {
+      ++idx;
+      auto bad = [&](const std::string& what) {
+        throw std::runtime_error("apply_updates: op " + std::to_string(idx) +
+                                 ": " + what);
+      };
+      if (op.u >= n || op.v >= n)
+        bad("endpoint out of range (n=" + std::to_string(n) + ")");
+      if (op.u == op.v) bad("self-loop");
+      const EdgeKey k = key_of(op.u, op.v);
+      const auto it = emap.find(k);
+      switch (op.kind) {
+        case UpdateOp::Kind::kWeight:
+          if (it == emap.end())
+            bad("weight update on a missing edge (" + std::to_string(op.u) +
+                ", " + std::to_string(op.v) + ")");
+          if (!(op.w > 0) || !std::isfinite(op.w))
+            bad("weight must be finite and positive");
+          it->second = op.w;
+          break;
+        case UpdateOp::Kind::kInsert:
+          if (it != emap.end())
+            bad("insert of an existing edge (" + std::to_string(op.u) + ", " +
+                std::to_string(op.v) + ") — use a weight update");
+          if (!(op.w > 0) || !std::isfinite(op.w))
+            bad("weight must be finite and positive");
+          emap.emplace(k, op.w);
+          break;
+        case UpdateOp::Kind::kDelete:
+          if (it == emap.end())
+            bad("delete of a missing edge (" + std::to_string(op.u) + ", " +
+                std::to_string(op.v) + ")");
+          emap.erase(it);
+          break;
+      }
+    }
+  }
+  std::vector<Edge> new_edges;
+  new_edges.reserve(emap.size());
+  for (const auto& [k, w] : emap) new_edges.push_back({k.first, k.second, w});
+  Graph g_new = Graph::from_edges(n, new_edges);
+
+  // Increase-like changes, by final-vs-original comparison per touched edge
+  // (robust to several ops on one edge: only the net effect matters).
+  std::vector<EdgeKey> touched;
+  touched.reserve(ops.size());
+  for (const UpdateOp& op : ops) touched.push_back(key_of(op.u, op.v));
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  std::vector<IncreaseLike> increases;
+  for (const EdgeKey& k : touched) {
+    const auto before = original.find(k);
+    if (before == original.end()) continue;  // pure insert: only shortens
+    const auto after = emap.find(k);
+    if (after == emap.end() || after->second > before->second)
+      increases.push_back({k.first, k.second, before->second});
+  }
+
+  // Trivially patchable base: nothing to keep sound, nothing to re-link.
+  if (h.detailed.empty() && h.ownership.empty()) {
+    h.graph_m = g_new.num_edges();
+    h.graph_hash = graph_fingerprint(g_new);
+    g = std::move(g_new);
+    return st;
+  }
+
+  std::vector<Vertex> endpoints;
+  endpoints.reserve(2 * ops.size());
+  for (const UpdateOp& op : ops) {
+    endpoints.push_back(op.u);
+    endpoints.push_back(op.v);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  st.endpoints = endpoints.size();
+  for (const ScaleOwnership& own : h.ownership)
+    st.total_clusters += own.size();
+
+  // Patch → rebuild fallback: rebuild when allowed, else refuse and leave
+  // (g, h) exactly as they were — the serving daemon's posture.
+  auto fallback = [&](const std::string& why) -> PatchStats& {
+    if (!opt.rebuild_params)
+      throw std::runtime_error(
+          "apply_updates: " + why +
+          " — full rebuild required, and no rebuild params were provided");
+    h = build_hopset(ctx, g_new, *opt.rebuild_params, false);
+    g = std::move(g_new);
+    st.rebuilt = true;
+    return st;
+  };
+
+  if (h.ownership.empty()) {
+    st.dirty_fraction = 1.0;
+    return fallback(
+        "hopset has no ownership index (built or saved before .phs v3)");
+  }
+  if (endpoints.size() > opt.max_endpoints) {
+    st.dirty_fraction = 1.0;
+    return fallback("update touches " + std::to_string(endpoints.size()) +
+                    " distinct endpoints (patch cap " +
+                    std::to_string(opt.max_endpoints) + ")");
+  }
+
+  // ---- 2. Per-endpoint distance fields. d_{G_old} from the endpoints of
+  // increase-like edges drives the suspect rule (it must see the geometry
+  // the hopset was built against); d_{G′} from every op endpoint drives the
+  // dirty rule. Both are exact sequential Dijkstras — the patch's dominant
+  // cost, linear in the endpoint count.
+  std::map<Vertex, std::vector<Weight>> dist_old;
+  for (const IncreaseLike& ch : increases) {
+    if (!dist_old.count(ch.a)) dist_old[ch.a] = sssp::dijkstra_distances(g, ch.a);
+    if (!dist_old.count(ch.b)) dist_old[ch.b] = sssp::dijkstra_distances(g, ch.b);
+  }
+  std::map<Vertex, std::vector<Weight>> dist_new;
+  for (Vertex x : endpoints) dist_new[x] = sssp::dijkstra_distances(g_new, x);
+
+  // ---- 3. Suspect rule: keep a hopset edge (u, v, w_e) only if no old
+  // u→v path of length ≤ w_e could have used an increase-like edge (a, b):
+  // the cheapest such path costs min over orientations of
+  // d_old(a, u) + w_before + d_old(b, v). If even that exceeds w_e, the
+  // old witness walk survives in G′ and the edge stays sound; otherwise it
+  // is deleted (deleting is always sound — H only adds shortcuts).
+  std::vector<char> suspect(h.detailed.size(), 0);
+  if (!increases.empty()) {
+    for (std::size_t ei = 0; ei < h.detailed.size(); ++ei) {
+      const HopsetEdge& e = h.detailed[ei];
+      for (const IncreaseLike& ch : increases) {
+        const std::vector<Weight>& da = dist_old.at(ch.a);
+        const std::vector<Weight>& db = dist_old.at(ch.b);
+        const Weight through =
+            std::min(da[e.u] + ch.w_before + db[e.v],
+                     db[e.u] + ch.w_before + da[e.v]);
+        if (through <= e.w * (1 + 1e-9) + 1e-12) {
+          suspect[ei] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- 4. Dirty clusters: a cluster's build-time explorations ran with
+  // dist_limit (1+ε)·δ(k, i) up to its exit phase i (single_scale.cpp), so
+  // the subgraph they depended on — and hence the edges they emitted — is
+  // contained in the ball of radius radius_c + (1+ε)·δ(k, i) around its
+  // center. A cluster is dirty exactly when some op endpoint sits inside
+  // that ball (radius_factor ≥ 1+ε covers the slack). δ(k, i) =
+  // ε̂^{ℓ−i}·unit·2^{k+1} is far below the scale's band for early-exit
+  // clusters, which is what keeps single updates local: far pairs are
+  // certified by chains of short edges, and only the links near the change
+  // are re-run. Endpoint-to-center distance is taken as the min of the old
+  // and new fields — an increase moves vertices away from a center, but the
+  // explorations it invalidated were run at the old distances.
+  auto patch_radius = [&](int k, int exit_phase) {
+    return opt.radius_factor * h.schedule.delta(k, exit_phase);
+  };
+  auto reach = [&](Vertex x, Vertex c) {
+    Weight d = dist_new.at(x)[c];
+    const auto it = dist_old.find(x);
+    if (it != dist_old.end()) d = std::min(d, it->second[c]);
+    return d;
+  };
+
+  // Owning clusters of suspect-edge endpoints are dirty too, at every scale
+  // at or above the edge's own: the deleted shortcut may have fed higher
+  // scales' explorations.
+  std::vector<std::pair<std::int16_t, Vertex>> suspect_sites;
+  for (std::size_t ei = 0; ei < h.detailed.size(); ++ei) {
+    if (!suspect[ei]) continue;
+    ++st.suspects_removed;
+    suspect_sites.emplace_back(h.detailed[ei].scale, h.detailed[ei].u);
+    suspect_sites.emplace_back(h.detailed[ei].scale, h.detailed[ei].v);
+  }
+  std::sort(suspect_sites.begin(), suspect_sites.end());
+  suspect_sites.erase(
+      std::unique(suspect_sites.begin(), suspect_sites.end()),
+      suspect_sites.end());
+
+  // Scale-relevance cap: through any op endpoint x, every pair of x's
+  // component satisfies d(u, v) ≤ 2·ecc(x), so a scale whose band floor
+  // unit·2^k is at or above the largest such bound serves no pair at all in
+  // G′ — its explorations need no patching (short pairs are covered by
+  // their own scale, or by G alone below k0). Old-graph eccentricities are
+  // included so components a delete split off stay covered.
+  Weight dcap = 0;
+  auto fold_ecc = [&](const std::vector<Weight>& dist) {
+    Weight ecc = 0;
+    for (Weight d : dist)
+      if (d != graph::kInfWeight) ecc = std::max(ecc, d);
+    dcap = std::max(dcap, 2 * ecc);
+  };
+  for (const auto& [x, dist] : dist_new) fold_ecc(dist);
+  for (const auto& [x, dist] : dist_old) fold_ecc(dist);
+
+  std::vector<std::vector<std::uint32_t>> dirty(h.ownership.size());
+  for (std::size_t s = 0; s < h.ownership.size(); ++s) {
+    const ScaleOwnership& own = h.ownership[s];
+    if (h.schedule.unit * std::ldexp(1.0, own.k) >= dcap) continue;
+    std::vector<char> mark(own.size(), 0);
+    for (std::size_t c = 0; c < own.size(); ++c) {
+      const Weight r = patch_radius(own.k, own.exit_phase[c]);
+      for (Vertex x : endpoints) {
+        if (reach(x, own.center[c]) <= own.radius[c] + r) {
+          mark[c] = 1;
+          break;
+        }
+      }
+    }
+    for (const auto& [scale, v] : suspect_sites) {
+      if (scale > own.k) continue;
+      const std::uint32_t c = own.cluster_of[v];
+      if (c != kNoCluster) mark[c] = 1;
+    }
+    for (std::size_t c = 0; c < own.size(); ++c)
+      if (mark[c]) dirty[s].push_back(static_cast<std::uint32_t>(c));
+    st.dirty_clusters += dirty[s].size();
+  }
+  st.dirty_fraction =
+      st.total_clusters == 0
+          ? 0.0
+          : static_cast<double>(st.dirty_clusters) /
+                static_cast<double>(st.total_clusters);
+  if (st.dirty_fraction > opt.rebuild_threshold)
+    return fallback("dirty-cluster fraction " +
+                    std::to_string(st.dirty_fraction) +
+                    " exceeds rebuild threshold " +
+                    std::to_string(opt.rebuild_threshold));
+
+  // ---- 5. Per scale, ascending: drop suspects, re-explore from the dirty
+  // clusters' centers over G′ ∪ (already-patched lower scales), and splice
+  // the re-emitted center-to-center edges in. The exploration runs over
+  // singleton clusters in boundary mode, so each record distance is the
+  // length of a real hop-bounded walk in the union graph — ≥ d_{G′} of its
+  // endpoints, which is exactly the soundness obligation; the frozen exit
+  // radii are never used as weight terms (they may be stale after an
+  // increase), only as the dirty-rule heuristic above.
+  std::map<int, std::vector<HopsetEdge>> by_scale;
+  for (std::size_t ei = 0; ei < h.detailed.size(); ++ei)
+    if (!suspect[ei]) by_scale[h.detailed[ei].scale].push_back(
+        std::move(h.detailed[ei]));
+
+  const std::vector<Edge> base_edges = g_new.edge_list();
+  std::vector<Edge> below;  // patched H_{<k}
+  ExploreWorkspace ws;
+  const Clustering singles = Clustering::singletons(n);
+  for (std::size_t s = 0; s < h.ownership.size(); ++s) {
+    const ScaleOwnership& own = h.ownership[s];
+    std::vector<HopsetEdge>& scale_edges = by_scale[own.k];
+    if (!dirty[s].empty()) {
+      // Sources and destinations are the dirty exit centers plus the op
+      // endpoints themselves: the endpoints are where new shortest paths
+      // bend, so linking them into every scale re-covers pairs that now
+      // route through the change.
+      std::vector<std::uint32_t> sources;
+      sources.reserve(dirty[s].size() + endpoints.size());
+      int max_phase = 0;
+      for (std::uint32_t c : dirty[s]) {
+        sources.push_back(own.center[c]);  // singleton cluster id == vertex
+        max_phase = std::max(max_phase, static_cast<int>(own.exit_phase[c]));
+      }
+      sources.insert(sources.end(), endpoints.begin(), endpoints.end());
+      std::sort(sources.begin(), sources.end());
+      sources.erase(std::unique(sources.begin(), sources.end()),
+                    sources.end());
+
+      Graph gk1 = g_new;
+      if (!below.empty()) {
+        std::vector<Edge> all = base_edges;
+        all.insert(all.end(), below.begin(), below.end());
+        gk1 = Graph::from_edges(n, all);
+      }
+      // Re-explore with the largest distance limit any dirty cluster used in
+      // the build — re-running what the build ran, not a wider sweep.
+      ExploreOptions eo;
+      eo.dist_limit = patch_radius(own.k, max_phase);
+      eo.per_pulse_limit = eo.dist_limit;
+      eo.hop_limit =
+          std::min(opt.patch_hop_limit, 2 * h.schedule.beta + 1);
+      eo.pulses = 1;
+      eo.max_records = opt.patch_fanout;
+      const ExploreResult res = explore(ctx, gk1, singles, sources, eo, &ws);
+
+      std::vector<char> is_center(n, 0);
+      for (std::size_t c = 0; c < own.size(); ++c) is_center[own.center[c]] = 1;
+      for (Vertex x : endpoints) is_center[x] = 1;
+      // Minimum-weight kept edge per endpoint pair, for the dedupe below.
+      std::map<EdgeKey, std::size_t> best;
+      for (std::size_t i = 0; i < scale_edges.size(); ++i) {
+        const EdgeKey k = key_of(scale_edges[i].u, scale_edges[i].v);
+        const auto [it, fresh] = best.emplace(k, i);
+        if (!fresh && scale_edges[i].w < scale_edges[it->second].w)
+          it->second = i;
+      }
+      for (Vertex y = 0; y < n; ++y) {
+        if (!is_center[y]) continue;
+        for (const Record& rec : res.cluster_records[y]) {
+          const auto x = static_cast<Vertex>(rec.src);
+          if (x == y) continue;
+          const EdgeKey k = key_of(x, y);
+          const auto it = best.find(k);
+          if (it != best.end()) {
+            HopsetEdge& kept = scale_edges[it->second];
+            if (rec.dist < kept.w) {
+              kept.w = rec.dist;
+              kept.witness.steps.clear();  // old witness is longer than w now
+              ++st.edges_improved;
+            }
+            continue;
+          }
+          HopsetEdge e;
+          e.u = x;
+          e.v = y;
+          e.w = rec.dist;
+          e.scale = static_cast<std::int16_t>(own.k);
+          e.phase = -1;  // patch provenance
+          e.superclustering = false;
+          best.emplace(k, scale_edges.size());
+          scale_edges.push_back(std::move(e));
+          ++st.edges_added;
+        }
+      }
+    }
+    for (const HopsetEdge& e : scale_edges)
+      below.push_back({e.u, e.v, e.w});
+  }
+
+  // ---- 6. Reassemble (scales ascending, kept edges first in build order,
+  // patch edges after) and re-bind the identity to G′.
+  h.detailed.clear();
+  h.edges.clear();
+  for (auto& [k, vec] : by_scale) {
+    for (HopsetEdge& e : vec) {
+      h.edges.push_back({e.u, e.v, e.w});
+      h.detailed.push_back(std::move(e));
+    }
+  }
+  h.graph_m = g_new.num_edges();
+  h.graph_hash = graph_fingerprint(g_new);
+  g = std::move(g_new);
+  return st;
+}
+
+template PatchStats apply_updates<pram::Metered>(
+    pram::Ctx&, Graph&, Hopset&, std::span<const UpdateOp>,
+    const DynamicOptions&);
+template PatchStats apply_updates<pram::Unmetered>(
+    pram::UnmeteredCtx&, Graph&, Hopset&, std::span<const UpdateOp>,
+    const DynamicOptions&);
+
+DeltaRecord make_delta(const Graph& g, const Hopset& h,
+                       std::vector<UpdateOp> ops) {
+  DeltaRecord d;
+  d.base_checksum = hopset_checksum(h);
+  d.graph_n = g.num_vertices();
+  d.graph_m = g.num_edges();
+  d.graph_hash = graph_fingerprint(g);
+  d.ops = std::move(ops);
+  return d;
+}
+
+void write_delta(std::ostream& out, const DeltaRecord& d) {
+  // Same construction as write_hopset: hash the payload as written, append
+  // the checksum line (itself unhashed) last.
+  std::uint64_t hash = detail::kFnv64Offset;
+  std::string buf;
+  buf.reserve(1 << 12);
+  char num[64];
+  auto append = [&](std::string_view s) {
+    hash = detail::fnv1a64(hash, s);
+    buf.append(s);
+  };
+  auto append_num = [&](auto value) {
+    auto [p, ec] = std::to_chars(num, num + sizeof(num), value);
+    if (ec != std::errc{})
+      throw std::runtime_error("hopset delta: value not representable");
+    append(std::string_view(num, static_cast<std::size_t>(p - num)));
+  };
+  append("parhop-hopset-delta ");
+  append_num(kDeltaFormatVersion);
+  append("\nbase ");
+  append(detail::hex16(d.base_checksum));
+  append(" ");
+  append_num(d.graph_n);
+  append(" ");
+  append_num(static_cast<std::uint64_t>(d.graph_m));
+  append(" ");
+  append(detail::hex16(d.graph_hash));
+  append("\nops ");
+  append_num(static_cast<std::uint64_t>(d.ops.size()));
+  append("\n");
+  for (const UpdateOp& op : d.ops) {
+    switch (op.kind) {
+      case UpdateOp::Kind::kWeight:
+        append("w ");
+        break;
+      case UpdateOp::Kind::kInsert:
+        append("i ");
+        break;
+      case UpdateOp::Kind::kDelete:
+        append("d ");
+        break;
+    }
+    append_num(op.u);
+    append(" ");
+    append_num(op.v);
+    if (op.kind != UpdateOp::Kind::kDelete) {
+      append(" ");
+      append_num(op.w);
+    }
+    append("\n");
+  }
+  append("end\n");
+  buf += "checksum " + detail::hex16(hash) + "\n";
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+void write_delta_file(const std::string& path, const DeltaRecord& d) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_delta(out, d);
+  out.flush();
+  if (!out)
+    throw std::runtime_error("hopset delta: write to " + path + " failed");
+}
+
+DeltaRecord read_delta(std::istream& in) {
+  std::uint64_t hash = detail::kFnv64Offset;
+  std::size_t lineno = 0;
+  std::string line;
+  auto next_line = [&](const std::string& what) {
+    if (!std::getline(in, line))
+      dfail(lineno + 1, "truncated file — expected " + what);
+    ++lineno;
+    hash = detail::fnv1a64(hash, line);
+    hash = detail::fnv1a64(hash, "\n");
+  };
+
+  next_line("'parhop-hopset-delta <version>' header");
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    int version = 0;
+    ls >> tag >> version;
+    if (!ls || tag != "parhop-hopset-delta")
+      dfail(lineno, "bad magic — expected 'parhop-hopset-delta <version>'");
+    if (version != kDeltaFormatVersion)
+      dfail(lineno, "unsupported format version " + std::to_string(version) +
+                        " (this build reads version " +
+                        std::to_string(kDeltaFormatVersion) + ")");
+  }
+
+  DeltaRecord d;
+  next_line("base identity line");
+  {
+    std::istringstream ls(line);
+    std::string tag, base_hex, graph_hex;
+    ls >> tag >> base_hex >> d.graph_n >> d.graph_m >> graph_hex;
+    if (!ls || tag != "base" || base_hex.size() != 16 ||
+        graph_hex.size() != 16)
+      dfail(lineno,
+            "expected 'base <16-hex hopset checksum> <n> <m> "
+            "<16-hex graph fingerprint>' line");
+    d.base_checksum = detail::parse_hex16(base_hex);
+    d.graph_hash = detail::parse_hex16(graph_hex);
+  }
+
+  std::size_t count = 0;
+  next_line("ops count");
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag >> count;
+    if (!ls || tag != "ops") dfail(lineno, "expected ops count");
+  }
+  // Same capped-reserve posture as read_hopset: a corrupted count must hit
+  // the truncation error, not an allocation failure.
+  d.ops.reserve(std::min(count, std::size_t{1} << 20));
+  for (std::size_t i = 0; i < count; ++i) {
+    next_line("op " + std::to_string(i + 1) + " of " + std::to_string(count));
+    UpdateOp op;
+    const std::string err = parse_op_line(line, op);
+    if (!err.empty()) dfail(lineno, err);
+    if (op.u >= d.graph_n || op.v >= d.graph_n)
+      dfail(lineno, "op endpoint out of range (base graph has n=" +
+                        std::to_string(d.graph_n) + ")");
+    d.ops.push_back(op);
+  }
+
+  next_line("end marker");
+  if (line != "end")
+    dfail(lineno, "expected end marker, found '" + line +
+                      "' — op count mismatch or truncated file");
+  const std::uint64_t content_hash = hash;
+
+  if (!std::getline(in, line))
+    dfail(lineno + 1, "truncated file — expected checksum line");
+  ++lineno;
+  {
+    std::istringstream ls(line);
+    std::string tag, hex;
+    ls >> tag >> hex;
+    if (!ls || tag != "checksum" || hex.size() != 16)
+      dfail(lineno, "expected 'checksum <16-hex>' line");
+    if (hex != detail::hex16(content_hash))
+      dfail(lineno, "checksum mismatch — file says " + hex +
+                        ", content hashes to " + detail::hex16(content_hash) +
+                        " (corrupted, reordered, or hand-edited file)");
+  }
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty()) dfail(lineno, "trailing garbage after checksum line");
+  }
+  return d;
+}
+
+DeltaRecord read_delta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_delta(in);
+}
+
+void check_delta_base(const DeltaRecord& d, const Graph& g, const Hopset& h,
+                      const std::string& context) {
+  if (d.graph_n != g.num_vertices() || d.graph_m != g.num_edges())
+    throw std::runtime_error(
+        context + ": delta was cut against a graph with n=" +
+        std::to_string(d.graph_n) + " m=" + std::to_string(d.graph_m) +
+        ", but the base graph has n=" + std::to_string(g.num_vertices()) +
+        " m=" + std::to_string(g.num_edges()));
+  if (d.graph_hash != graph_fingerprint(g))
+    throw std::runtime_error(
+        context +
+        ": base graph content fingerprint mismatch — same shape, different "
+        "edges or weights (fingerprint " + detail::hex16(graph_fingerprint(g)) +
+        ", delta expects " + detail::hex16(d.graph_hash) + ")");
+  const std::uint64_t have = hopset_checksum(h);
+  if (d.base_checksum != have)
+    throw std::runtime_error(
+        context + ": delta does not chain on this hopset — it expects base "
+                  "checksum " + detail::hex16(d.base_checksum) +
+        ", the live hopset checksums to " + detail::hex16(have) +
+        " (deltas must be applied in the order they were cut, each against "
+        "the state the previous one produced)");
+}
+
+std::vector<UpdateOp> parse_ops(std::istream& in) {
+  std::vector<UpdateOp> ops;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hashpos = line.find('#');
+    if (hashpos != std::string::npos) line.resize(hashpos);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    UpdateOp op;
+    const std::string err = parse_op_line(line, op);
+    if (!err.empty())
+      throw std::runtime_error("ops script: " + err + " at line " +
+                               std::to_string(lineno));
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+std::vector<UpdateOp> parse_ops_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return parse_ops(in);
+}
+
+}  // namespace parhop::hopset

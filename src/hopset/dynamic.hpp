@@ -1,0 +1,152 @@
+// Incremental hopset maintenance: weight-update and edge-insert/delete APIs
+// on a built hopset, plus the `.phsd` delta-record format that ships such
+// updates to a serving daemon (docs/dynamic-updates.md).
+//
+// apply_updates() patches (g, h) in place instead of rebuilding:
+//   1. validate the ops and form the updated graph G′;
+//   2. delete every hopset edge the *increase-like* changes could have made
+//      unsound (the suspect rule, §3 of docs/dynamic-updates.md — an edge is
+//      kept only if an old path of its weight provably avoided every
+//      increased/deleted graph edge);
+//   3. map the op endpoints to the exit clusters whose explorations they can
+//      reach (the per-scale ownership index recorded by the build plus a
+//      per-scale radius bound — the dirty-cluster rule);
+//   4. per scale, ascending, re-explore from the dirty clusters' centers
+//      over G′ ∪ (already-patched lower scales) and splice the re-emitted
+//      edges in deterministically (dedupe by endpoint pair, keep minimum
+//      weight, patch edges carry phase = −1).
+// When the dirty fraction exceeds DynamicOptions::rebuild_threshold the
+// patch degenerates toward a rebuild, so apply_updates falls back to
+// build_hopset (or throws if no rebuild Params were provided — the serving
+// daemon's posture: reject the delta, keep serving the live index).
+//
+// Contract: the patched hopset keeps the (1+ε, β) stretch guarantee — every
+// kept or added edge weight still bounds a real G′ path — but is NOT
+// edge-identical to a from-scratch rebuild (tests/test_dynamic_hopset.cpp
+// audits both the guarantee and the measured drift). The patch itself is
+// deterministic: same base + same ops → bit-identical patched hopset at any
+// pool size and either metering policy.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hopset/hopset.hpp"
+
+namespace parhop::hopset {
+
+/// One graph mutation. Endpoints are unordered (the graph is undirected);
+/// `w` is the new weight for kWeight/kInsert and ignored for kDelete.
+struct UpdateOp {
+  enum class Kind : std::uint8_t { kWeight, kInsert, kDelete };
+  Kind kind = Kind::kWeight;
+  Vertex u = 0;
+  Vertex v = 0;
+  Weight w = 0;
+};
+
+struct DynamicOptions {
+  /// Patch → rebuild fallback threshold on the aggregate dirty-cluster
+  /// fraction (Σ_k |dirty_k| / Σ_k |clusters_k|).
+  double rebuild_threshold = 0.15;
+  /// Params for the fallback rebuild. Null means apply_updates throws
+  /// instead of rebuilding — the caller keeps its base untouched.
+  const Params* rebuild_params = nullptr;
+  /// A cluster at scale k that exited superclustering in phase i is dirty
+  /// when an op endpoint lies within radius_c + factor · δ(k, i) of its
+  /// center — factor × the dist_limit its build explorations actually ran
+  /// with (factor ≥ 1+ε covers the slack; docs/dynamic-updates.md §4).
+  double radius_factor = 2.0;
+  /// Per-vertex record bound of the patch exploration (x of Algorithm 2):
+  /// each exit center learns up to this many nearest dirty centers.
+  std::uint32_t patch_fanout = 4;
+  /// Hop cap of one patch exploration (explorations still stop at their
+  /// distance limit first on all but adversarial graphs).
+  int patch_hop_limit = 64;
+  /// Distinct op endpoints above which the per-endpoint Dijkstras are
+  /// skipped and the whole update is treated as over-threshold.
+  std::size_t max_endpoints = 32;
+};
+
+/// Patch observability (also serialized into e15 rows).
+struct PatchStats {
+  std::size_t ops = 0;
+  std::size_t endpoints = 0;         ///< distinct op endpoints
+  std::size_t suspects_removed = 0;  ///< hopset edges deleted by the suspect rule
+  std::size_t dirty_clusters = 0;    ///< Σ over scales
+  std::size_t total_clusters = 0;    ///< Σ over scales
+  double dirty_fraction = 0;         ///< dirty_clusters / total_clusters
+  std::size_t edges_added = 0;       ///< patch edges spliced in
+  std::size_t edges_improved = 0;    ///< kept edges re-weighted down
+  bool rebuilt = false;              ///< fallback path taken
+};
+
+/// Applies `ops` to (g, h) in place and returns what the patch did. Throws
+/// std::runtime_error — leaving both g and h untouched — on an invalid op
+/// (unknown vertex, self-loop, non-positive/non-finite weight, kWeight or
+/// kDelete on a missing edge, kInsert on an existing one) and on an
+/// over-threshold update when opt.rebuild_params is null.
+template <class Policy>
+PatchStats apply_updates(pram::BasicCtx<Policy>& ctx, graph::Graph& g,
+                         Hopset& h, std::span<const UpdateOp> ops,
+                         const DynamicOptions& opt = {});
+
+extern template PatchStats apply_updates<pram::Metered>(
+    pram::Ctx&, graph::Graph&, Hopset&, std::span<const UpdateOp>,
+    const DynamicOptions&);
+extern template PatchStats apply_updates<pram::Unmetered>(
+    pram::UnmeteredCtx&, graph::Graph&, Hopset&, std::span<const UpdateOp>,
+    const DynamicOptions&);
+
+/// A `.phsd` delta record: an op batch bound to the exact (graph, hopset)
+/// base it applies to. base_checksum chains on hopset_checksum(h) — deltas
+/// must be applied in the order they were cut, each against the state the
+/// previous one produced.
+struct DeltaRecord {
+  std::uint64_t base_checksum = 0;  ///< hopset_checksum of the base hopset
+  graph::Vertex graph_n = 0;        ///< base graph identity (n, m, content)
+  std::size_t graph_m = 0;
+  std::uint64_t graph_hash = 0;
+  std::vector<UpdateOp> ops;
+};
+
+/// Current `.phsd` format version (docs/dynamic-updates.md §2):
+///   parhop-hopset-delta 1
+///   base <16-hex hopset checksum> <n> <m> <16-hex graph fingerprint>
+///   ops <count>
+///   w <u> <v> <weight> | i <u> <v> <weight> | d <u> <v>
+///   end
+///   checksum <16-hex FNV-1a 64 of every byte up to and including "end\n">
+inline constexpr int kDeltaFormatVersion = 1;
+
+/// Binds `ops` to base (g, h) — call before mutating either.
+DeltaRecord make_delta(const graph::Graph& g, const Hopset& h,
+                       std::vector<UpdateOp> ops);
+
+void write_delta(std::ostream& out, const DeltaRecord& d);
+void write_delta_file(const std::string& path, const DeltaRecord& d);
+
+/// Reads a delta written by write_delta. Throws std::runtime_error with a
+/// line-numbered message on malformed, truncated, or corrupted input —
+/// same hardening standard as read_hopset.
+DeltaRecord read_delta(std::istream& in);
+DeltaRecord read_delta_file(const std::string& path);
+
+/// Rejects (std::runtime_error, naming both sides) a delta whose recorded
+/// base — graph identity and hopset checksum — does not match (g, h).
+/// `context` prefixes the message (typically the .phsd path).
+void check_delta_base(const DeltaRecord& d, const graph::Graph& g,
+                      const Hopset& h, const std::string& context);
+
+/// Parses an update-op script (CLI `update --ops`): one op per line in the
+/// delta op grammar (`w u v weight` / `i u v weight` / `d u v`), blank
+/// lines and `#` comments allowed. Line-numbered errors; endpoint range
+/// checks happen later, in apply_updates, where the graph is known.
+std::vector<UpdateOp> parse_ops(std::istream& in);
+std::vector<UpdateOp> parse_ops_file(const std::string& path);
+
+}  // namespace parhop::hopset

@@ -62,6 +62,7 @@ Hopset build_hopset(
     ss.edges = scale.edges.size();
     ss.phases = std::move(scale.phases);
     H.scales.push_back(std::move(ss));
+    H.ownership.push_back(std::move(scale.ownership));
 
     previous_scale.clear();
     for (HopsetEdge& e : scale.edges) {

@@ -34,6 +34,11 @@ struct Hopset {
   std::vector<HopsetEdge> detailed;
   Schedule schedule;
   std::vector<ScaleStats> scales;
+  /// Exit clustering per scale, ascending k (one entry per built scale).
+  /// The dynamic layer's update→cluster mapping; serialized in `.phs` v3.
+  /// Empty for hand-built hopsets and files saved before v3 — such hopsets
+  /// still query fine but cannot be patched (apply_updates falls back).
+  std::vector<ScaleOwnership> ownership;
   pram::Cost build_cost;          ///< metered PRAM work/depth of the build
   /// Identity of the graph the hopset was built for: n, m, and an FNV-1a
   /// fingerprint of the CSR content (hopset::graph_fingerprint) — same n/m

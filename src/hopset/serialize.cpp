@@ -12,16 +12,16 @@
 
 namespace parhop::hopset {
 
-namespace {
-
 // FNV-1a 64-bit over the serialized bytes; cheap, dependency-free, and more
 // than enough to catch the failure mode it guards (truncation, disk/transfer
 // corruption, concatenated files) — this is an integrity check, not an
-// authentication tag.
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+// authentication tag. Shared with the `.phsd` delta layer via the detail
+// namespace so both formats hash and print identically.
+namespace detail {
+
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 
-std::uint64_t fnv1a(std::uint64_t h, std::string_view bytes) {
+std::uint64_t fnv1a64(std::uint64_t h, std::string_view bytes) {
   for (unsigned char c : bytes) {
     h ^= c;
     h *= kFnvPrime;
@@ -39,17 +39,31 @@ std::string hex16(std::uint64_t v) {
   return s;
 }
 
-[[noreturn]] void fail(std::size_t lineno, const std::string& what) {
-  throw std::runtime_error("hopset: " + what + " at line " +
-                           std::to_string(lineno));
-}
-
 std::uint64_t parse_hex16(const std::string& hex) {
   std::uint64_t v = 0;
   const auto res =
       std::from_chars(hex.data(), hex.data() + hex.size(), v, 16);
   if (res.ec != std::errc{} || res.ptr != hex.data() + hex.size()) return 0;
   return v;
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = detail::kFnv64Offset;
+constexpr std::uint64_t kFnvPrime = detail::kFnvPrime;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view bytes) {
+  return detail::fnv1a64(h, bytes);
+}
+
+using detail::hex16;
+using detail::parse_hex16;
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& what) {
+  throw std::runtime_error("hopset: " + what + " at line " +
+                           std::to_string(lineno));
 }
 
 }  // namespace
@@ -145,6 +159,44 @@ void write_hopset(std::ostream& out, const Hopset& h) {
       append("\n");
     }
   }
+  if (!h.ownership.empty()) {
+    append("ownership ");
+    append_num(static_cast<std::uint64_t>(h.ownership.size()));
+    append("\n");
+    for (const ScaleOwnership& own : h.ownership) {
+      append("scale ");
+      append_num(own.k);
+      append(" ");
+      append_num(static_cast<std::uint64_t>(own.size()));
+      append(" ");
+      append_num(static_cast<std::uint64_t>(own.cluster_of.size()));
+      append("\n");
+      for (std::size_t c = 0; c < own.size(); ++c) {
+        append("x ");
+        append_num(own.center[c]);
+        append(" ");
+        append_num(own.radius[c]);
+        append(" ");
+        append_num(static_cast<int>(own.exit_phase[c]));
+        append("\n");
+      }
+      // cluster_of in fixed-size chunks: lines stay short enough to keep
+      // the reader's per-line corruption checks meaningful.
+      constexpr std::size_t kChunk = 8192;
+      for (std::size_t base = 0; base < own.cluster_of.size();
+           base += kChunk) {
+        const std::size_t cnt =
+            std::min(kChunk, own.cluster_of.size() - base);
+        append("c ");
+        append_num(static_cast<std::uint64_t>(cnt));
+        for (std::size_t j = 0; j < cnt; ++j) {
+          append(" ");
+          append_num(own.cluster_of[base + j]);
+        }
+        append("\n");
+      }
+    }
+  }
   append("end\n");
   // The checksum line is not part of the hashed content.
   buf += "checksum " + hex16(hash) + "\n";
@@ -176,16 +228,17 @@ Hopset read_hopset(std::istream& in) {
   };
 
   next_line("'parhop-hopset <version>' header");
+  int version = 0;
   {
     std::istringstream ls(line);
     std::string tag;
-    int version = 0;
     ls >> tag >> version;
     if (!ls || tag != "parhop-hopset")
       fail(lineno, "bad magic — expected 'parhop-hopset <version>'");
-    if (version != kHopsetFormatVersion)
+    if (version < kHopsetMinReadVersion || version > kHopsetFormatVersion)
       fail(lineno, "unsupported format version " + std::to_string(version) +
-                       " (this build reads version " +
+                       " (this build reads versions " +
+                       std::to_string(kHopsetMinReadVersion) + ".." +
                        std::to_string(kHopsetFormatVersion) +
                        "; rebuild and re-save the hopset)");
   }
@@ -258,7 +311,81 @@ Hopset read_hopset(std::istream& in) {
     h.detailed.push_back(std::move(e));
   }
 
-  next_line("end marker");
+  next_line(version >= 3 ? "end marker or ownership section" : "end marker");
+  if (version >= 3 && line.rfind("ownership ", 0) == 0) {
+    std::size_t scale_count = 0;
+    {
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag >> scale_count;
+      if (!ls || tag != "ownership")
+        fail(lineno, "expected ownership scale count");
+    }
+    // λ − k0 + 1 scales: 64 bounds any real schedule; a larger value is a
+    // corrupted count, rejected before it can drive the loops below.
+    if (scale_count > 64)
+      fail(lineno, "implausible ownership scale count " +
+                       std::to_string(scale_count));
+    h.ownership.reserve(scale_count);
+    for (std::size_t s = 0; s < scale_count; ++s) {
+      ScaleOwnership own;
+      std::size_t clusters = 0;
+      std::size_t verts = 0;
+      next_line("ownership scale header " + std::to_string(s + 1) + " of " +
+                std::to_string(scale_count));
+      {
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag >> own.k >> clusters >> verts;
+        if (!ls || tag != "scale")
+          fail(lineno, "expected 'scale <k> <clusters> <n>' line");
+      }
+      const std::size_t cres = std::min(clusters, std::size_t{1} << 22);
+      own.center.reserve(cres);
+      own.radius.reserve(cres);
+      own.exit_phase.reserve(cres);
+      for (std::size_t c = 0; c < clusters; ++c) {
+        next_line("exit cluster " + std::to_string(c + 1) + " of scale " +
+                  std::to_string(own.k));
+        std::istringstream ls(line);
+        std::string tag;
+        graph::Vertex center = 0;
+        graph::Weight radius = 0;
+        int ph = 0;
+        ls >> tag >> center >> radius >> ph;
+        if (!ls || tag != "x")
+          fail(lineno, "malformed exit-cluster line");
+        own.center.push_back(center);
+        own.radius.push_back(radius);
+        own.exit_phase.push_back(static_cast<std::int16_t>(ph));
+      }
+      own.cluster_of.reserve(std::min(verts, std::size_t{1} << 22));
+      while (own.cluster_of.size() < verts) {
+        next_line("ownership chunk of scale " + std::to_string(own.k));
+        std::istringstream ls(line);
+        std::string tag;
+        std::size_t cnt = 0;
+        ls >> tag >> cnt;
+        if (!ls || tag != "c")
+          fail(lineno, "expected 'c <count> <ids...>' ownership chunk");
+        // Each id needs ≥ 2 bytes ("0 "), so a corrupted count must fail
+        // here — same reasoning as the witness-length check above.
+        if (cnt > line.size() / 2 + 1)
+          fail(lineno, "ownership chunk count " + std::to_string(cnt) +
+                           " cannot fit on its line (corrupted count)");
+        if (own.cluster_of.size() + cnt > verts)
+          fail(lineno, "ownership chunk overruns the scale's vertex count");
+        for (std::size_t j = 0; j < cnt; ++j) {
+          std::uint32_t id = 0;
+          ls >> id;
+          own.cluster_of.push_back(id);
+        }
+        if (!ls) fail(lineno, "truncated ownership chunk");
+      }
+      h.ownership.push_back(std::move(own));
+    }
+    next_line("end marker");
+  }
   if (line != "end")
     fail(lineno, "expected end marker, found '" + line +
                      "' — edge count mismatch or truncated file");
@@ -313,6 +440,46 @@ void check_graph_identity(const Hopset& h, const graph::Graph& g,
                   "different edges or weights (fingerprint " +
         hex16(graph_fingerprint(g)) + ", hopset expects " +
         hex16(h.graph_hash) + ")");
+}
+
+std::uint64_t hopset_checksum(const Hopset& h) {
+  std::uint64_t hash = kFnvOffset;
+  auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xff;
+      hash *= kFnvPrime;
+    }
+  };
+  auto mixd = [&](double d) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(h.graph_n);
+  mix(h.graph_m);
+  mix(h.graph_hash);
+  mixd(h.schedule.eps_hat);
+  mix(static_cast<std::uint64_t>(h.schedule.ell));
+  mix(static_cast<std::uint64_t>(h.schedule.beta));
+  mix(static_cast<std::uint64_t>(h.schedule.k0));
+  mix(static_cast<std::uint64_t>(h.schedule.lambda));
+  mixd(h.schedule.unit);
+  mix(h.detailed.size());
+  for (const HopsetEdge& e : h.detailed) {
+    mix(e.u);
+    mix(e.v);
+    mixd(e.w);
+    mix(static_cast<std::uint64_t>(static_cast<std::uint16_t>(e.scale)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint16_t>(e.phase)));
+    mix(e.superclustering ? 1 : 0);
+    mix(e.witness.steps.size());
+    for (const PathStep& s : e.witness.steps) {
+      mix(s.v);
+      mixd(s.w);
+    }
+  }
+  return hash;
 }
 
 }  // namespace parhop::hopset

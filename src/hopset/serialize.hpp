@@ -4,31 +4,42 @@
 // paths are included when present, so a reloaded hopset still supports SPT
 // retrieval. Full format spec: docs/query-engine.md §1.
 //
-// Format version 2 (versioned header, end marker, content checksum):
-//   parhop-hopset 2
+// Format version 3 (versioned header, end marker, content checksum):
+//   parhop-hopset 3
 //   graph <n> <m> <16-hex fingerprint> # identity of the graph it was built for
 //   params <eps_hat> <ell> <beta> <k0> <lambda> <unit>
 //   edges <count>
 //   e <u> <v> <w> <scale> <phase> <superclustering 0/1> <witness_len>
 //   [w <v0> <w0> <v1> <w1> ...]        # one line per edge with witness_len>0
+//   ownership <scale_count>            # v3, present iff the build recorded it
+//   scale <k> <clusters> <n>           # per scale, ascending k
+//   x <center> <radius> <exit_phase>   # per exit cluster
+//   c <count> <id> <id> ...            # cluster_of[v], chunked lines, n total
 //   end
 //   checksum <16-hex FNV-1a 64 of every byte up to and including "end\n">
 // Weights print in shortest round-trip form (std::to_chars), so re-reads are
 // bit-exact. The reader rejects truncated files (missing end/checksum),
 // unknown magic, version mismatches, and content corruption (checksum) with
-// line-numbered errors; it does not read version-1 files (which had neither
-// end marker nor checksum — rebuild and re-save).
+// line-numbered errors. Version 2 files (no ownership section) still load —
+// they query fine but cannot be patched by the dynamic layer; version-1
+// files (neither end marker nor checksum) are rejected — rebuild and
+// re-save.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "hopset/hopset.hpp"
 
 namespace parhop::hopset {
 
-/// Current `.phs` format version written by write_hopset.
-inline constexpr int kHopsetFormatVersion = 2;
+/// Current `.phs` format version written by write_hopset. The reader also
+/// accepts the previous version (2, identical except it has no ownership
+/// section).
+inline constexpr int kHopsetFormatVersion = 3;
+inline constexpr int kHopsetMinReadVersion = 2;
 
 /// Writes the hopset (detailed edges + schedule essentials).
 void write_hopset(std::ostream& out, const Hopset& h);
@@ -54,5 +65,23 @@ std::uint64_t graph_fingerprint(const graph::Graph& g);
 /// and passes.
 void check_graph_identity(const Hopset& h, const graph::Graph& g,
                           const std::string& context);
+
+/// FNV-1a 64 over the hopset's semantic content: graph identity, schedule
+/// essentials, and every detailed edge (witnesses included). Independent of
+/// the file format version and of whether the ownership section is present,
+/// so it is stable across save/load. This is the identity a `.phsd` delta
+/// record chains on (hopset::DeltaRecord::base_checksum).
+std::uint64_t hopset_checksum(const Hopset& h);
+
+/// Shared low-level pieces of the `.phs`/`.phsd` text formats, used by both
+/// this translation unit and the delta layer (hopset/dynamic.cpp) so the
+/// two formats cannot drift apart.
+namespace detail {
+std::uint64_t fnv1a64(std::uint64_t h, std::string_view bytes);
+std::string hex16(std::uint64_t v);
+/// 0 on malformed input (16 lowercase hex digits expected).
+std::uint64_t parse_hex16(const std::string& hex);
+inline constexpr std::uint64_t kFnv64Offset = 1469598103934665603ull;
+}  // namespace detail
 
 }  // namespace parhop::hopset

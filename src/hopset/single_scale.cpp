@@ -48,6 +48,19 @@ SingleScaleResult build_single_scale(
   ClusterMemory cmem =
       track_paths ? ClusterMemory::singletons(n) : ClusterMemory{};
 
+  // Exit-clustering ownership: each cluster chain is retired here exactly
+  // once (interconnection, final phase, or early stop), in (phase,
+  // cluster-index) order, so ids are deterministic.
+  out.ownership.k = k;
+  out.ownership.cluster_of.assign(n, kNoCluster);
+  auto exit_cluster = [&](const Clustering& C, std::size_t c, int phase) {
+    const auto id = static_cast<std::uint32_t>(out.ownership.center.size());
+    out.ownership.center.push_back(C.center[c]);
+    out.ownership.radius.push_back(C.radius[c]);
+    out.ownership.exit_phase.push_back(static_cast<std::int16_t>(phase));
+    for (Vertex v : C.members[c]) out.ownership.cluster_of[v] = id;
+  };
+
   const int hop_limit = 2 * sched.beta + 1;
   // Covering radius of the ruling set is 2·(#ID bits); the supercluster BFS
   // must reach at least that far or a popular cluster could be missed
@@ -61,6 +74,7 @@ SingleScaleResult build_single_scale(
     ps.phase = i;
     ps.clusters_in = P.size();
     if (P.size() <= 1) {
+      for (std::size_t c = 0; c < P.size(); ++c) exit_cluster(P, c, i);
       out.phases.push_back(ps);
       break;
     }
@@ -168,6 +182,12 @@ SingleScaleResult build_single_scale(
         ++ps.interconnect_edges;
       }
     }
+
+    // Clusters that were not absorbed leave the collection here — whether by
+    // interconnection, because this is the last phase, or because no cluster
+    // was popular (superclustered[] is all-false in the latter two cases).
+    for (std::size_t c = 0; c < P.size(); ++c)
+      if (!superclustered[c]) exit_cluster(P, c, i);
 
     if (last_phase || popular.empty()) {
       out.phases.push_back(ps);

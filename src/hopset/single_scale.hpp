@@ -76,9 +76,27 @@ struct PhaseStats {
   int bfs_pulses = 0;
 };
 
+/// The exit clustering of one scale: the partition of V into clusters as
+/// they stood when they left the phase loop — by interconnection, at the
+/// final phase, or at an early stop. Every vertex belongs to exactly one
+/// exit cluster (the phase loop retires each cluster chain exactly once).
+/// Exit ids are assigned in (phase, cluster-index) order, so the record is
+/// a deterministic function of the build. This is the cluster → vertex
+/// ownership index the dynamic layer (src/hopset/dynamic.hpp) uses to map
+/// a graph update to the explorations it can affect.
+struct ScaleOwnership {
+  int k = 0;                              ///< scale
+  std::vector<std::uint32_t> cluster_of;  ///< exit cluster id per vertex
+  std::vector<Vertex> center;             ///< exit center r_C per cluster
+  std::vector<Weight> radius;             ///< measured R̂(C) at exit
+  std::vector<std::int16_t> exit_phase;   ///< phase the cluster exited at
+  std::size_t size() const { return center.size(); }
+};
+
 struct SingleScaleResult {
   std::vector<HopsetEdge> edges;
   std::vector<PhaseStats> phases;
+  ScaleOwnership ownership;
 };
 
 /// Builds H_k for scale k over gk1 = G ∪ H_{<k}. `track_paths` enables the

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "graph/io.hpp"
+#include "hopset/dynamic.hpp"
 #include "hopset/serialize.hpp"
 #include "pram/primitives.hpp"
 #include "query/query_engine.hpp"
@@ -168,8 +169,10 @@ struct Server::Worker {
 Server::Server(graph::Graph g, const hopset::Hopset& h, ServerOptions opt,
                std::string hopset_source)
     : graph_(std::move(g)),
+      hopset_(h),
       opt_(std::move(opt)),
-      cell_(boot_state(h, std::move(hopset_source))),
+      n_(graph_.num_vertices()),
+      cell_(boot_state(std::move(hopset_source))),
       queue_(opt_.queue_depth) {
   workers_.reserve(opt_.workers);
   for (std::size_t i = 0; i < opt_.workers; ++i)
@@ -192,26 +195,26 @@ Server::~Server() {
   for (std::thread& t : threads_) t.join();
 }
 
-std::shared_ptr<const EngineState> Server::boot_state(const hopset::Hopset& h,
-                                                      std::string source) {
+std::shared_ptr<const EngineState> Server::boot_state(std::string source) {
   if (opt_.workers < 1)
     throw std::invalid_argument("serve: workers must be >= 1");
   if (opt_.queue_depth < 1)
     throw std::invalid_argument("serve: queue depth must be >= 1");
   if (opt_.hops < 0)
     throw std::invalid_argument("serve: hop budget must be >= 1 (or 0 for β̂)");
-  return build_state(h, std::move(source), 0);
+  return build_state(graph_, hopset_, std::move(source), 0);
 }
 
 std::shared_ptr<const EngineState> Server::build_state(
-    const hopset::Hopset& h, std::string source, std::uint64_t epoch) const {
+    const graph::Graph& g, const hopset::Hopset& h, std::string source,
+    std::uint64_t epoch) const {
   // lint:allow randomness RELOAD build wall stat only — never feeds an answer
   const auto start = std::chrono::steady_clock::now();
   // Same rejection the boot path gets: a structurally valid .phs built for
   // a different graph must not replace the live engine.
-  hopset::check_graph_identity(h, graph_, source);
+  hopset::check_graph_identity(h, g, source);
   auto st = std::make_shared<EngineState>(EngineState{
-      query::QueryEngine(graph_, h.edges, h.schedule.beta), epoch,
+      query::QueryEngine(g, h.edges, h.schedule.beta), epoch,
       std::move(source), 0.0});
   st->engine.set_kernel(opt_.kernel);
   if (opt_.hops > 0) st->engine.set_hop_budget(opt_.hops);
@@ -329,14 +332,46 @@ std::string Server::do_reload(const std::string& path) {
   // are never blocked here — they keep draining on the published engine.
   std::lock_guard<std::mutex> lock(reload_mu_);
   try {
-    const hopset::Hopset h = hopset::read_hopset_file(path);
-    const auto next = build_state(h, path, cell_.epoch() + 1);
+    if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".phsd") == 0) {
+      // Delta reload: patch a private copy of the live base, publish the new
+      // engine in one epoch flip, then commit the copy as the next base.
+      // Serving never pauses; a delta that fails any check (or exceeds the
+      // rebuild threshold — a daemon does not rebuild in-line) throws before
+      // publish() and leaves base and engine untouched.
+      const hopset::DeltaRecord d = hopset::read_delta_file(path);
+      hopset::check_delta_base(d, graph_, hopset_, path);
+      graph::Graph g2 = graph_;
+      hopset::Hopset h2 = hopset_;
+      pram::ThreadPool patch_pool(1);
+      pram::UnmeteredCtx cx(&patch_pool);
+      const hopset::PatchStats st =
+          hopset::apply_updates(cx, g2, h2, d.ops, hopset::DynamicOptions{});
+      const auto next =
+          build_state(g2, h2, path, cell_.epoch() + 1);
+      cell_.publish(next);
+      graph_ = std::move(g2);
+      hopset_ = std::move(h2);
+      metrics_.count_reload(true);
+      return util::format(
+          "OK RELOAD epoch=%llu hopset_edges=%zu beta=%d hops=%d "
+          "build_s=%.3f ops=%zu suspects=%zu dirty=%zu dirty_frac=%.4f "
+          "added=%zu improved=%zu path=%s",
+          static_cast<unsigned long long>(next->epoch), hopset_.edges.size(),
+          next->engine.beta(), next->engine.hop_budget(), next->build_s,
+          st.ops, st.suspects_removed, st.dirty_clusters, st.dirty_fraction,
+          st.edges_added, st.edges_improved, sanitize(path).c_str());
+    }
+    hopset::Hopset h = hopset::read_hopset_file(path);
+    const auto next = build_state(graph_, h, path, cell_.epoch() + 1);
     cell_.publish(next);
+    // A full reload rebases the delta chain: the next .phsd must be cut
+    // against this hopset.
+    hopset_ = std::move(h);
     metrics_.count_reload(true);
     return util::format(
         "OK RELOAD epoch=%llu hopset_edges=%zu beta=%d hops=%d build_s=%.3f "
         "path=%s",
-        static_cast<unsigned long long>(next->epoch), h.edges.size(),
+        static_cast<unsigned long long>(next->epoch), hopset_.edges.size(),
         next->engine.beta(), next->engine.hop_budget(), next->build_s,
         sanitize(path).c_str());
   } catch (const std::exception& e) {

@@ -3,7 +3,7 @@
 // build-once / query-many object implies: load the graph and hopset once,
 // materialize one immutable merged CSR, then answer a line protocol
 //
-//   SSSP s | P2P s t | BATCH k | STATS | RELOAD path.phs | QUIT
+//   SSSP s | P2P s t | BATCH k | STATS | RELOAD path.phs[d] | QUIT
 //
 // from a fixed worker pool behind a bounded admission queue. Three moving
 // parts, each in its own header:
@@ -121,7 +121,9 @@ class Server {
 
   const MetricsRegistry& metrics() const { return metrics_; }
   std::uint64_t epoch() const { return cell_.epoch(); }
-  graph::Vertex num_vertices() const { return graph_.num_vertices(); }
+  /// Vertex count is immutable (update ops cannot add vertices), so this is
+  /// safe to read concurrently with a delta RELOAD mutating graph_.
+  graph::Vertex num_vertices() const { return n_; }
   bool stopping() const { return stopping_.load(); }
 
  private:
@@ -141,9 +143,9 @@ class Server {
 
   /// Option validation + the epoch-0 build, callable from the member-init
   /// list (graph_ and opt_ are initialized before cell_).
-  std::shared_ptr<const EngineState> boot_state(const hopset::Hopset& h,
-                                                std::string source);
-  std::shared_ptr<const EngineState> build_state(const hopset::Hopset& h,
+  std::shared_ptr<const EngineState> boot_state(std::string source);
+  std::shared_ptr<const EngineState> build_state(const graph::Graph& g,
+                                                 const hopset::Hopset& h,
                                                  std::string source,
                                                  std::uint64_t epoch) const;
   std::string execute(Worker& w, const Job& job) const;
@@ -151,8 +153,13 @@ class Server {
   std::string do_stats() const;
   void worker_loop(Worker& w);
 
-  graph::Graph graph_;  ///< kept for RELOAD identity checks
+  /// The live (graph, hopset) pair — the base the next `.phsd` delta applies
+  /// to. Written only under reload_mu_; queries never touch it (each
+  /// QueryEngine owns its merged CSR by value).
+  graph::Graph graph_;
+  hopset::Hopset hopset_;
   ServerOptions opt_;
+  graph::Vertex n_ = 0;  ///< cached vertex count (immutable across reloads)
   MetricsRegistry metrics_;
   EngineCell cell_;
   AdmissionQueue<Job> queue_;

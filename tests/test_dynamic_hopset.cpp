@@ -1,0 +1,403 @@
+// Stretch-audit property tests for incremental hopset maintenance
+// (src/hopset/dynamic.hpp, docs/dynamic-updates.md): after randomized
+// update sequences — weight increases, decreases, inserts, deletes, mixed —
+// the patched hopset keeps the two-sided (1+ε, β) inequality against exact
+// Dijkstra on the updated graph, stays within (1+ε) of a from-scratch
+// rebuild, and is bit-identical across pool sizes {1,2,4,8} and both
+// metering policies. Invalid ops and over-threshold updates must leave the
+// base untouched.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "hopset/dynamic.hpp"
+#include "hopset/hopset.hpp"
+#include "hopset/serialize.hpp"
+#include "sssp/dijkstra.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace parhop {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+using graph::Weight;
+
+Graph make_graph(const std::string& family) {
+  graph::GenOptions o;
+  o.seed = 1021;
+  // road/geo: a wide weight range lifts the aspect ratio so the scale bands
+  // have real locality at n≈2k and updates patch instead of rebuilding;
+  // gnm keeps the default — its diameter sits below the lowest scale band,
+  // exercising the no-relevant-scale fast path of the dirty rule.
+  o.max_weight = 256.0;
+  if (family == "road") return graph::grid2d(45, 45, o);  // n = 2025
+  if (family == "geo") return graph::geometric(2000, 0.045, o);
+  o.max_weight = 16.0;
+  return graph::gnm(2000, 8000, o);
+}
+
+hopset::Params test_params() {
+  hopset::Params p;
+  p.epsilon = 0.25;
+  p.kappa = 3;
+  p.rho = 0.45;
+  return p;
+}
+
+/// A sequentially valid random op batch: weight scalings always; deletes and
+/// inserts too when `structural`. Validity is tracked against the evolving
+/// edge set, the same semantics apply_updates enforces.
+std::vector<hopset::UpdateOp> random_ops(const Graph& g, std::uint64_t seed,
+                                         std::size_t count, bool structural) {
+  util::Xoshiro256 rng(seed);
+  std::map<std::pair<Vertex, Vertex>, Weight> edges;
+  for (const Edge& e : g.edge_list()) edges[{e.u, e.v}] = e.w;
+  std::vector<std::pair<Vertex, Vertex>> keys;
+  keys.reserve(edges.size());
+  for (const auto& [k, w] : edges) keys.push_back(k);
+  const Vertex n = g.num_vertices();
+
+  std::vector<hopset::UpdateOp> ops;
+  while (ops.size() < count) {
+    hopset::UpdateOp op;
+    const std::uint64_t kind = rng.next_below(structural ? 4 : 2);
+    if (kind <= 1) {  // weight increase / decrease on a surviving edge
+      const auto& k = keys[rng.next_below(keys.size())];
+      const auto it = edges.find(k);
+      if (it == edges.end()) continue;
+      op.kind = hopset::UpdateOp::Kind::kWeight;
+      op.u = k.first;
+      op.v = k.second;
+      op.w = it->second * (kind == 0 ? 1.3 + rng.next_double()
+                                     : 0.3 + 0.5 * rng.next_double());
+      it->second = op.w;
+    } else if (kind == 2) {  // delete a surviving edge
+      const auto& k = keys[rng.next_below(keys.size())];
+      const auto it = edges.find(k);
+      if (it == edges.end()) continue;
+      op.kind = hopset::UpdateOp::Kind::kDelete;
+      op.u = k.first;
+      op.v = k.second;
+      edges.erase(it);
+    } else {  // insert a fresh edge
+      const auto u = static_cast<Vertex>(rng.next_below(n));
+      const auto v = static_cast<Vertex>(rng.next_below(n));
+      if (u == v) continue;
+      const auto k = std::make_pair(std::min(u, v), std::max(u, v));
+      if (edges.count(k)) continue;
+      op.kind = hopset::UpdateOp::Kind::kInsert;
+      op.u = k.first;
+      op.v = k.second;
+      op.w = 1.0 + 3.0 * rng.next_double();
+      edges.emplace(k, op.w);
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+/// Applies `ops` to copies of (g, H); audits the patched hopset against
+/// exact Dijkstra on the patched graph and against a from-scratch rebuild.
+void audit_patch(const Graph& g, const hopset::Hopset& H,
+                 const std::vector<hopset::UpdateOp>& ops) {
+  const hopset::Params p = test_params();
+  auto cx = testing::ctx();
+  Graph g2 = g;
+  hopset::Hopset h2 = H;
+  hopset::DynamicOptions opt;
+  hopset::Params rebuild = p;
+  opt.rebuild_params = &rebuild;
+  const hopset::PatchStats st = hopset::apply_updates(cx, g2, h2, ops, opt);
+  EXPECT_EQ(st.ops, ops.size());
+
+  // Two-sided (1+ε, β) inequality on the patched graph.
+  const std::vector<Vertex> sources = {0, g2.num_vertices() / 3,
+                                       g2.num_vertices() - 1};
+  const double worst =
+      testing::check_hopset_property(g2, h2.edges, p.epsilon,
+                                     h2.schedule.beta, sources);
+  EXPECT_LE(worst, 1 + p.epsilon + 1e-9);
+
+  // Drift vs a from-scratch rebuild: both sides satisfy the inequality, so
+  // their β-bounded distances differ by at most the stretch band.
+  hopset::Hopset rebuilt = hopset::build_hopset(cx, g2, p);
+  const double worst_rebuilt =
+      testing::check_hopset_property(g2, rebuilt.edges, p.epsilon,
+                                     rebuilt.schedule.beta, sources);
+  EXPECT_LE(worst_rebuilt, 1 + p.epsilon + 1e-9);
+  EXPECT_LE(worst, worst_rebuilt * (1 + p.epsilon) + 1e-9);
+}
+
+class DynamicStretchAudit : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DynamicStretchAudit, WeightOnlySequence) {
+  const Graph g = make_graph(GetParam());
+  auto cx = testing::ctx();
+  const hopset::Hopset H = hopset::build_hopset(cx, g, test_params());
+  audit_patch(g, H, random_ops(g, 7001, 6, /*structural=*/false));
+}
+
+TEST_P(DynamicStretchAudit, MixedSequence) {
+  const Graph g = make_graph(GetParam());
+  auto cx = testing::ctx();
+  const hopset::Hopset H = hopset::build_hopset(cx, g, test_params());
+  audit_patch(g, H, random_ops(g, 7002, 8, /*structural=*/true));
+}
+
+TEST_P(DynamicStretchAudit, ChainedBatches) {
+  const Graph g = make_graph(GetParam());
+  auto cx = testing::ctx();
+  hopset::Hopset h = hopset::build_hopset(cx, g, test_params());
+  Graph g2 = g;
+  hopset::DynamicOptions opt;
+  hopset::Params rebuild = test_params();
+  opt.rebuild_params = &rebuild;
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    const auto ops = random_ops(g2, 7100 + round, 4, /*structural=*/true);
+    hopset::apply_updates(cx, g2, h, ops, opt);
+  }
+  const std::vector<Vertex> sources = {1, g2.num_vertices() / 2};
+  const double worst = testing::check_hopset_property(
+      g2, h.edges, test_params().epsilon, h.schedule.beta, sources);
+  EXPECT_LE(worst, 1 + test_params().epsilon + 1e-9);
+  // The patched hopset re-binds to the patched graph's identity.
+  EXPECT_NO_THROW(hopset::check_graph_identity(h, g2, "audit"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, DynamicStretchAudit,
+                         ::testing::Values("road", "geo", "gnm"),
+                         [](const auto& info) { return info.param; });
+
+TEST(DynamicHopset, SingleUpdatePatchesWithoutRebuild) {
+  // The headline property behind e15: one weight update dirties only the
+  // clusters near it (road/geo) or no cluster at all (gnm, whose diameter
+  // sits below every scale band) — never a rebuild.
+  for (const char* family : {"road", "geo", "gnm"}) {
+    const Graph g = make_graph(family);
+    auto cx = testing::ctx();
+    hopset::Hopset h = hopset::build_hopset(cx, g, test_params());
+    Graph g2 = g;
+    const Edge e = g.edge_list()[g.num_edges() / 2];
+    const std::vector<hopset::UpdateOp> ops = {
+        {hopset::UpdateOp::Kind::kWeight, e.u, e.v, e.w * 2}};
+    const hopset::PatchStats st = hopset::apply_updates(cx, g2, h, ops);
+    EXPECT_FALSE(st.rebuilt) << family;
+    EXPECT_LE(st.dirty_fraction, 0.15) << family;
+    const std::vector<Vertex> sources = {0, g2.num_vertices() - 1};
+    const double worst = testing::check_hopset_property(
+        g2, h.edges, test_params().epsilon, h.schedule.beta, sources);
+    EXPECT_LE(worst, 1 + test_params().epsilon + 1e-9) << family;
+  }
+}
+
+TEST(DynamicHopset, PatchBitIdenticalAcrossPoolsAndPolicies) {
+  const Graph g = make_graph("road");
+  auto cx = testing::ctx();
+  const hopset::Hopset base = hopset::build_hopset(cx, g, test_params());
+  const auto ops = random_ops(g, 7200, 8, /*structural=*/true);
+
+  // Reference patch: metered, 1-thread pool.
+  Graph g_ref = g;
+  hopset::Hopset h_ref = base;
+  {
+    pram::ThreadPool pool(1);
+    pram::Ctx rcx(&pool);
+    hopset::apply_updates(rcx, g_ref, h_ref, ops);
+  }
+  const std::uint64_t ref_sum = hopset::hopset_checksum(h_ref);
+
+  for (int threads : {1, 2, 4, 8}) {
+    pram::ThreadPool pool(threads);
+    for (int policy = 0; policy < 2; ++policy) {
+      Graph g2 = g;
+      hopset::Hopset h2 = base;
+      if (policy == 0) {
+        pram::Ctx mcx(&pool);
+        hopset::apply_updates(mcx, g2, h2, ops);
+      } else {
+        pram::UnmeteredCtx ucx(&pool);
+        hopset::apply_updates(ucx, g2, h2, ops);
+      }
+      ASSERT_EQ(h2.detailed.size(), h_ref.detailed.size())
+          << "threads=" << threads << " policy=" << policy;
+      EXPECT_EQ(hopset::hopset_checksum(h2), ref_sum)
+          << "threads=" << threads << " policy=" << policy;
+      // Checksums cover weights bit-exactly; spot-check structure too.
+      for (std::size_t i = 0; i < h2.detailed.size(); i += 97) {
+        EXPECT_EQ(h2.detailed[i].u, h_ref.detailed[i].u);
+        EXPECT_EQ(h2.detailed[i].v, h_ref.detailed[i].v);
+        EXPECT_EQ(h2.detailed[i].w, h_ref.detailed[i].w);
+        EXPECT_EQ(h2.detailed[i].scale, h_ref.detailed[i].scale);
+      }
+    }
+  }
+}
+
+TEST(DynamicHopset, InvalidOpsRejectedAtomically) {
+  const Graph g = make_graph("road");
+  auto cx = testing::ctx();
+  hopset::Hopset h = hopset::build_hopset(cx, g, test_params());
+  const std::uint64_t before = hopset::hopset_checksum(h);
+  Graph g2 = g;
+
+  auto expect_rejected = [&](std::vector<hopset::UpdateOp> ops) {
+    EXPECT_THROW(hopset::apply_updates(cx, g2, h, ops), std::runtime_error);
+    EXPECT_EQ(hopset::hopset_checksum(h), before);
+    EXPECT_EQ(hopset::graph_fingerprint(g2), hopset::graph_fingerprint(g));
+  };
+  using Op = hopset::UpdateOp;
+  expect_rejected({{Op::Kind::kWeight, 0, g.num_vertices(), 2.0}});
+  expect_rejected({{Op::Kind::kWeight, 7, 7, 2.0}});
+  expect_rejected({{Op::Kind::kWeight, 0, 1, -1.0}});
+  // grid2d(45,45): vertices 0 and 2 are not adjacent, 0 and 1 are.
+  expect_rejected({{Op::Kind::kWeight, 0, 2, 2.0}});
+  expect_rejected({{Op::Kind::kDelete, 0, 2, 0}});
+  expect_rejected({{Op::Kind::kInsert, 0, 1, 2.0}});
+  // A valid op followed by an invalid one must also leave both untouched.
+  expect_rejected({{Op::Kind::kWeight, 0, 1, 2.0},
+                   {Op::Kind::kDelete, 0, 2, 0}});
+}
+
+TEST(DynamicHopset, OverThresholdFallsBackOrRefuses) {
+  const Graph g = make_graph("gnm");
+  auto cx = testing::ctx();
+  hopset::Hopset base = hopset::build_hopset(cx, g, test_params());
+  // More distinct endpoints than the patch cap → over-threshold by fiat.
+  std::vector<hopset::UpdateOp> ops;
+  for (const Edge& e : g.edge_list()) {
+    ops.push_back({hopset::UpdateOp::Kind::kWeight, e.u, e.v, e.w * 2});
+    if (ops.size() >= 64) break;
+  }
+
+  // Without rebuild params: refuse, base untouched.
+  {
+    Graph g2 = g;
+    hopset::Hopset h2 = base;
+    const std::uint64_t before = hopset::hopset_checksum(h2);
+    EXPECT_THROW(hopset::apply_updates(cx, g2, h2, ops), std::runtime_error);
+    EXPECT_EQ(hopset::hopset_checksum(h2), before);
+    EXPECT_EQ(hopset::graph_fingerprint(g2), hopset::graph_fingerprint(g));
+  }
+  // With rebuild params: full rebuild, stretch still holds.
+  {
+    Graph g2 = g;
+    hopset::Hopset h2 = base;
+    hopset::DynamicOptions opt;
+    hopset::Params rebuild = test_params();
+    opt.rebuild_params = &rebuild;
+    const hopset::PatchStats st = hopset::apply_updates(cx, g2, h2, ops, opt);
+    EXPECT_TRUE(st.rebuilt);
+    const std::vector<Vertex> sources = {0};
+    const double worst = testing::check_hopset_property(
+        g2, h2.edges, test_params().epsilon, h2.schedule.beta, sources);
+    EXPECT_LE(worst, 1 + test_params().epsilon + 1e-9);
+  }
+}
+
+TEST(DynamicHopset, OwnershipSurvivesSerializationAndPatchesAfterReload) {
+  const Graph g = make_graph("road");
+  auto cx = testing::ctx();
+  hopset::Hopset H = hopset::build_hopset(cx, g, test_params());
+  ASSERT_FALSE(H.ownership.empty());
+
+  std::stringstream ss;
+  hopset::write_hopset(ss, H);
+  hopset::Hopset H2 = hopset::read_hopset(ss);
+  ASSERT_EQ(H2.ownership.size(), H.ownership.size());
+  for (std::size_t s = 0; s < H.ownership.size(); ++s) {
+    EXPECT_EQ(H2.ownership[s].k, H.ownership[s].k);
+    EXPECT_EQ(H2.ownership[s].cluster_of, H.ownership[s].cluster_of);
+    EXPECT_EQ(H2.ownership[s].center, H.ownership[s].center);
+    EXPECT_EQ(H2.ownership[s].radius, H.ownership[s].radius);
+    EXPECT_EQ(H2.ownership[s].exit_phase, H.ownership[s].exit_phase);
+  }
+  // The checksum is ownership- and version-independent.
+  EXPECT_EQ(hopset::hopset_checksum(H2), hopset::hopset_checksum(H));
+
+  // A reloaded hopset patches to the same result as the in-memory one.
+  const auto ops = random_ops(g, 7300, 5, /*structural=*/true);
+  Graph ga = g, gb = g;
+  hopset::apply_updates(cx, ga, H, ops);
+  hopset::apply_updates(cx, gb, H2, ops);
+  EXPECT_EQ(hopset::hopset_checksum(H), hopset::hopset_checksum(H2));
+}
+
+TEST(DynamicHopset, OwnershipPartitionsEveryScale) {
+  const Graph g = make_graph("geo");
+  auto cx = testing::ctx();
+  const hopset::Hopset H = hopset::build_hopset(cx, g, test_params());
+  ASSERT_FALSE(H.ownership.empty());
+  for (const hopset::ScaleOwnership& own : H.ownership) {
+    ASSERT_EQ(own.cluster_of.size(), g.num_vertices());
+    ASSERT_EQ(own.center.size(), own.radius.size());
+    ASSERT_EQ(own.center.size(), own.exit_phase.size());
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_NE(own.cluster_of[v], hopset::kNoCluster)
+          << "vertex " << v << " unowned at scale " << own.k;
+      ASSERT_LT(own.cluster_of[v], own.size());
+    }
+    for (std::size_t c = 0; c < own.size(); ++c) {
+      EXPECT_EQ(own.cluster_of[own.center[c]], c)
+          << "center of cluster " << c << " not owned by it, scale " << own.k;
+      EXPECT_GE(own.radius[c], 0.0);
+    }
+  }
+}
+
+TEST(DynamicDelta, RoundTripAppliesIdentically) {
+  const Graph g = make_graph("gnm");
+  auto cx = testing::ctx();
+  const hopset::Hopset base = hopset::build_hopset(cx, g, test_params());
+  const auto ops = random_ops(g, 7400, 6, /*structural=*/true);
+
+  std::stringstream ss;
+  hopset::write_delta(ss, hopset::make_delta(g, base, ops));
+  const hopset::DeltaRecord d = hopset::read_delta(ss);
+  ASSERT_EQ(d.ops.size(), ops.size());
+  EXPECT_NO_THROW(hopset::check_delta_base(d, g, base, "test"));
+
+  Graph ga = g, gb = g;
+  hopset::Hopset ha = base, hb = base;
+  hopset::apply_updates(cx, ga, ha, ops);
+  hopset::apply_updates(cx, gb, hb, d.ops);
+  EXPECT_EQ(hopset::hopset_checksum(ha), hopset::hopset_checksum(hb));
+  EXPECT_EQ(hopset::graph_fingerprint(ga), hopset::graph_fingerprint(gb));
+
+  // After applying, the delta no longer chains — base moved on.
+  EXPECT_THROW(hopset::check_delta_base(d, ga, ha, "test"),
+               std::runtime_error);
+}
+
+TEST(DynamicDelta, OpsScriptParses) {
+  std::stringstream in(
+      "# congestion wave\n"
+      "w 0 1 3.5\n"
+      "\n"
+      "i 5 9 2 # new link\n"
+      "d 3 4\n");
+  const auto ops = hopset::parse_ops(in);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].kind, hopset::UpdateOp::Kind::kWeight);
+  EXPECT_DOUBLE_EQ(ops[0].w, 3.5);
+  EXPECT_EQ(ops[1].kind, hopset::UpdateOp::Kind::kInsert);
+  EXPECT_EQ(ops[1].u, 5u);
+  EXPECT_EQ(ops[2].kind, hopset::UpdateOp::Kind::kDelete);
+
+  std::stringstream bad("w 0 1 3.5\nq 1 2\n");
+  try {
+    hopset::parse_ops(bad);
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace parhop

@@ -1,12 +1,14 @@
-// Tests for the distance oracle, hopset serialization, and zero-weight edge
-// contraction (§1 footnote 1).
+// Tests for the distance oracle, hopset serialization, `.phsd` delta-record
+// hardening, and zero-weight edge contraction (§1 footnote 1).
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "graph/builder.hpp"
 #include "graph/contraction.hpp"
 #include "graph/generators.hpp"
+#include "hopset/dynamic.hpp"
 #include "hopset/hopset.hpp"
 #include "hopset/path_reporting.hpp"
 #include "hopset/serialize.hpp"
@@ -109,6 +111,163 @@ TEST(Serialize, RejectsGarbage) {
   EXPECT_THROW(hopset::read_hopset(bad2), std::runtime_error);
   std::stringstream bad3("parhop-hopset 1\nparams 0.1 2 8 3 10 1\nedges 2\n");
   EXPECT_THROW(hopset::read_hopset(bad3), std::runtime_error);
+}
+
+// ---- `.phsd` delta-record hardening: same standard as the .phs reader —
+// malformed, truncated, corrupted, or reordered input is rejected with a
+// line-numbered error, and a rejected delta never perturbs the base.
+
+/// Small base pair plus a valid delta text to mutate.
+struct DeltaFixture {
+  Graph g;
+  hopset::Hopset h;
+  std::string text;  ///< serialized valid delta (3 ops)
+
+  DeltaFixture() {
+    graph::GenOptions o;
+    o.seed = 76;
+    g = graph::gnm(128, 400, o);
+    hopset::Params p;
+    auto cx = testing::ctx();
+    h = hopset::build_hopset(cx, g, p);
+    const auto el = g.edge_list();
+    const std::vector<hopset::UpdateOp> ops = {
+        {hopset::UpdateOp::Kind::kWeight, el[0].u, el[0].v, el[0].w * 2},
+        {hopset::UpdateOp::Kind::kDelete, el[5].u, el[5].v, 0},
+        {hopset::UpdateOp::Kind::kInsert, el[0].u,
+         el[0].u == 127 ? Vertex{126} : Vertex{127}, 2.5},
+    };
+    std::ostringstream out;
+    hopset::write_delta(out, hopset::make_delta(g, h, ops));
+    text = out.str();
+  }
+};
+
+/// read_delta must throw a runtime_error whose message carries a line
+/// number (the "at line N" hardening contract).
+void expect_line_numbered_rejection(const std::string& text,
+                                    const char* what) {
+  std::istringstream in(text);
+  try {
+    hopset::read_delta(in);
+    FAIL() << what << ": malformed delta was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("at line"), std::string::npos)
+        << what << ": message not line-numbered: " << e.what();
+  }
+}
+
+TEST(DeltaFuzz, RejectsMalformedHeaders) {
+  const DeltaFixture fx;
+  expect_line_numbered_rejection("not-a-delta 1\n", "wrong magic");
+  expect_line_numbered_rejection("parhop-hopset-delta 9\n", "wrong version");
+  std::string bad_base = fx.text;
+  bad_base.replace(bad_base.find("base ") + 5, 16, std::string(16, 'z'));
+  expect_line_numbered_rejection(bad_base, "non-hex base checksum");
+}
+
+TEST(DeltaFuzz, RejectsTruncation) {
+  const DeltaFixture fx;
+  // Cut at every line boundary: each prefix must be rejected, none may
+  // crash or hang.
+  for (std::size_t pos = fx.text.find('\n'); pos != std::string::npos;
+       pos = fx.text.find('\n', pos + 1)) {
+    if (pos + 1 == fx.text.size()) break;  // the full text is valid
+    expect_line_numbered_rejection(fx.text.substr(0, pos + 1),
+                                   "line-boundary truncation");
+  }
+  // Mid-line cut too (no trailing newline on the checksum line).
+  expect_line_numbered_rejection(fx.text.substr(0, fx.text.size() - 3),
+                                 "mid-line truncation");
+}
+
+TEST(DeltaFuzz, RejectsCorruptionAndReordering) {
+  const DeltaFixture fx;
+  // Flip one op byte: the whole-record checksum must catch it.
+  std::string corrupt = fx.text;
+  const std::size_t wpos = corrupt.find("\nw ");
+  ASSERT_NE(wpos, std::string::npos);
+  corrupt[wpos + 3] ^= 1;
+  expect_line_numbered_rejection(corrupt, "flipped op byte");
+
+  // Swap the first two op lines: same bytes, different order — the checksum
+  // is over the byte stream, so reordering is corruption.
+  const std::size_t ops_end = fx.text.find('\n', fx.text.find("ops ")) + 1;
+  const std::size_t l1 = fx.text.find('\n', ops_end) + 1;
+  const std::size_t l2 = fx.text.find('\n', l1) + 1;
+  std::string swapped = fx.text.substr(0, ops_end) +
+                        fx.text.substr(l1, l2 - l1) +
+                        fx.text.substr(ops_end, l1 - ops_end) +
+                        fx.text.substr(l2);
+  ASSERT_EQ(swapped.size(), fx.text.size());
+  expect_line_numbered_rejection(swapped, "reordered op lines");
+
+  // Trailing garbage after the checksum line.
+  expect_line_numbered_rejection(fx.text + "extra\n", "trailing garbage");
+}
+
+TEST(DeltaFuzz, RejectsOutOfRangeEndpoints) {
+  const DeltaFixture fx;
+  // An op endpoint >= the recorded graph_n is rejected at parse time, not
+  // deferred to apply_updates.
+  std::string bad = fx.text;
+  const std::size_t wpos = bad.find("\nw ") + 1;
+  const std::size_t sp = bad.find(' ', wpos + 2);
+  bad = bad.substr(0, wpos) + "w 999" + bad.substr(sp);
+  std::istringstream in(bad);
+  // Splicing changed line lengths, so this fails either as a range error or
+  // as a checksum mismatch — both are rejections with a line number.
+  expect_line_numbered_rejection(bad, "out-of-range endpoint");
+}
+
+TEST(DeltaFuzz, WrongOrStaleBaseRejectedAndBaseUntouched) {
+  DeltaFixture fx;
+  auto cx = testing::ctx();
+  const std::uint64_t base_checksum = hopset::hopset_checksum(fx.h);
+
+  // The fixture delta is valid — it round-trips.
+  std::istringstream in(fx.text);
+  const hopset::DeltaRecord d = hopset::read_delta(in);
+  hopset::check_delta_base(d, fx.g, fx.h, "fixture");
+
+  // Against a *different* base (one op ahead) it must be rejected — the
+  // update moved the graph, so the fingerprint check fires first.
+  Graph g2 = fx.g;
+  hopset::Hopset h2 = fx.h;
+  const auto el = fx.g.edge_list();
+  const std::vector<hopset::UpdateOp> pre = {
+      {hopset::UpdateOp::Kind::kWeight, el[9].u, el[9].v, el[9].w * 3}};
+  hopset::apply_updates(cx, g2, h2, pre,
+                        hopset::DynamicOptions{.rebuild_threshold = 1.1});
+  EXPECT_THROW(hopset::check_delta_base(d, g2, h2, "stale"),
+               std::runtime_error);
+
+  // Same graph but a different hopset build: the chain checksum is the
+  // check that fires, and its message explains the cut-order contract.
+  hopset::Params p2;
+  p2.epsilon = 0.3;
+  const hopset::Hopset other = hopset::build_hopset(cx, fx.g, p2);
+  try {
+    hopset::check_delta_base(d, fx.g, other, "chain");
+    FAIL() << "delta accepted against a hopset it was not cut from";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("order"), std::string::npos)
+        << e.what();
+  }
+
+  // None of the rejections above touched the original base.
+  EXPECT_EQ(hopset::hopset_checksum(fx.h), base_checksum);
+  hopset::check_graph_identity(fx.h, fx.g, "base intact");
+
+  // And a rejected *file* leaves on-disk state alone by construction: the
+  // reader never opens the .phs — re-serializing the base produces
+  // byte-identical output.
+  std::ostringstream s1, s2;
+  hopset::write_hopset(s1, fx.h);
+  std::istringstream bad(std::string("parhop-hopset-delta 1\nbase junk\n"));
+  EXPECT_THROW(hopset::read_delta(bad), std::runtime_error);
+  hopset::write_hopset(s2, fx.h);
+  EXPECT_EQ(s1.str(), s2.str());
 }
 
 TEST(Contraction, MergesZeroWeightClasses) {

@@ -25,6 +25,7 @@
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "hopset/dynamic.hpp"
 #include "hopset/hopset.hpp"
 #include "hopset/serialize.hpp"
 #include "query/query_engine.hpp"
@@ -406,6 +407,246 @@ TEST(ServeSwap, BadReloadsKeepTheLiveEngineServing) {
   // bit-identically on epoch 0.
   const auto s = server.metrics().snapshot();
   EXPECT_EQ(s.reload_failures, 3u);
+  EXPECT_EQ(s.reloads, 0u);
+  EXPECT_EQ(server.epoch(), 0u);
+  EXPECT_EQ(server.handle_line(probe), expect);
+}
+
+// ---------------------------------------------------------- delta swap --
+
+/// Patches copies of (g, h) the exact way the server's `.phsd` branch does
+/// (1-thread pool, unmetered) so expected answers can be precomputed
+/// bit-exactly. Patching is bit-identical across pools and policies
+/// (DynamicHopset.PatchBitIdenticalAcrossPoolsAndPolicies), so this pins the
+/// reference without guessing server internals.
+void patch_like_server(Graph& g, hopset::Hopset& h,
+                       const std::vector<hopset::UpdateOp>& ops) {
+  pram::ThreadPool pool(1);
+  pram::UnmeteredCtx cx(&pool);
+  hopset::apply_updates(cx, g, h, ops, hopset::DynamicOptions{});
+}
+
+// A `.phsd` RELOAD lands mid-stream under ~1000 concurrent queries: every
+// answer must match the base or the patched reference according to the
+// epoch it reports, none may be dropped, and afterwards the server's base
+// has advanced to the patched (graph, hopset) pair.
+TEST(ServeDelta, LiveDeltaReloadUnderLoadServesEpochExactAnswers) {
+  TempDir tmp;
+  const Graph g = make_graph("gnm", 401);
+  const hopset::Hopset H0 = build(g);
+
+  // Deterministic three-op delta: a shortcut, a detour, a closure.
+  const auto& el = g.edge_list();
+  using Op = hopset::UpdateOp;
+  const std::vector<Op> ops = {
+      {Op::Kind::kWeight, el[7].u, el[7].v, el[7].w * 0.5},
+      {Op::Kind::kWeight, el[777].u, el[777].v, el[777].w * 4},
+      {Op::Kind::kDelete, el[1500].u, el[1500].v, 0},
+  };
+  const fs::path phsd = tmp.path / "d1.phsd";
+  hopset::write_delta_file(phsd.string(), hopset::make_delta(g, H0, ops));
+
+  Graph g1 = g;
+  hopset::Hopset h1 = H0;
+  patch_like_server(g1, h1, ops);
+  Reference ref0(g, H0);
+  Reference ref1(g1, h1);
+  const Vertex n = g.num_vertices();
+
+  constexpr int kClients = 4;
+  constexpr int kQueries = 250;  // 1000 total, spanning one delta swap
+  std::vector<std::vector<std::vector<Weight>>> expected(2);
+  for (auto& per : expected) per.resize(kClients);
+  std::vector<std::vector<std::string>> lines(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kQueries; ++i) {
+      const auto s = static_cast<Vertex>((c * 733u + i * 41u) % n);
+      const auto t = static_cast<Vertex>((i * 59u + c * 13u) % n);
+      lines[c].push_back("P2P " + std::to_string(s) + " " + std::to_string(t));
+      expected[0][c].push_back(ref0.p2p(s, t));
+      expected[1][c].push_back(ref1.p2p(s, t));
+    }
+  }
+
+  serve::ServerOptions opt;
+  opt.workers = 3;
+  opt.queue_depth = 16;
+  serve::Server server(g, H0, opt);
+
+  std::atomic<int> done{0};
+  std::string reload_resp;  // written by swapper, read after join
+  std::vector<std::string> failures;
+  std::mutex failures_mu;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kQueries; ++i) {
+        const std::string resp = server.handle_line(lines[c][i]);
+        const std::string dist = field(resp, "dist");
+        const std::string ep = field(resp, "epoch");
+        bool ok = resp.rfind("OK P2P", 0) == 0 && (ep == "0" || ep == "1");
+        if (ok) {
+          const Weight want = expected[ep == "1" ? 1 : 0][c][i];
+          ok = std::strtod(dist.c_str(), nullptr) == want ||
+               (dist == "inf" && want == graph::kInfWeight);
+        }
+        if (!ok) {
+          std::lock_guard<std::mutex> lock(failures_mu);
+          failures.push_back(lines[c][i] + " -> " + resp);
+        }
+        done.fetch_add(1);
+      }
+    });
+  }
+  std::thread swapper([&] {
+    while (done.load() < kClients * kQueries / 4) std::this_thread::yield();
+    reload_resp = server.handle_line("RELOAD " + phsd.string());
+  });
+  for (std::thread& t : clients) t.join();
+  swapper.join();
+
+  EXPECT_TRUE(reload_resp.rfind("OK RELOAD epoch=1", 0) == 0) << reload_resp;
+  EXPECT_NE(reload_resp.find(" ops=3 "), std::string::npos) << reload_resp;
+  EXPECT_NE(reload_resp.find(" dirty_frac="), std::string::npos)
+      << reload_resp;
+  EXPECT_TRUE(failures.empty())
+      << failures.size()
+      << " torn/dropped answers, first: " << failures.front();
+  const auto s = server.metrics().snapshot();
+  EXPECT_EQ(s.served, static_cast<std::uint64_t>(kClients * kQueries));
+  EXPECT_EQ(s.reloads, 1u);
+  EXPECT_EQ(s.reload_failures, 0u);
+  EXPECT_EQ(server.epoch(), 1u);
+  // Post-swap queries serve the patched index exclusively.
+  const std::string after = server.handle_line(lines[0][0]);
+  EXPECT_EQ(field(after, "epoch"), "1");
+  EXPECT_EQ(std::strtod(field(after, "dist").c_str(), nullptr),
+            expected[1][0][0]);
+}
+
+// A successful delta RELOAD commits the patched pair as the next base: the
+// chain advances, stale deltas (cut against the superseded base) reject,
+// and a second delta cut against the committed base applies on top.
+TEST(ServeDelta, ChainedDeltasAdvanceTheBaseAndStaleDeltasReject) {
+  TempDir tmp;
+  const Graph g = make_graph("gnm", 411);
+  const hopset::Hopset H0 = build(g);
+  const auto& el = g.edge_list();
+  using Op = hopset::UpdateOp;
+
+  const std::vector<Op> ops1 = {
+      {Op::Kind::kWeight, el[12].u, el[12].v, el[12].w * 3}};
+  const std::vector<Op> stale = {
+      {Op::Kind::kWeight, el[30].u, el[30].v, el[30].w * 2}};
+  const fs::path d1 = tmp.path / "d1.phsd";
+  const fs::path dstale = tmp.path / "stale.phsd";
+  hopset::write_delta_file(d1.string(), hopset::make_delta(g, H0, ops1));
+  hopset::write_delta_file(dstale.string(), hopset::make_delta(g, H0, stale));
+
+  // The second delta chains against the patched base, cut offline.
+  Graph g1 = g;
+  hopset::Hopset h1 = H0;
+  patch_like_server(g1, h1, ops1);
+  const auto& el1 = g1.edge_list();
+  const std::vector<Op> ops2 = {
+      {Op::Kind::kWeight, el1[12].u, el1[12].v, el1[12].w * 0.25}};
+  const fs::path d2 = tmp.path / "d2.phsd";
+  hopset::write_delta_file(d2.string(), hopset::make_delta(g1, h1, ops2));
+  Graph g2 = g1;
+  hopset::Hopset h2 = h1;
+  patch_like_server(g2, h2, ops2);
+  Reference ref2(g2, h2);
+
+  serve::ServerOptions opt;
+  serve::Server server(g, H0, opt);
+  const std::string r1 = server.handle_line("RELOAD " + d1.string());
+  EXPECT_TRUE(r1.rfind("OK RELOAD epoch=1", 0) == 0) << r1;
+
+  // `dstale` was valid against epoch 0; the commit moved the chain past it.
+  const std::string rs = server.handle_line("RELOAD " + dstale.string());
+  EXPECT_TRUE(rs.rfind("ERR reload:", 0) == 0) << rs;
+  EXPECT_EQ(server.epoch(), 1u);
+
+  const std::string r2 = server.handle_line("RELOAD " + d2.string());
+  EXPECT_TRUE(r2.rfind("OK RELOAD epoch=2", 0) == 0) << r2;
+  EXPECT_EQ(server.epoch(), 2u);
+  const std::string resp = server.handle_line("P2P 3 44");
+  EXPECT_EQ(resp, "OK P2P 3 44 dist=" + fmt_weight(ref2.p2p(3, 44)) +
+                      " epoch=2");
+  const auto s = server.metrics().snapshot();
+  EXPECT_EQ(s.reloads, 2u);
+  EXPECT_EQ(s.reload_failures, 1u);
+}
+
+// Every rejected delta — corrupt, truncated, wrong chain, or too large to
+// patch in-line — must leave the live engine, epoch, and base untouched.
+TEST(ServeDelta, BadDeltasKeepTheLiveEngineAndBase) {
+  TempDir tmp;
+  const Graph g = make_graph("gnm", 421);
+  const hopset::Hopset H = build(g);
+  Reference ref(g, H);
+  serve::ServerOptions opt;
+  serve::Server server(g, H, opt);
+
+  const std::string probe = "P2P 5 99";
+  const std::string expect =
+      "OK P2P 5 99 dist=" + fmt_weight(ref.p2p(5, 99)) + " epoch=0";
+  EXPECT_EQ(server.handle_line(probe), expect);
+
+  const auto& el = g.edge_list();
+  using Op = hopset::UpdateOp;
+  std::ostringstream good;
+  hopset::write_delta(
+      good, hopset::make_delta(
+                g, H, {{Op::Kind::kWeight, el[9].u, el[9].v, el[9].w * 2}}));
+  auto write_text = [&](const fs::path& p, const std::string& text) {
+    std::ofstream out(p);
+    out << text;
+  };
+
+  // Corrupt: one flipped byte in an op line breaks the payload checksum.
+  std::string corrupt_text = good.str();
+  corrupt_text[corrupt_text.find("\nw ") + 3] ^= 1;
+  const fs::path corrupt = tmp.path / "corrupt.phsd";
+  write_text(corrupt, corrupt_text);
+  const std::string c = server.handle_line("RELOAD " + corrupt.string());
+  EXPECT_TRUE(c.rfind("ERR reload:", 0) == 0) << c;
+
+  // Truncated mid-file.
+  const fs::path trunc = tmp.path / "trunc.phsd";
+  write_text(trunc, good.str().substr(0, good.str().size() / 2));
+  const std::string t = server.handle_line("RELOAD " + trunc.string());
+  EXPECT_TRUE(t.rfind("ERR reload:", 0) == 0) << t;
+
+  // Wrong chain: cut against a different hopset over the same graph. The
+  // graph fingerprint matches, so this exercises the chain checksum proper.
+  const fs::path wrong = tmp.path / "wrong.phsd";
+  hopset::write_delta_file(
+      wrong.string(),
+      hopset::make_delta(
+          g, build(g, /*eps=*/0.5),
+          {{Op::Kind::kWeight, el[9].u, el[9].v, el[9].w * 2}}));
+  const std::string w = server.handle_line("RELOAD " + wrong.string());
+  EXPECT_TRUE(w.rfind("ERR reload:", 0) == 0) << w;
+  EXPECT_NE(w.find("chain"), std::string::npos) << w;
+
+  // Too many endpoints to patch in-line: the daemon refuses rather than
+  // rebuilding on the reload path.
+  std::vector<Op> big;
+  for (const graph::Edge& e : el) {
+    big.push_back({Op::Kind::kWeight, e.u, e.v, e.w * 2});
+    if (big.size() >= 64) break;
+  }
+  const fs::path over = tmp.path / "over.phsd";
+  hopset::write_delta_file(over.string(), hopset::make_delta(g, H, big));
+  const std::string o = server.handle_line("RELOAD " + over.string());
+  EXPECT_TRUE(o.rfind("ERR reload:", 0) == 0) << o;
+  EXPECT_NE(o.find("rebuild"), std::string::npos) << o;
+
+  // Four failures, zero swaps, and the live engine still answers
+  // bit-identically on epoch 0.
+  const auto s = server.metrics().snapshot();
+  EXPECT_EQ(s.reload_failures, 4u);
   EXPECT_EQ(s.reloads, 0u);
   EXPECT_EQ(server.epoch(), 0u);
   EXPECT_EQ(server.handle_line(probe), expect);
